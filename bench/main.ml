@@ -1,0 +1,191 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (sections 5.3-5.6), then runs Bechamel
+   micro-benchmarks of the core memory-management operations that
+   underlie each of them.
+
+   The tables and figures are deterministic simulated measurements
+   (instruction and cycle counts on the simulated UltraSparc); the
+   Bechamel numbers measure this implementation's own wall-clock speed
+   on the host. *)
+
+let full = Array.exists (fun a -> a = "--full") Sys.argv
+let skip_micro = Array.exists (fun a -> a = "--skip-micro") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's tables and figures *)
+
+let run_report () =
+  let size = if full then Workloads.Workload.Full else Workloads.Workload.Quick in
+  let m = Harness.Matrix.create ~progress:(fun s -> Printf.eprintf "  %s\n%!" s) size in
+  print_endline "=====================================================================";
+  print_endline " Reproduction of Gay & Aiken, 'Memory Management with Explicit";
+  print_endline " Regions' (PLDI 1998) - all tables and figures";
+  print_endline "=====================================================================\n";
+  print_endline (Harness.Table1.render ());
+  print_newline ();
+  print_endline (Harness.Table23.render_table2 m);
+  print_newline ();
+  print_endline (Harness.Table23.render_table3 m);
+  print_newline ();
+  print_endline (Harness.Fig8.render m);
+  print_endline (Harness.Fig9.render m);
+  print_endline (Harness.Fig10.render m);
+  print_endline (Harness.Fig11.render m);
+  print_endline (Harness.Claims.render m);
+  print_endline (Harness.Ablations.render ());
+  print_newline ();
+  print_endline (Harness.Limitation.render ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks (host wall-clock) *)
+
+open Bechamel
+open Toolkit
+
+(* Each fixture pre-builds a simulated machine; the staged closure is
+   the steady-state operation the corresponding table/figure hinges
+   on. *)
+
+let region_alloc_delete ~safe () =
+  let api = Workloads.Api.create ~with_cache:false (Workloads.Api.Region { safe }) in
+  let layout = Regions.Cleanup.layout_words 4 in
+  Staged.stage (fun () ->
+      Workloads.Api.with_frame api ~nslots:1 ~ptr_slots:[ 0 ] (fun fr ->
+          let r = Workloads.Api.newregion api in
+          Workloads.Api.set_local_ptr api fr 0 r;
+          for _ = 1 to 64 do
+            ignore (Workloads.Api.ralloc api r layout)
+          done;
+          ignore (Workloads.Api.deleteregion api fr 0)))
+
+let malloc_free backend () =
+  let api = Workloads.Api.create ~with_cache:false (Workloads.Api.Direct backend) in
+  let ptrs = Array.make 64 0 in
+  Staged.stage (fun () ->
+      Workloads.Api.with_frame api ~nslots:1 ~ptr_slots:[] (fun _fr ->
+          for i = 0 to 63 do
+            ptrs.(i) <- Workloads.Api.malloc api 16
+          done;
+          for i = 0 to 63 do
+            Workloads.Api.free api ptrs.(i)
+          done))
+
+let write_barrier () =
+  let api = Workloads.Api.create ~with_cache:false (Workloads.Api.Region { safe = true }) in
+  let layout = Regions.Cleanup.layout ~size_bytes:8 ~ptr_offsets:[ 0 ] in
+  let a, b =
+    Workloads.Api.with_frame api ~nslots:1 ~ptr_slots:[ 0 ] (fun fr ->
+        let r = Workloads.Api.newregion api in
+        Workloads.Api.set_local_ptr api fr 0 r;
+        let a = Workloads.Api.ralloc api r layout in
+        let b = Workloads.Api.ralloc api r layout in
+        Workloads.Api.set_local_ptr api fr 0 0;
+        (a, b))
+  in
+  Staged.stage (fun () ->
+      for _ = 1 to 64 do
+        Workloads.Api.store_ptr api ~addr:a b
+      done)
+
+let stack_scan () =
+  let api = Workloads.Api.create ~with_cache:false (Workloads.Api.Region { safe = true }) in
+  Staged.stage (fun () ->
+      (* 32 frames of locals get scanned and unscanned around a failed
+         then successful deleteregion. *)
+      Workloads.Api.with_frame api ~nslots:2 ~ptr_slots:[ 0; 1 ] (fun fr0 ->
+          let r = Workloads.Api.newregion api in
+          Workloads.Api.set_local_ptr api fr0 0 r;
+          let rec deep n =
+            if n = 0 then ignore (Workloads.Api.deleteregion api fr0 0)
+            else
+              Workloads.Api.with_frame api ~nslots:4 ~ptr_slots:[ 0; 1 ]
+                (fun _ -> deep (n - 1))
+          in
+          deep 32))
+
+let cache_sim () =
+  let mem = Sim.Memory.create ~with_cache:true () in
+  let base = Sim.Memory.map_pages mem 64 in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      for _ = 1 to 256 do
+        ignore (Sim.Memory.load mem (base + (!i * 4 mod (64 * 4096))));
+        i := !i + 517
+      done)
+
+let gc_alloc () =
+  let api = Workloads.Api.create ~with_cache:false (Workloads.Api.Direct Workloads.Api.Gc) in
+  Staged.stage (fun () ->
+      Workloads.Api.with_frame api ~nslots:1 ~ptr_slots:[] (fun _fr ->
+          for _ = 1 to 64 do
+            ignore (Workloads.Api.malloc api 24)
+          done))
+
+let creg_compile () =
+  let src =
+    "struct list { int i; struct list @next; };\n\
+     int main() {\n\
+    \  region r = newregion();\n\
+    \  struct list @l = null;\n\
+    \  int i;\n\
+    \  i = 0;\n\
+    \  while (i < 32) {\n\
+    \    struct list @p = ralloc(r, struct list);\n\
+    \    p->i = i; p->next = l; l = p; i = i + 1;\n\
+    \  }\n\
+    \  l = null;\n\
+    \  return deleteregion(r);\n\
+     }"
+  in
+  Staged.stage (fun () -> ignore (Creg.Compile.compile src))
+
+let tests =
+  [
+    (* Table 2 / Figure 9: region operation throughput *)
+    Test.make ~name:"table2.ralloc+deleteregion (safe)" (region_alloc_delete ~safe:true ());
+    Test.make ~name:"fig9.ralloc+deleteregion (unsafe)" (region_alloc_delete ~safe:false ());
+    (* Table 3 / Figure 9: malloc/free throughput *)
+    Test.make ~name:"table3.malloc+free (sun)" (malloc_free Workloads.Api.Sun ());
+    Test.make ~name:"fig9.malloc+free (bsd)" (malloc_free Workloads.Api.Bsd ());
+    Test.make ~name:"fig9.malloc+free (lea)" (malloc_free Workloads.Api.Lea ());
+    (* Figure 8: collector allocation (heap growth policy) *)
+    Test.make ~name:"fig8.gc-alloc" (gc_alloc ());
+    (* Figure 10: the cache simulator itself *)
+    Test.make ~name:"fig10.cache-simulated-loads" (cache_sim ());
+    (* Figure 11: safety machinery *)
+    Test.make ~name:"fig11.write-barrier" (write_barrier ());
+    Test.make ~name:"fig11.stack-scan-32-frames" (stack_scan ());
+    (* Table 1: the creg front end (porting surface) *)
+    Test.make ~name:"table1.creg-compile" (creg_compile ());
+  ]
+
+let run_micro () =
+  print_endline "=====================================================================";
+  print_endline " Bechamel micro-benchmarks (host wall-clock, ns per run)";
+  print_endline "=====================================================================";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"regions" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Printf.sprintf "%12.1f ns/run" t
+        | Some [] | None -> "           n/a"
+      in
+      Printf.printf "  %-45s %s\n" name est)
+    (List.sort compare rows)
+
+let () =
+  run_report ();
+  if not skip_micro then run_micro ()

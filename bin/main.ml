@@ -1,0 +1,185 @@
+(* repro: command-line driver for the reproduction of "Memory
+   Management with Explicit Regions" (Gay & Aiken, PLDI 1998). *)
+
+open Cmdliner
+
+let progress msg =
+  Printf.eprintf "  %s\n%!" msg
+
+let size_of_full full = if full then Workloads.Workload.Full else Workloads.Workload.Quick
+
+let full_arg =
+  Arg.(value & flag & info [ "full" ] ~doc:"Run the full-size benchmark inputs.")
+
+let matrix full = Harness.Matrix.create ~progress (size_of_full full)
+
+let experiments =
+  [
+    ("table1", `Static (fun () -> Harness.Table1.render ()));
+    ("table2", `Matrix Harness.Table23.render_table2);
+    ("table3", `Matrix Harness.Table23.render_table3);
+    ("fig8", `Matrix Harness.Fig8.render);
+    ("fig9", `Matrix Harness.Fig9.render);
+    ("fig10", `Matrix Harness.Fig10.render);
+    ("fig11", `Matrix Harness.Fig11.render);
+    ("ablations", `Static Harness.Ablations.render);
+    ("limitation", `Static Harness.Limitation.render);
+    ("claims", `Matrix Harness.Claims.render);
+  ]
+
+let run_experiment name full =
+  match List.assoc_opt name experiments with
+  | None ->
+      Printf.eprintf "unknown experiment %s (have: %s, all)\n" name
+        (String.concat ", " (List.map fst experiments));
+      exit 1
+  | Some (`Static f) -> print_endline (f ())
+  | Some (`Matrix f) -> print_endline (f (matrix full))
+
+let run_all full =
+  let m = matrix full in
+  print_endline (Harness.Table1.render ());
+  print_newline ();
+  print_endline (Harness.Table23.render_table2 m);
+  print_newline ();
+  print_endline (Harness.Table23.render_table3 m);
+  print_newline ();
+  print_endline (Harness.Fig8.render m);
+  print_endline (Harness.Fig9.render m);
+  print_endline (Harness.Fig10.render m);
+  print_endline (Harness.Fig11.render m);
+  print_endline (Harness.Claims.render m);
+  print_endline (Harness.Ablations.render ());
+  print_newline ();
+  print_endline (Harness.Limitation.render ())
+
+let exp_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "table1, table2, table3, fig8, fig9, fig10, fig11, ablations, \
+             limitation, claims, or all")
+  in
+  let run name full = if name = "all" then run_all full else run_experiment name full in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
+    Term.(const run $ name_arg $ full_arg)
+
+let run_cmd =
+  let workload_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"cfrac, grobner, mudlle, lcc, tile, moss, moss-slow, game, game-correlated")
+  in
+  let mode_arg =
+    let parse s =
+      match
+        List.find_opt
+          (fun m -> Workloads.Api.mode_name m = s)
+          Workloads.Api.all_modes
+      with
+      | Some m -> Ok m
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown mode %s (have: %s)" s
+                  (String.concat ", "
+                     (List.map Workloads.Api.mode_name Workloads.Api.all_modes))))
+    in
+    let print ppf m = Fmt.string ppf (Workloads.Api.mode_name m) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) (Workloads.Api.Region { safe = true })
+      & info [ "mode" ] ~doc:"Memory manager: sun, bsd, lea, gc, emu-*, region, unsafe.")
+  in
+  let run name mode full =
+    let spec = Workloads.Workload.find name in
+    let r = Workloads.Workload.run_collect spec mode (size_of_full full) in
+    Fmt.pr "%a@." Workloads.Results.pp r
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under one memory manager")
+    Term.(const run $ workload_arg $ mode_arg $ full_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun s ->
+        Printf.printf "%-8s %s%s\n" s.Workloads.Workload.name
+          s.Workloads.Workload.description
+          (if s.Workloads.Workload.region_only then
+             " (region-based; malloc via emulation)"
+           else ""))
+      (Workloads.Workload.all @ Workloads.Workload.extras)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark workloads") Term.(const run $ const ())
+
+let creg_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"creg source file")
+  in
+  let unsafe_arg =
+    Arg.(value & flag & info [ "unsafe" ] ~doc:"Use unsafe regions (no reference counts).")
+  in
+  let dump_arg =
+    Arg.(
+      value & flag
+      & info [ "dump" ]
+          ~doc:"Print the compiled bytecode (with liveness maps) instead of running.")
+  in
+  let run file unsafe dump =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    if dump then begin
+      match Creg.Compile.compile src with
+      | prog ->
+          Array.iter (fun f -> Fmt.pr "%a@." Creg.Bytecode.pp_func f) prog.Creg.Bytecode.bp_funcs
+      | exception Creg.Typecheck.Error (msg, pos) ->
+          Printf.eprintf "type error at %d:%d: %s\n" pos.Creg.Ast.line pos.Creg.Ast.col msg;
+          exit 2
+      | exception Creg.Parser.Error (msg, pos) ->
+          Printf.eprintf "syntax error at %d:%d: %s\n" pos.Creg.Ast.line pos.Creg.Ast.col msg;
+          exit 2
+      | exception Creg.Lexer.Error (msg, pos) ->
+          Printf.eprintf "lexical error at %d:%d: %s\n" pos.Creg.Ast.line pos.Creg.Ast.col msg;
+          exit 2
+    end
+    else
+    match Creg.Vm.run_source ~safe:(not unsafe) src with
+    | outcome, lib ->
+        List.iter (fun v -> Printf.printf "%d\n" v) outcome.Creg.Vm.output;
+        let c = Sim.Cost.cycles (Sim.Memory.cost (Regions.Region.memory lib)) in
+        Printf.eprintf "exit value: %d (%d simulated cycles)\n"
+          outcome.Creg.Vm.exit_value c
+    | exception Creg.Vm.Fault msg ->
+        Printf.eprintf "runtime fault: %s\n" msg;
+        exit 2
+    | exception Creg.Typecheck.Error (msg, pos) ->
+        Printf.eprintf "type error at %d:%d: %s\n" pos.Creg.Ast.line pos.Creg.Ast.col msg;
+        exit 2
+    | exception Creg.Parser.Error (msg, pos) ->
+        Printf.eprintf "syntax error at %d:%d: %s\n" pos.Creg.Ast.line pos.Creg.Ast.col msg;
+        exit 2
+    | exception Creg.Lexer.Error (msg, pos) ->
+        Printf.eprintf "lexical error at %d:%d: %s\n" pos.Creg.Ast.line pos.Creg.Ast.col msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "creg" ~doc:"Compile and run a creg (C@-like) program on the safe region runtime")
+    Term.(const run $ file_arg $ unsafe_arg $ dump_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "repro" ~version:"1.0"
+       ~doc:
+         "Reproduction of Gay & Aiken, 'Memory Management with Explicit \
+          Regions' (PLDI 1998)")
+    [ exp_cmd; run_cmd; list_cmd; creg_cmd ]
+
+let () = exit (Cmd.eval main)

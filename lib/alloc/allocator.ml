@@ -1,0 +1,13 @@
+type t = {
+  name : string;
+  memory : Sim.Memory.t;
+  malloc : int -> int;
+  free : int -> unit;
+  usable_size : int -> int;
+  stats : Stats.t;
+}
+
+exception Invalid_free of int
+
+let check_size size =
+  if size <= 0 then invalid_arg "malloc: size must be positive"

@@ -1,0 +1,28 @@
+(** Common interface implemented by every malloc/free-style allocator.
+
+    Allocators operate entirely inside a {!Sim.Memory.t}: their
+    metadata (headers, free lists, bins) lives in simulated memory, so
+    the cache behaviour of each allocator design is part of the
+    measurement, as in Figure 10 of the paper.  All allocator code runs
+    under the [Alloc] cost context. *)
+
+type t = {
+  name : string;
+  memory : Sim.Memory.t;
+  malloc : int -> int;
+      (** [malloc size] returns the address of a fresh block of at
+          least [size] bytes, word-aligned.  [size] must be
+          positive. *)
+  free : int -> unit;
+      (** [free addr] releases a block previously returned by
+          [malloc].  For the conservative collector this is a no-op
+          (the paper disables frees when measuring the GC). *)
+  usable_size : int -> int;
+      (** Bytes usable in the block at [addr]. *)
+  stats : Stats.t;
+}
+
+exception Invalid_free of int
+
+val check_size : int -> unit
+(** Raises [Invalid_argument] on non-positive sizes. *)

@@ -1,0 +1,90 @@
+(* Chunk layout: one header word holding the bucket index, tagged with
+   [in_use_tag] while allocated; the freelist next pointer reuses the
+   first user word.  Bucket b holds chunks of 2^b total bytes. *)
+
+let min_bucket = 4 (* 16 bytes *)
+let max_bucket = 28
+let in_use_tag = 0x100
+
+let bucket_for size =
+  (* Smallest b with 2^b >= size + 4 (header), at least 16 bytes. *)
+  let need = size + 4 in
+  let rec go b = if 1 lsl b >= need then b else go (b + 1) in
+  go min_bucket
+
+type t = {
+  mem : Sim.Memory.t;
+  stats : Stats.t;
+  heads : int;  (* static page: word per bucket *)
+}
+
+let head_addr t b = t.heads + (b * 4)
+
+let carve t b =
+  let page = (Sim.Memory.machine t.mem).Sim.Machine.page_bytes in
+  let csize = 1 lsl b in
+  let bytes = max csize page in
+  let pages = bytes / page in
+  let addr = Sim.Memory.map_pages t.mem pages in
+  Stats.on_map t.stats (pages * page);
+  Sim.Cost.instr (Sim.Memory.cost t.mem) 20 (* OS call overhead *);
+  (* Thread the fresh chunks onto the bucket's free list. *)
+  let head = head_addr t b in
+  let n = bytes / csize in
+  for i = n - 1 downto 0 do
+    let c = addr + (i * csize) in
+    Sim.Memory.store t.mem c b;
+    Sim.Memory.store t.mem (c + 4) (Sim.Memory.load t.mem head);
+    Sim.Memory.store t.mem head c
+  done
+
+let malloc t size =
+  Allocator.check_size size;
+  let cost = Sim.Memory.cost t.mem in
+  Sim.Cost.with_context cost Sim.Cost.Alloc (fun () ->
+      Sim.Cost.instr cost 5;
+      let b = bucket_for size in
+      if b > max_bucket then invalid_arg "Bsd.malloc: size too large";
+      let head = head_addr t b in
+      if Sim.Memory.load t.mem head = 0 then carve t b;
+      let c = Sim.Memory.load t.mem head in
+      Sim.Memory.store t.mem head (Sim.Memory.load t.mem (c + 4));
+      Sim.Memory.store t.mem c (b lor in_use_tag);
+      let user = c + 4 in
+      Stats.on_alloc t.stats ~addr:user ~size;
+      user)
+
+let free t user =
+  let cost = Sim.Memory.cost t.mem in
+  Sim.Cost.with_context cost Sim.Cost.Alloc (fun () ->
+      Sim.Cost.instr cost 4;
+      if user land 3 <> 0 || not (Sim.Memory.is_mapped t.mem (user - 4)) then
+        raise (Allocator.Invalid_free user);
+      let c = user - 4 in
+      let h = Sim.Memory.load t.mem c in
+      let b = h land lnot in_use_tag in
+      if h land in_use_tag = 0 || b < min_bucket || b > max_bucket then
+        raise (Allocator.Invalid_free user);
+      Stats.on_free t.stats user;
+      let head = head_addr t b in
+      Sim.Memory.store t.mem c b;
+      Sim.Memory.store t.mem (c + 4) (Sim.Memory.load t.mem head);
+      Sim.Memory.store t.mem head c)
+
+let usable_size t user =
+  let b = Sim.Memory.load t.mem (user - 4) land lnot in_use_tag in
+  (1 lsl b) - 4
+
+let create mem =
+  let stats = Stats.create () in
+  let heads = Sim.Memory.map_pages mem 1 in
+  Stats.on_map stats 4096;
+  let t = { mem; stats; heads } in
+  {
+    Allocator.name = "bsd";
+    memory = mem;
+    malloc = malloc t;
+    free = free t;
+    usable_size = usable_size t;
+    stats;
+  }

@@ -1,0 +1,9 @@
+(** "BSD" allocator: the 4.2BSD (Kingsley) power-of-two malloc the
+    paper compares against.  Requests are rounded up to the next power
+    of two (minimum 16 bytes including a one-word header); each size
+    class has a LIFO free list carved from whole pages, and freed
+    chunks are never coalesced or returned.  Very fast allocation and
+    deallocation, very large memory overhead — exactly its profile in
+    the paper. *)
+
+val create : Sim.Memory.t -> Allocator.t

@@ -1,0 +1,72 @@
+(* Bins: sizes are multiples of 8, minimum 16.
+   - small bins 0..62: exact size 16 + 8*i (up to 512 bytes)
+   - large bins 63..70: size classes by power of two up to 64 KB+
+   Bin heads are consecutive words in the allocator's static page. *)
+
+let small_bins = 63
+let large_bins = 8
+let num_bins = small_bins + large_bins
+
+let bin_index size =
+  if size <= 512 + 8 then (size - 16) / 8
+  else begin
+    let rec log2 n acc = if n <= 1024 then acc else log2 (n / 2) (acc + 1) in
+    (* 1 KB -> 63, 2 KB -> 64, ..., >=64 KB -> 70 *)
+    min (num_bins - 1) (small_bins + log2 size 0)
+  end
+
+let policy ~bins_addr : Chunks.policy =
+  let head_addr i = bins_addr + (i * 4) in
+  let insert t c =
+    let size = Chunks.chunk_size t c in
+    Chunks.list_push t ~head_addr:(head_addr (bin_index size)) c
+  in
+  let unlink t c =
+    let size = Chunks.chunk_size t c in
+    Chunks.list_remove t ~head_addr:(head_addr (bin_index size)) c
+  in
+  let find t size =
+    let start = bin_index size in
+    (* Within a bin, first fit; small bins hold a single size so the
+       first chunk always fits. *)
+    let rec in_bin t c =
+      if c = 0 then 0
+      else if Chunks.chunk_size t c >= size then c
+      else in_bin t (Chunks.list_next t c)
+    in
+    let rec over_bins i =
+      if i >= num_bins then 0
+      else begin
+        let c = in_bin t (Chunks.list_head t ~head_addr:(head_addr i)) in
+        if c <> 0 then c else over_bins (i + 1)
+      end
+    in
+    let c = over_bins start in
+    if c <> 0 then unlink t c;
+    c
+  in
+  { insert; unlink; find }
+
+let create_with_heap mem =
+  let stats = Stats.create () in
+  let bins = ref 0 in
+  let pol =
+    {
+      Chunks.insert = (fun t c -> (policy ~bins_addr:!bins).insert t c);
+      unlink = (fun t c -> (policy ~bins_addr:!bins).unlink t c);
+      find = (fun t size -> (policy ~bins_addr:!bins).find t size);
+    }
+  in
+  let heap = Chunks.create mem stats ~min_extend_pages:4 pol in
+  bins := Chunks.static_area heap;
+  ( {
+      Allocator.name = "lea";
+      memory = mem;
+      malloc = Chunks.malloc heap;
+      free = Chunks.free heap;
+      usable_size = Chunks.usable_size heap;
+      stats;
+    },
+    heap )
+
+let create mem = fst (create_with_heap mem)

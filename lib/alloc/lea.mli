@@ -1,0 +1,11 @@
+(** "Lea" allocator: a simplified Doug Lea malloc v2.6.4 — boundary
+    tags with coalescing, exact segregated bins for small chunks and
+    ranged bins for large ones.  This is the allocator that performed
+    best overall in the surveys the paper cites; it combines a fast
+    bin lookup with low fragmentation. *)
+
+val create : Sim.Memory.t -> Allocator.t
+
+val create_with_heap : Sim.Memory.t -> Allocator.t * Chunks.t
+(** As {!create} but also exposes the underlying chunk heap so tests
+    can run {!Chunks.check_invariants}. *)

@@ -1,0 +1,50 @@
+type t = {
+  mutable allocs : int;
+  mutable frees : int;
+  mutable total_bytes : int;
+  mutable live_bytes : int;
+  mutable max_live_bytes : int;
+  mutable os_bytes : int;
+  sizes : (int, int) Hashtbl.t;  (* addr -> requested size, measurement only *)
+}
+
+let create () =
+  {
+    allocs = 0;
+    frees = 0;
+    total_bytes = 0;
+    live_bytes = 0;
+    max_live_bytes = 0;
+    os_bytes = 0;
+    sizes = Hashtbl.create 1024;
+  }
+
+let round4 n = (n + 3) land lnot 3
+
+let on_alloc t ~addr ~size =
+  let size = round4 size in
+  t.allocs <- t.allocs + 1;
+  t.total_bytes <- t.total_bytes + size;
+  t.live_bytes <- t.live_bytes + size;
+  if t.live_bytes > t.max_live_bytes then t.max_live_bytes <- t.live_bytes;
+  Hashtbl.replace t.sizes addr size
+
+let on_free t addr =
+  match Hashtbl.find_opt t.sizes addr with
+  | None -> ()
+  | Some size ->
+      Hashtbl.remove t.sizes addr;
+      t.frees <- t.frees + 1;
+      t.live_bytes <- t.live_bytes - size
+
+let on_map t bytes = t.os_bytes <- t.os_bytes + bytes
+let allocs t = t.allocs
+let frees t = t.frees
+let total_bytes t = t.total_bytes
+let live_bytes t = t.live_bytes
+let max_live_bytes t = t.max_live_bytes
+let os_bytes t = t.os_bytes
+
+let pp ppf t =
+  Fmt.pf ppf "allocs=%d frees=%d total=%dB live=%dB max_live=%dB os=%dB"
+    t.allocs t.frees t.total_bytes t.live_bytes t.max_live_bytes t.os_bytes

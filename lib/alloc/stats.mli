@@ -1,0 +1,34 @@
+(** Per-allocator statistics.
+
+    These drive Tables 2 and 3 and Figure 8 of the paper: total
+    allocations, total kilobytes allocated (sizes rounded to the
+    nearest multiple of four, as the paper does), the maximum amount of
+    live memory at any time, and the memory mapped from the OS.
+
+    Live-size accounting uses an OCaml-side address table; it is pure
+    measurement and charges no simulated cost. *)
+
+type t
+
+val create : unit -> t
+
+val on_alloc : t -> addr:int -> size:int -> unit
+(** Record an allocation of [size] requested bytes at [addr]. *)
+
+val on_free : t -> int -> unit
+(** Record the deallocation of the block at the given address.
+    Unknown addresses are ignored (the caller validates frees). *)
+
+val on_map : t -> int -> unit
+(** Record bytes mapped from the OS. *)
+
+val allocs : t -> int
+val frees : t -> int
+
+val total_bytes : t -> int
+(** Sum of all requested sizes, each rounded up to a word. *)
+
+val live_bytes : t -> int
+val max_live_bytes : t -> int
+val os_bytes : t -> int
+val pp : t Fmt.t

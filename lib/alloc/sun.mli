@@ -1,0 +1,10 @@
+(** "Sun" allocator: a best-fit malloc with a single free list and
+    boundary-tag coalescing, standing in for the default Solaris 2.5.1
+    allocator the paper compares against.  Best fit keeps fragmentation
+    low but pays a full free-list scan on every allocation. *)
+
+val create : Sim.Memory.t -> Allocator.t
+
+val create_with_heap : Sim.Memory.t -> Allocator.t * Chunks.t
+(** As {!create} but also exposes the underlying chunk heap so tests
+    can run {!Chunks.check_invariants}. *)

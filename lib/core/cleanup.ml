@@ -1,0 +1,57 @@
+type layout = { size_bytes : int; ptr_offsets : int list }
+
+let layout_words n = { size_bytes = n * 4; ptr_offsets = [] }
+
+let layout ~size_bytes ~ptr_offsets =
+  List.iter
+    (fun off ->
+      if off < 0 || off land 3 <> 0 || off + 4 > size_bytes then
+        invalid_arg "Cleanup.layout: bad pointer offset")
+    ptr_offsets;
+  if size_bytes <= 0 then invalid_arg "Cleanup.layout: bad size";
+  { size_bytes; ptr_offsets = List.sort_uniq compare ptr_offsets }
+
+type id = int
+
+type kind =
+  | Object of layout
+  | Array of layout
+  | Custom of { size_bytes : int; run : Sim.Memory.t -> int -> unit }
+
+type key = Kobject of layout | Karray of layout
+
+type t = {
+  mutable next : id;
+  by_id : (id, kind) Hashtbl.t;
+  by_key : (key, id) Hashtbl.t;
+}
+
+let create () = { next = 1; by_id = Hashtbl.create 64; by_key = Hashtbl.create 64 }
+
+let fresh t kind =
+  let id = t.next in
+  t.next <- id + 1;
+  Hashtbl.replace t.by_id id kind;
+  id
+
+let register t key kind =
+  match Hashtbl.find_opt t.by_key key with
+  | Some id -> id
+  | None ->
+      let id = fresh t kind in
+      Hashtbl.replace t.by_key key id;
+      id
+
+let register_object t l = register t (Kobject l) (Object l)
+let register_array t l = register t (Karray l) (Array l)
+
+let register_custom t ~size_bytes run =
+  if size_bytes <= 0 then invalid_arg "Cleanup.register_custom: bad size";
+  fresh t (Custom { size_bytes; run })
+
+let find t id =
+  match Hashtbl.find_opt t.by_id id with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "Cleanup.find: unknown cleanup id %d" id)
+
+let stride l = (l.size_bytes + 3) land lnot 3

@@ -1,0 +1,52 @@
+(* Region record: one word, the head of the object list.  Each object
+   is malloc'd with an 8-byte prefix: [next object][padding], data
+   follows. *)
+
+type t = { alloc : Alloc.Allocator.t; mutable live : int }
+type region = int
+
+let overhead_per_object = 8
+
+let create alloc = { alloc; live = 0 }
+let allocator t = t.alloc
+let mem t = t.alloc.Alloc.Allocator.memory
+
+let cost t = Sim.Memory.cost (mem t)
+
+let newregion t =
+  Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+      let r = t.alloc.Alloc.Allocator.malloc 4 in
+      Sim.Memory.store (mem t) r 0;
+      t.live <- t.live + 1;
+      r)
+
+let alloc_common t r size =
+  Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+      let p = t.alloc.Alloc.Allocator.malloc (size + overhead_per_object) in
+      let m = mem t in
+      Sim.Memory.store m p (Sim.Memory.load m r);
+      Sim.Memory.store m r p;
+      p + overhead_per_object)
+
+let ralloc t r size =
+  let user = alloc_common t r size in
+  Sim.Memory.clear (mem t) user ((size + 3) land lnot 3);
+  user
+
+let rstralloc t r size = alloc_common t r size
+
+let deleteregion t r =
+  Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+      let m = mem t in
+      let rec free_all p =
+        if p <> 0 then begin
+          let next = Sim.Memory.load m p in
+          t.alloc.Alloc.Allocator.free p;
+          free_all next
+        end
+      in
+      free_all (Sim.Memory.load m r);
+      t.alloc.Alloc.Allocator.free r;
+      t.live <- t.live - 1)
+
+let live_regions t = t.live

@@ -1,0 +1,655 @@
+type region = int
+type rptr = In_frame of Mutator.frame * int | In_memory of int
+
+(* Region structure layout (Figure 4 of the paper, plus the offset of
+   the first object for the region scan):
+     +0  reference count
+     +4  normal allocator: current page
+     +8  normal allocator: allocation offset within that page
+     +12 string allocator: current page
+     +16 string allocator: allocation offset
+     +20 scan start offset within the region's first page
+   Each page's word 0 links to the previously filled page (0 ends the
+   list); objects start at offset 4. *)
+
+let struct_bytes = 24
+let off_rc = 0
+let off_npage = 4
+let off_nfrom = 8
+let off_spage = 12
+let off_sfrom = 16
+let off_scan = 20
+let page_bytes = 4096
+let round4 n = (n + 3) land lnot 3
+
+type t = {
+  mem : Sim.Memory.t;
+  mutator : Mutator.t;
+  cleanups : Cleanup.t;
+  safe : bool;
+  offset_regions : bool;
+  eager_locals : bool;
+  stats : Alloc.Stats.t;
+  rstats : Rstats.t;
+  mutable pool : int list;  (* free pages *)
+  mutable pool_len : int;
+  mutable pages_mapped : int;
+  mutable page_map : int array;  (* page number -> region address *)
+  mutable regions_created : int;
+  large : (int, (int * int) list ref) Hashtbl.t;  (* region -> (addr, pages) *)
+  objects : (int, int list ref) Hashtbl.t;  (* region -> live user addrs *)
+}
+
+let memory t = t.mem
+let mutator t = t.mutator
+let cleanups t = t.cleanups
+let is_safe t = t.safe
+let stats t = t.stats
+let rstats t = t.rstats
+let cost t = Sim.Memory.cost t.mem
+
+let os_bytes t =
+  (* Paper section 4.1: eight bytes per page for the page map and the
+     page list (our list links live in the pages themselves, so we
+     count the full eight here). *)
+  Alloc.Stats.os_bytes t.stats + (8 * t.pages_mapped)
+
+let live_pages t =
+  (t.pages_mapped - t.pool_len)
+
+let pool_pages t = t.pool_len
+
+(* ------------------------------------------------------------------ *)
+(* Page map *)
+
+let ensure_page_map t pageno =
+  let n = Array.length t.page_map in
+  if pageno >= n then begin
+    let bigger = Array.make (max (n * 2) (pageno + 1)) 0 in
+    Array.blit t.page_map 0 bigger 0 n;
+    t.page_map <- bigger
+  end
+
+let set_page_region t page r =
+  let pageno = page lsr 12 in
+  ensure_page_map t pageno;
+  t.page_map.(pageno) <- r
+
+(* Cost-free lookup; callers charge explicitly (the paper's barrier
+   instruction counts include the regionof lookups).  Values with the
+   low bits set cannot be object addresses (objects are word-aligned):
+   dynamically-typed clients store tagged immediates in pointer
+   fields, and those must never perturb reference counts. *)
+let regionof0 t addr =
+  if addr = 0 || addr land 3 <> 0 then 0
+  else begin
+    let pageno = addr lsr 12 in
+    if pageno < Array.length t.page_map then t.page_map.(pageno) else 0
+  end
+
+let regionof t addr =
+  Sim.Cost.instr (cost t) 3;
+  regionof0 t addr
+
+(* ------------------------------------------------------------------ *)
+(* Reference counts *)
+
+let rc_add t r delta =
+  let v = Sim.Memory.load t.mem (r + off_rc) in
+  Sim.Memory.store t.mem (r + off_rc) (v + delta)
+
+let refcount t r = Sim.Memory.peek t.mem (r + off_rc)
+
+(* ------------------------------------------------------------------ *)
+(* Pages *)
+
+let new_page t =
+  match t.pool with
+  | p :: rest ->
+      Sim.Cost.instr (cost t) 4;
+      t.pool <- rest;
+      t.pool_len <- t.pool_len - 1;
+      p
+  | [] ->
+      Sim.Cost.instr (cost t) 20 (* OS call overhead *);
+      let p = Sim.Memory.map_pages t.mem 1 in
+      Alloc.Stats.on_map t.stats page_bytes;
+      t.pages_mapped <- t.pages_mapped + 1;
+      p
+
+let release_page t p =
+  Sim.Cost.instr (cost t) 4;
+  set_page_region t p 0;
+  t.pool <- p :: t.pool;
+  t.pool_len <- t.pool_len + 1
+
+(* ------------------------------------------------------------------ *)
+(* Creation *)
+
+let create ?(safe = true) ?(offset_regions = true) ?(eager_locals = false)
+    cleanups mutator =
+  let mem = Mutator.memory mutator in
+  let t =
+    {
+      mem;
+      mutator;
+      cleanups;
+      safe;
+      offset_regions;
+      eager_locals;
+      stats = Alloc.Stats.create ();
+      rstats = Rstats.create ();
+      pool = [];
+      pool_len = 0;
+      pages_mapped = 0;
+      page_map = Array.make 1024 0;
+      regions_created = 0;
+      large = Hashtbl.create 16;
+      objects = Hashtbl.create 64;
+    }
+  in
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Stack scan / unscan (sections 4.2.1 and 4.2.3) *)
+
+let scan_frame t fr =
+  Sim.Cost.instr (cost t) 6 (* locate the frame's liveness map *);
+  Mutator.iter_live_ptrs fr (fun v ->
+      Sim.Cost.instr (cost t) 2;
+      if v <> 0 then begin
+        let r = regionof0 t v in
+        if r <> 0 then rc_add t r 1
+      end)
+
+let unscan_frame t fr =
+  Sim.Cost.instr (cost t) 6 (* the patched-return-address trampoline *);
+  Mutator.iter_live_ptrs fr (fun v ->
+      Sim.Cost.instr (cost t) 2;
+      if v <> 0 then begin
+        let r = regionof0 t v in
+        if r <> 0 then rc_add t r (-1)
+      end)
+
+let scan_stack t =
+  Sim.Cost.with_context (cost t) Sim.Cost.Stack_scan (fun () ->
+      let mut = t.mutator in
+      for i = Mutator.hwm mut to Mutator.depth mut - 1 do
+        scan_frame t (Mutator.frame mut i)
+      done;
+      Mutator.set_hwm mut (Mutator.depth mut))
+
+let unscan_top t =
+  Sim.Cost.with_context (cost t) Sim.Cost.Stack_scan (fun () ->
+      let mut = t.mutator in
+      let depth = Mutator.depth mut in
+      if depth > 0 && Mutator.hwm mut = depth then begin
+        unscan_frame t (Mutator.top_frame mut);
+        Mutator.set_hwm mut (depth - 1)
+      end)
+
+let install_hooks t =
+  if t.safe && not t.eager_locals then
+    Mutator.set_unscan_hook t.mutator (fun fr ->
+        Sim.Cost.with_context (cost t) Sim.Cost.Stack_scan (fun () ->
+            unscan_frame t fr))
+  else if t.safe && t.eager_locals then
+    (* Eager ablation: destroying a frame releases the references its
+       counted locals hold. *)
+    Mutator.set_pop_hook t.mutator (fun fr ->
+        Sim.Cost.with_context (cost t) Sim.Cost.Refcount (fun () ->
+            (* Only slots: operand-stack temporaries are never counted
+               under eager locals (they play the role of registers). *)
+            for i = 0 to Mutator.nslots fr - 1 do
+              if Mutator.is_ptr_slot fr i then begin
+                Sim.Cost.instr (cost t) 2;
+                let v = Mutator.get_local fr i in
+                if v <> 0 then begin
+                  let r = regionof0 t v in
+                  if r <> 0 then rc_add t r (-1)
+                end
+              end
+            done))
+
+(* ------------------------------------------------------------------ *)
+(* Allocation *)
+
+let newregion t =
+  install_hooks t;
+  Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+      Sim.Cost.instr (cost t) 8;
+      let p = new_page t in
+      Sim.Memory.store t.mem p 0 (* no previous page *);
+      let gap =
+        if t.offset_regions then 64 * (t.regions_created mod 8) else 0
+      in
+      t.regions_created <- t.regions_created + 1;
+      let r = p + 4 + gap in
+      let scan_off = r + struct_bytes - p in
+      Sim.Memory.store t.mem (r + off_rc) 0;
+      Sim.Memory.store t.mem (r + off_npage) p;
+      Sim.Memory.store t.mem (r + off_nfrom) scan_off;
+      Sim.Memory.store t.mem (r + off_spage) 0;
+      Sim.Memory.store t.mem (r + off_sfrom) page_bytes;
+      Sim.Memory.store t.mem (r + off_scan) scan_off;
+      (* End-of-objects marker for the region scan. *)
+      Sim.Memory.store t.mem (p + scan_off) 0;
+      set_page_region t p r;
+      Rstats.on_new t.rstats r;
+      Hashtbl.replace t.objects r (ref []);
+      r)
+
+let check_region t r =
+  if r = 0 then invalid_arg "Region: null region";
+  if regionof0 t r <> r then invalid_arg "Region: invalid or deleted region"
+
+let record_alloc t r user size =
+  Alloc.Stats.on_alloc t.stats ~addr:user ~size;
+  Rstats.on_alloc t.rstats r (round4 size);
+  match Hashtbl.find_opt t.objects r with
+  | Some l -> l := user :: !l
+  | None -> ()
+
+(* Bump-allocate [total] bytes from the normal allocator of [r],
+   starting a fresh page when the head page is full. *)
+let normal_alloc t r total =
+  let from = Sim.Memory.load t.mem (r + off_nfrom) in
+  let page = Sim.Memory.load t.mem (r + off_npage) in
+  let page, from =
+    if from + total <= page_bytes then (page, from)
+    else begin
+      let p = new_page t in
+      Sim.Memory.store t.mem p page (* link to the previous page *);
+      Sim.Memory.store t.mem (r + off_npage) p;
+      set_page_region t p r;
+      (p, 4)
+    end
+  in
+  let addr = page + from in
+  let from' = from + total in
+  Sim.Memory.store t.mem (r + off_nfrom) from';
+  (* Mark the end of the filled part (pooled pages hold stale data). *)
+  if from' + 4 <= page_bytes then Sim.Memory.store t.mem (page + from') 0;
+  addr
+
+let max_normal_data = page_bytes - 4 (* link *) - 8 (* header + marker *)
+
+let ralloc_with_id t r id size =
+  check_region t r;
+  Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+      Sim.Cost.instr (cost t) 6;
+      let data = round4 size in
+      if data > max_normal_data then
+        invalid_arg "ralloc: objects must fit in one page";
+      let addr = normal_alloc t r (4 + data) in
+      Sim.Memory.store t.mem addr id;
+      Sim.Memory.clear t.mem (addr + 4) data;
+      let user = addr + 4 in
+      record_alloc t r user size;
+      user)
+
+let ralloc t r layout =
+  ralloc_with_id t r
+    (Cleanup.register_object t.cleanups layout)
+    layout.Cleanup.size_bytes
+
+let ralloc_custom t r id =
+  match Cleanup.find t.cleanups id with
+  | Cleanup.Custom { size_bytes; _ } -> ralloc_with_id t r id size_bytes
+  | Cleanup.Object l -> ralloc_with_id t r id l.Cleanup.size_bytes
+  | Cleanup.Array _ ->
+      invalid_arg "ralloc_custom: array cleanups need rarrayalloc"
+
+let rarrayalloc t r ~n (layout : Cleanup.layout) =
+  check_region t r;
+  if n <= 0 then invalid_arg "rarrayalloc: n must be positive";
+  Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+      Sim.Cost.instr (cost t) 8;
+      let stride = Cleanup.stride layout in
+      let data = n * stride in
+      if data + 4 > max_normal_data then
+        invalid_arg "rarrayalloc: arrays must fit in one page";
+      let id = Cleanup.register_array t.cleanups layout in
+      let addr = normal_alloc t r (8 + data) in
+      Sim.Memory.store t.mem addr id;
+      Sim.Memory.store t.mem (addr + 4) n;
+      Sim.Memory.clear t.mem (addr + 8) data;
+      let user = addr + 8 in
+      record_alloc t r user (n * layout.Cleanup.size_bytes);
+      user)
+
+let rstralloc t r size =
+  check_region t r;
+  if size <= 0 then invalid_arg "rstralloc: size must be positive";
+  Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+      Sim.Cost.instr (cost t) 5;
+      let data = round4 size in
+      if data <= page_bytes - 4 then begin
+        (* Small: bump from the string allocator (no header, not
+           cleared, never scanned). *)
+        let from = Sim.Memory.load t.mem (r + off_sfrom) in
+        let page = Sim.Memory.load t.mem (r + off_spage) in
+        let page, from =
+          if page <> 0 && from + data <= page_bytes then (page, from)
+          else begin
+            let p = new_page t in
+            Sim.Memory.store t.mem p page;
+            Sim.Memory.store t.mem (r + off_spage) p;
+            set_page_region t p r;
+            (p, 4)
+          end
+        in
+        let addr = page + from in
+        Sim.Memory.store t.mem (r + off_sfrom) (from + data);
+        record_alloc t r addr size;
+        addr
+      end
+      else begin
+        (* Large object: dedicated pages straight from the OS. *)
+        let pages = (data + page_bytes - 1) / page_bytes in
+        Sim.Cost.instr (cost t) 20;
+        let addr = Sim.Memory.map_pages t.mem pages in
+        Alloc.Stats.on_map t.stats (pages * page_bytes);
+        t.pages_mapped <- t.pages_mapped + pages;
+        for i = 0 to pages - 1 do
+          set_page_region t (addr + (i * page_bytes)) r
+        done;
+        let l =
+          match Hashtbl.find_opt t.large r with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace t.large r l;
+              l
+        in
+        l := (addr, pages) :: !l;
+        record_alloc t r addr size;
+        addr
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Write barriers (Figure 5) *)
+
+let global_write_cost = 16
+let region_write_cost = 23
+let sameregion_hint_cost = 2
+
+let write_ptr t ?(same_region_hint = false) ~addr value =
+  if not t.safe then Sim.Memory.store t.mem addr value
+  else begin
+    let c = cost t in
+    Sim.Cost.with_context c Sim.Cost.Refcount (fun () ->
+        let before = Sim.Cost.refcount_instrs c in
+        if same_region_hint then
+          (* The compile-time sameregion optimisation of section 5.6:
+             no lookups, no count updates. *)
+          Sim.Cost.instr c sameregion_hint_cost
+        else begin
+          let container = regionof0 t addr in
+          let old = Sim.Memory.load t.mem addr in
+          let r_old = regionof0 t old in
+          let r_new = regionof0 t value in
+          if r_old <> r_new then begin
+            if r_old <> 0 && r_old <> container then rc_add t r_old (-1);
+            if r_new <> 0 && r_new <> container then rc_add t r_new 1
+          end;
+          let target =
+            if container = 0 then global_write_cost else region_write_cost
+          in
+          let used = Sim.Cost.refcount_instrs c - before in
+          if used < target then Sim.Cost.instr c (target - used)
+        end)
+  end;
+  if t.safe then Sim.Memory.store t.mem addr value
+
+let set_local_ptr t fr i v =
+  if t.safe && t.eager_locals then begin
+    let c = cost t in
+    Sim.Cost.with_context c Sim.Cost.Refcount (fun () ->
+        let before = Sim.Cost.refcount_instrs c in
+        let old = Mutator.get_local fr i in
+        let r_old = regionof0 t old in
+        let r_new = regionof0 t v in
+        if r_old <> r_new then begin
+          if r_old <> 0 then rc_add t r_old (-1);
+          if r_new <> 0 then rc_add t r_new 1
+        end;
+        let used = Sim.Cost.refcount_instrs c - before in
+        if used < global_write_cost then
+          Sim.Cost.instr c (global_write_cost - used))
+  end;
+  Mutator.set_local t.mutator fr i v
+
+(* ------------------------------------------------------------------ *)
+(* Region scan (Figure 7) and deletion *)
+
+let destroy t ~deleting v =
+  Sim.Cost.instr (cost t) 3;
+  if v <> 0 then begin
+    let r = regionof0 t v in
+    if r <> 0 && r <> deleting then rc_add t r (-1)
+  end
+
+let run_cleanup t ~deleting pos id =
+  match Cleanup.find t.cleanups id with
+  | Cleanup.Object l ->
+      List.iter
+        (fun off -> destroy t ~deleting (Sim.Memory.load t.mem (pos + off)))
+        l.Cleanup.ptr_offsets;
+      pos + Cleanup.stride l
+  | Cleanup.Array l ->
+      let n = Sim.Memory.load t.mem pos in
+      let stride = Cleanup.stride l in
+      let data = pos + 4 in
+      for i = 0 to n - 1 do
+        List.iter
+          (fun off ->
+            destroy t ~deleting (Sim.Memory.load t.mem (data + (i * stride) + off)))
+          l.Cleanup.ptr_offsets
+      done;
+      data + (n * stride)
+  | Cleanup.Custom { size_bytes; run } ->
+      Sim.Cost.instr (cost t) 5;
+      run t.mem pos;
+      pos + round4 size_bytes
+
+(* Collect the page list of an allocator, newest first. *)
+let collect_pages t head =
+  let rec go p acc = if p = 0 then acc else go (Sim.Memory.load t.mem p) (p :: acc) in
+  List.rev (go head [])
+
+let region_scan t r =
+  Sim.Cost.with_context (cost t) Sim.Cost.Cleanup (fun () ->
+      let pages = collect_pages t (Sim.Memory.load t.mem (r + off_npage)) in
+      let scan_off = Sim.Memory.load t.mem (r + off_scan) in
+      List.iter
+        (fun p ->
+          let link = Sim.Memory.load t.mem p in
+          (* The region's own first page is the oldest (link = 0);
+             objects there start after the region structure. *)
+          let pos = if link = 0 then p + scan_off else p + 4 in
+          let rec walk pos =
+            if pos + 4 <= p + page_bytes then begin
+              let id = Sim.Memory.load t.mem pos in
+              if id <> 0 then walk (run_cleanup t ~deleting:r (pos + 4) id)
+            end
+          in
+          walk pos)
+        pages)
+
+let release_region t r =
+  Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+      let npages = collect_pages t (Sim.Memory.load t.mem (r + off_npage)) in
+      let spages = collect_pages t (Sim.Memory.load t.mem (r + off_spage)) in
+      List.iter (release_page t) spages;
+      List.iter (release_page t) npages;
+      (match Hashtbl.find_opt t.large r with
+      | Some l ->
+          List.iter
+            (fun (addr, pages) ->
+              for i = 0 to pages - 1 do
+                release_page t (addr + (i * page_bytes))
+              done)
+            !l;
+          Hashtbl.remove t.large r
+      | None -> ());
+      (match Hashtbl.find_opt t.objects r with
+      | Some l ->
+          List.iter (Alloc.Stats.on_free t.stats) !l;
+          Hashtbl.remove t.objects r
+      | None -> ());
+      Rstats.on_delete t.rstats r)
+
+let read_rptr t = function
+  | In_frame (fr, i) -> Mutator.get_local fr i
+  | In_memory addr -> Sim.Memory.load t.mem addr
+
+let clear_rptr t = function
+  | In_frame (fr, i) -> Mutator.set_local t.mutator fr i 0
+  | In_memory addr -> Sim.Memory.store t.mem addr 0
+
+let deleteregion t ptr =
+  let r = read_rptr t ptr in
+  check_region t r;
+  if not t.safe then begin
+    (* Unsafe regions: all reference-count support disabled; deletion
+       always succeeds and runs no cleanups. *)
+    release_region t r;
+    clear_rptr t ptr;
+    true
+  end
+  else begin
+    if not t.eager_locals then scan_stack t;
+    Sim.Cost.instr (cost t) 2;
+    let rc = Sim.Memory.load t.mem (r + off_rc) in
+    (* The handle at [ptr] is itself a counted reference into [r]
+       (C@'s Region is a region pointer to the region structure); it
+       is exempt, so deletion requires exactly one reference. *)
+    let deletable = rc = 1 in
+    if deletable then begin
+      region_scan t r;
+      release_region t r;
+      clear_rptr t ptr
+    end;
+    if not t.eager_locals then unscan_top t;
+    deletable
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Test helpers *)
+
+let live_regions t = Hashtbl.fold (fun r _ acc -> r :: acc) t.objects []
+let regionof_peek = regionof0
+
+let collect_pages_peek t head =
+  let rec go p acc =
+    if p = 0 then acc else go (Sim.Memory.peek t.mem p) (p :: acc)
+  in
+  go head []
+
+(* Size in bytes of the object whose cleanup word is [id] and whose
+   data starts at [pos], reading cost-free; returns (data address,
+   bytes after the cleanup word). *)
+let object_extent_peek t id pos =
+  match Cleanup.find t.cleanups id with
+  | Cleanup.Object l -> (pos, Cleanup.stride l)
+  | Cleanup.Array l ->
+      let n = Sim.Memory.peek t.mem pos in
+      (pos + 4, 4 + (n * Cleanup.stride l))
+  | Cleanup.Custom { size_bytes; _ } -> (pos, round4 size_bytes)
+
+let iter_objects_peek t r f =
+  let pages = collect_pages_peek t (Sim.Memory.peek t.mem (r + off_npage)) in
+  let scan_off = Sim.Memory.peek t.mem (r + off_scan) in
+  List.iter
+    (fun p ->
+      let link = Sim.Memory.peek t.mem p in
+      let pos = if link = 0 then p + scan_off else p + 4 in
+      let rec walk pos =
+        if pos + 4 <= p + page_bytes then begin
+          let id = Sim.Memory.peek t.mem pos in
+          if id <> 0 then begin
+            let obj, bytes = object_extent_peek t id (pos + 4) in
+            f ~obj ~cleanup:(Cleanup.find t.cleanups id);
+            walk (pos + 4 + bytes)
+          end
+        end
+      in
+      walk pos)
+    pages
+
+let check_invariants t =
+  let fail fmt = Fmt.kstr failwith fmt in
+  let check_page_mapped r p what =
+    if regionof0 t p <> r then
+      fail "%s page %#x of region %#x not mapped to it" what p r
+  in
+  List.iter
+    (fun r ->
+      if regionof0 t r <> r then fail "region %#x not mapped to itself" r;
+      if t.safe && Sim.Memory.peek t.mem (r + off_rc) < 0 then
+        fail "region %#x has a negative reference count" r;
+      let nfrom = Sim.Memory.peek t.mem (r + off_nfrom) in
+      let sfrom = Sim.Memory.peek t.mem (r + off_sfrom) in
+      if nfrom < 4 || nfrom > page_bytes then
+        fail "region %#x: normal allocation offset %d out of range" r nfrom;
+      if sfrom < 4 || sfrom > page_bytes then
+        fail "region %#x: string allocation offset %d out of range" r sfrom;
+      let npages = collect_pages_peek t (Sim.Memory.peek t.mem (r + off_npage)) in
+      let spages = collect_pages_peek t (Sim.Memory.peek t.mem (r + off_spage)) in
+      List.iter (fun p -> check_page_mapped r p "normal") npages;
+      List.iter (fun p -> check_page_mapped r p "string") spages;
+      (match Hashtbl.find_opt t.large r with
+      | Some l ->
+          List.iter
+            (fun (addr, pages) ->
+              for i = 0 to pages - 1 do
+                check_page_mapped r (addr + (i * page_bytes)) "large"
+              done)
+            !l
+      | None -> ());
+      (* Object headers must parse and stay within their page. *)
+      List.iter
+        (fun p ->
+          let link = Sim.Memory.peek t.mem p in
+          let scan_off = Sim.Memory.peek t.mem (r + off_scan) in
+          let pos = if link = 0 then p + scan_off else p + 4 in
+          let rec walk pos =
+            if pos + 4 <= p + page_bytes then begin
+              let id = Sim.Memory.peek t.mem pos in
+              if id <> 0 then begin
+                (match Cleanup.find t.cleanups id with
+                | exception Invalid_argument _ ->
+                    fail "region %#x: bad cleanup id %d at %#x" r id pos
+                | _ -> ());
+                let _, bytes = object_extent_peek t id (pos + 4) in
+                if pos + 4 + bytes > p + page_bytes then
+                  fail "region %#x: object at %#x overruns its page" r pos;
+                walk (pos + 4 + bytes)
+              end
+            end
+          in
+          walk pos)
+        npages;
+      (* Pool pages must not be attributed to anyone. *)
+      ())
+    (live_regions t);
+  List.iter
+    (fun p ->
+      if regionof0 t p <> 0 then
+        fail "pooled page %#x still mapped to region %#x" p (regionof0 t p))
+    t.pool
+
+let exact_refcount t r =
+  let base = refcount t r in
+  if t.eager_locals then base
+  else begin
+    let mut = t.mutator in
+    let extra = ref 0 in
+    for i = Mutator.hwm mut to Mutator.depth mut - 1 do
+      let fr = Mutator.frame mut i in
+      Mutator.iter_live_ptrs fr (fun v ->
+          if v <> 0 && regionof0 t v = r then incr extra)
+    done;
+    base + !extra
+  end

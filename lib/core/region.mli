@@ -1,0 +1,159 @@
+(** The region library: the paper's primary contribution.
+
+    A region is created with {!newregion}; objects are allocated into
+    it with {!ralloc} (objects that may contain region pointers),
+    {!rarrayalloc} (arrays of such objects) and {!rstralloc}
+    (pointer-free data, e.g. strings); all storage in a region is
+    reclaimed at once by {!deleteregion}.  This is the interface of
+    Figure 2 of the paper.
+
+    The implementation follows section 4:
+
+    - each region has two bump allocators (normal and string) over
+      linked lists of 4 KB pages, allocating from the head page
+      (Figure 4); deleted regions return their pages to a pool;
+    - a page→region map supports {!regionof}; its 8-bytes-per-page
+      space cost is included in {!os_bytes};
+    - successive region structures are offset by 64 bytes (the L2 line
+      size) within their first page to reduce cache conflicts,
+      cycling up to a maximum offset of 448;
+    - in {e safe} mode each region carries a reference count of the
+      {e external} references to it (pointers not stored within the
+      region itself).  Counts are exact for the heap and globals
+      (write barriers of Figure 5, charged at the paper's instruction
+      costs: 16 for global writes, 23 for region writes) and deferred
+      for locals: a stack scan makes them exact when {!deleteregion}
+      needs them, and frames are unscanned on return (sections
+      4.2.1–4.2.3).  [deleteregion] is a no-op returning [false]
+      whenever external references remain;
+    - in {e unsafe} mode all reference-count maintenance is disabled
+      and [deleteregion] always succeeds — the paper's "unsafe"
+      configuration. *)
+
+type t
+
+type region = int
+(** The address of a region structure, which lives inside the region's
+    own first page — so a [region] value is itself a reference into
+    the region, exactly as C@'s [Region] type ([struct region @]).
+    0 is the null region. *)
+
+(** An lvalue holding a region handle: [deleteregion] takes the
+    {e location} of the handle (C@'s [Region *]), nulls it on success,
+    and the handle stored there is exempt from the external-reference
+    check. *)
+type rptr =
+  | In_frame of Mutator.frame * int  (** local variable slot *)
+  | In_memory of int  (** address of a global or heap word *)
+
+val create :
+  ?safe:bool ->
+  ?offset_regions:bool ->
+  ?eager_locals:bool ->
+  Cleanup.t ->
+  Mutator.t ->
+  t
+(** [create cleanups mutator] builds a region library instance.
+    [safe] (default [true]) selects reference-counted safe regions.
+    [offset_regions] (default [true]) enables the 64-byte region
+    structure offsetting; disable it for the cache-conflict ablation.
+    [eager_locals] (default [false]) reference-counts every local
+    pointer write instead of using the high-water-mark scheme — the
+    ablation for the paper's deferred-counting design. *)
+
+val memory : t -> Sim.Memory.t
+val mutator : t -> Mutator.t
+val cleanups : t -> Cleanup.t
+val is_safe : t -> bool
+val stats : t -> Alloc.Stats.t
+val rstats : t -> Rstats.t
+
+val os_bytes : t -> int
+(** Bytes mapped from the OS plus the 8-bytes-per-page cost of the
+    page map and page list (paper section 4.1). *)
+
+(** {1 The Figure 2 interface} *)
+
+val newregion : t -> region
+
+val ralloc : t -> region -> Cleanup.layout -> int
+(** [ralloc t r layout] allocates and clears an object, storing its
+    (auto-generated) cleanup function in the word before the returned
+    address.  @raise Invalid_argument if the object exceeds a page. *)
+
+val ralloc_custom : t -> region -> Cleanup.id -> int
+(** Allocate with an explicitly registered cleanup (for custom
+    finalisers). *)
+
+val rarrayalloc : t -> region -> n:int -> Cleanup.layout -> int
+(** Array allocation; the element count is stored before the data, as
+    in the paper. *)
+
+val rstralloc : t -> region -> int -> int
+(** Pointer-free allocation: no cleanup word, contents not cleared.
+    Sizes beyond a page are served as dedicated large objects (the
+    paper notes the one-page restriction "could be lifted without
+    affecting the cost of small allocations"). *)
+
+val regionof : t -> int -> region
+(** Region of the object at an address, or 0 for non-region memory. *)
+
+val deleteregion : t -> rptr -> bool
+(** Attempt to delete the region named by the handle stored at the
+    given location.  In safe mode: scans the stack to make counts
+    exact, fails (returns [false], region untouched) if any external
+    reference remains, otherwise runs the region scan (cleanups),
+    releases all pages, nulls the handle and returns [true].  In
+    unsafe mode: always deletes, without cleanups. *)
+
+(** {1 Compiler-generated operations} *)
+
+val write_ptr : t -> ?same_region_hint:bool -> addr:int -> int -> unit
+(** [write_ptr t ~addr value] performs [*addr = value] where both the
+    old and new contents are region pointers — the reference-counting
+    write barrier of Figure 5.  Charges 16 instructions for writes to
+    global storage and 23 for writes into a region, as measured in the
+    paper.  [same_region_hint] asserts that [value] points into the
+    region containing [addr] (the compile-time sameregion optimisation
+    the paper proposes in section 5.6), reducing the cost to 2
+    instructions.  On an unsafe instance this is a plain store. *)
+
+val set_local_ptr : t -> Mutator.frame -> int -> int -> unit
+(** Write a region pointer to a local slot.  Free of counting under
+    the high-water-mark scheme; with [eager_locals] it adjusts
+    reference counts immediately (ablation). *)
+
+val refcount : t -> region -> int
+(** Current stored reference count (deferred: excludes unscanned
+    frames); cost-free, for tests. *)
+
+val exact_refcount : t -> region -> int
+(** Reference count including unscanned frames, computed cost-free;
+    for tests and assertions. *)
+
+val live_pages : t -> int
+(** Pages currently owned by live regions (excludes the pool). *)
+
+val pool_pages : t -> int
+
+(** {1 Cost-free introspection}
+
+    Used by {!Debug} and by tests; none of these charge simulated
+    cost. *)
+
+val live_regions : t -> region list
+
+val regionof_peek : t -> int -> region
+(** As {!regionof} but free of charge. *)
+
+val iter_objects_peek :
+  t -> region -> (obj:int -> cleanup:Cleanup.kind -> unit) -> unit
+(** Walk the region's [ralloc]/[rarrayalloc] objects exactly as the
+    region scan would, without charging; [obj] is the data address
+    ([rarrayalloc] objects point at their first element). *)
+
+val check_invariants : t -> unit
+(** Validate the internal invariants of every live region (page-map
+    consistency, object headers parse and stay in bounds, allocation
+    offsets in range, no negative reference count).
+    @raise Failure on violation; for tests. *)

@@ -1,0 +1,28 @@
+(** Region-level statistics: the region columns of Table 2 of the
+    paper (total regions, maximum concurrent regions, largest region,
+    average region size, average allocations per region).
+
+    Measurement only; charges no simulated cost. *)
+
+type t
+
+val create : unit -> t
+
+val on_new : t -> int -> unit
+(** [on_new t r] records creation of region [r]. *)
+
+val on_alloc : t -> int -> int -> unit
+(** [on_alloc t r bytes] records an allocation of [bytes] (rounded to
+    a word by the caller) in region [r]. *)
+
+val on_delete : t -> int -> unit
+
+val total_regions : t -> int
+val live_regions : t -> int
+val max_live_regions : t -> int
+
+val max_region_bytes : t -> int
+(** Size of the largest region ever, in requested bytes. *)
+
+val avg_region_bytes : t -> float
+val avg_allocs_per_region : t -> float

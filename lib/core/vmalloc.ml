@@ -1,0 +1,161 @@
+type policy = Arena | Pool of int | Best
+
+(* Region record (OCaml side; this library models Vmalloc's behaviour,
+   not its exact memory layout):
+   - pages are 4 KB, linked through their first word, newest first;
+   - bump allocation happens on the head page;
+   - Pool and Best thread free lists through freed blocks;
+   - Best blocks carry a one-word size header. *)
+
+type vregion = {
+  pol : policy;
+  mutable pages : int;  (* head page, 0 if none *)
+  mutable from : int;  (* bump offset in the head page *)
+  mutable freelist : int;  (* freed blocks, linked via their first word *)
+  mutable objs : int list;  (* live addresses, for accounting at close *)
+  mutable closed : bool;
+  id : int;
+}
+
+type t = {
+  mem : Sim.Memory.t;
+  stats : Alloc.Stats.t;
+  mutable pool : int list;  (* recycled pages *)
+  mutable live : int;
+  mutable next_id : int;
+}
+
+let page_bytes = 4096
+let round4 n = (n + 3) land lnot 3
+
+let create mem =
+  { mem; stats = Alloc.Stats.create (); pool = []; live = 0; next_id = 0 }
+
+let stats t = t.stats
+let os_bytes t = Alloc.Stats.os_bytes t.stats
+let live_regions t = t.live
+let policy vr = vr.pol
+let cost t = Sim.Memory.cost t.mem
+
+let new_page t =
+  match t.pool with
+  | p :: rest ->
+      Sim.Cost.instr (cost t) 4;
+      t.pool <- rest;
+      p
+  | [] ->
+      Sim.Cost.instr (cost t) 20;
+      let p = Sim.Memory.map_pages t.mem 1 in
+      Alloc.Stats.on_map t.stats page_bytes;
+      p
+
+let open_region t pol =
+  (match pol with
+  | Pool p when p <= 0 || p > page_bytes - 8 -> invalid_arg "Vmalloc: bad pool size"
+  | Pool _ | Arena | Best -> ());
+  Sim.Cost.instr (cost t) 6;
+  t.live <- t.live + 1;
+  t.next_id <- t.next_id + 1;
+  {
+    pol;
+    pages = 0;
+    from = page_bytes;
+    freelist = 0;
+    objs = [];
+    closed = false;
+    id = t.next_id;
+  }
+
+let check_open vr op = if vr.closed then invalid_arg ("Vmalloc." ^ op ^ ": region closed")
+
+(* Bump [bytes] from the head page, taking a fresh page as needed. *)
+let bump t vr bytes =
+  let bytes = round4 bytes in
+  if bytes > page_bytes - 4 then invalid_arg "Vmalloc.alloc: larger than a page";
+  if vr.pages = 0 || vr.from + bytes > page_bytes then begin
+    let p = new_page t in
+    Sim.Memory.store t.mem p vr.pages;
+    vr.pages <- p;
+    vr.from <- 4
+  end;
+  let addr = vr.pages + vr.from in
+  vr.from <- vr.from + bytes;
+  addr
+
+let alloc t vr size =
+  check_open vr "alloc";
+  if size <= 0 then invalid_arg "Vmalloc.alloc: size must be positive";
+  Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+      Sim.Cost.instr (cost t) 5;
+      let user =
+        match vr.pol with
+        | Arena -> bump t vr size
+        | Pool p ->
+            if size <> p then invalid_arg "Vmalloc.alloc: pool size mismatch";
+            if vr.freelist <> 0 then begin
+              let blk = vr.freelist in
+              vr.freelist <- Sim.Memory.load t.mem blk;
+              blk
+            end
+            else bump t vr (max p 4)
+        | Best ->
+            (* first fit over the freed-block list; blocks keep a size
+               header one word before the user data *)
+            let need = round4 size in
+            let rec find prev blk =
+              if blk = 0 then 0
+              else begin
+                let bsize = Sim.Memory.load t.mem (blk - 4) in
+                if bsize >= need then begin
+                  let next = Sim.Memory.load t.mem blk in
+                  if prev = 0 then vr.freelist <- next
+                  else Sim.Memory.store t.mem prev next;
+                  blk
+                end
+                else find blk (Sim.Memory.load t.mem blk)
+              end
+            in
+            let blk = find 0 vr.freelist in
+            if blk <> 0 then blk
+            else begin
+              let b = bump t vr (need + 4) in
+              Sim.Memory.store t.mem b need;
+              b + 4
+            end
+      in
+      Alloc.Stats.on_alloc t.stats ~addr:user ~size;
+      vr.objs <- user :: vr.objs;
+      user)
+
+let free t vr addr =
+  check_open vr "free";
+  Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+      Sim.Cost.instr (cost t) 4;
+      match vr.pol with
+      | Arena ->
+          (* arena-style regions reclaim only at close *)
+          Alloc.Stats.on_free t.stats addr
+      | Pool _ | Best ->
+          Alloc.Stats.on_free t.stats addr;
+          Sim.Memory.store t.mem addr vr.freelist;
+          vr.freelist <- addr)
+
+let close_region t vr =
+  check_open vr "close_region";
+  Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+      let rec release p =
+        if p <> 0 then begin
+          Sim.Cost.instr (cost t) 4;
+          let next = Sim.Memory.load t.mem p in
+          t.pool <- p :: t.pool;
+          release next
+        end
+      in
+      release vr.pages;
+      (* anything not freed individually is logically freed now *)
+      List.iter (Alloc.Stats.on_free t.stats) vr.objs;
+      vr.objs <- [];
+      vr.pages <- 0;
+      vr.freelist <- 0;
+      vr.closed <- true;
+      t.live <- t.live - 1)

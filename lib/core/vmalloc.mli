@@ -1,0 +1,48 @@
+(** A Vmalloc-style region library (related work, paper section 2).
+
+    Vo's Vmalloc [Vo96] is the closest relative of the paper's
+    regions: "allocations are done in regions with specific allocation
+    policies.  Some regions allow object-by-object deallocation, some
+    regions can only be freed all at once."  This module reproduces
+    that design point so the repository covers the paper's related
+    work: every region has an allocation {e policy}, and every region
+    can be closed wholesale regardless of policy.
+
+    Unlike the paper's regions there is no safety: closing a region
+    with live external pointers is the caller's problem (Vmalloc makes
+    no attempt to provide safe memory management, as the paper
+    notes). *)
+
+type policy =
+  | Arena  (** bump allocation only; [free] is a no-op (Hanson-style) *)
+  | Pool of int
+      (** fixed element size in bytes; freed elements are recycled
+          through a free list (Vmalloc's [Vmpool]) *)
+  | Best  (** variable sizes with first-fit reuse of freed blocks
+              (Vmalloc's [Vmbest], without coalescing) *)
+
+type t
+type vregion
+
+val create : Sim.Memory.t -> t
+val stats : t -> Alloc.Stats.t
+val os_bytes : t -> int
+
+val open_region : t -> policy -> vregion
+val policy : vregion -> policy
+
+val alloc : t -> vregion -> int -> int
+(** Allocate in the region.  For [Pool p] regions the size must be
+    exactly [p].  @raise Invalid_argument on bad sizes (sizes must fit
+    in a page). *)
+
+val free : t -> vregion -> int -> unit
+(** Per-object deallocation: recycles the block under [Pool] and
+    [Best]; a no-op under [Arena], exactly as in Vmalloc's arena-like
+    methods. *)
+
+val close_region : t -> vregion -> unit
+(** Free everything at once: all the region's pages return to the
+    library's pool.  @raise Invalid_argument if already closed. *)
+
+val live_regions : t -> int

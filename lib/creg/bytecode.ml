@@ -1,0 +1,87 @@
+type instr =
+  | Push_int of int
+  | Pop
+  | Load_local of int * bool
+  | Store_local of int * bool
+  | Load_global of int * bool
+  | Store_global of int * bool
+  | Load_field of int * bool
+  | Store_field of int * bool
+  | Binop of Ast.binop
+  | Unop of Ast.unop
+  | Jump of int
+  | Jz of int
+  | Call of int
+  | Ret of { has_value : bool; is_ptr : bool }
+  | New_region
+  | Delete_region of int
+  | Ralloc of int
+  | Rarrayalloc of int
+  | Ptr_add of int
+  | Rstralloc
+  | Regionof
+  | Print
+
+type func = {
+  bf_name : string;
+  bf_nslots : int;
+  bf_ptr_slots : int list;
+  bf_nparams : int;
+  bf_param_ptrs : bool list;
+  bf_code : instr array;
+}
+
+type program = {
+  bp_structs : Regions.Cleanup.layout array;
+  bp_funcs : func array;
+  bp_globals : (string * bool) array;
+  bp_main : int;
+}
+
+let binop_name = function
+  | Ast.Add -> "add"
+  | Ast.Sub -> "sub"
+  | Ast.Mul -> "mul"
+  | Ast.Div -> "div"
+  | Ast.Mod -> "mod"
+  | Ast.Eq -> "eq"
+  | Ast.Ne -> "ne"
+  | Ast.Lt -> "lt"
+  | Ast.Le -> "le"
+  | Ast.Gt -> "gt"
+  | Ast.Ge -> "ge"
+  | Ast.And -> "and"
+  | Ast.Or -> "or"
+
+let pp_instr ppf = function
+  | Push_int n -> Fmt.pf ppf "push %d" n
+  | Pop -> Fmt.string ppf "pop"
+  | Load_local (i, p) -> Fmt.pf ppf "lload %d%s" i (if p then " @" else "")
+  | Store_local (i, p) -> Fmt.pf ppf "lstore %d%s" i (if p then " @" else "")
+  | Load_global (i, p) -> Fmt.pf ppf "gload %d%s" i (if p then " @" else "")
+  | Store_global (i, p) -> Fmt.pf ppf "gstore %d%s" i (if p then " @" else "")
+  | Load_field (o, p) -> Fmt.pf ppf "fload +%d%s" o (if p then " @" else "")
+  | Store_field (o, p) -> Fmt.pf ppf "fstore +%d%s" o (if p then " @" else "")
+  | Binop op -> Fmt.string ppf (binop_name op)
+  | Unop Ast.Neg -> Fmt.string ppf "neg"
+  | Unop Ast.Not -> Fmt.string ppf "not"
+  | Jump l -> Fmt.pf ppf "jump %d" l
+  | Jz l -> Fmt.pf ppf "jz %d" l
+  | Call f -> Fmt.pf ppf "call %d" f
+  | Ret { has_value; is_ptr } ->
+      Fmt.pf ppf "ret%s%s" (if has_value then " v" else "") (if is_ptr then " @" else "")
+  | New_region -> Fmt.string ppf "newregion"
+  | Delete_region s -> Fmt.pf ppf "deleteregion %d" s
+  | Ralloc s -> Fmt.pf ppf "ralloc struct#%d" s
+  | Rarrayalloc s -> Fmt.pf ppf "rallocarray struct#%d" s
+  | Ptr_add size -> Fmt.pf ppf "ptradd %d" size
+  | Rstralloc -> Fmt.string ppf "rstralloc"
+  | Regionof -> Fmt.string ppf "regionof"
+  | Print -> Fmt.string ppf "print"
+
+let pp_func ppf f =
+  Fmt.pf ppf "func %s (%d params, %d slots, ptrs [%a]):@."
+    f.bf_name f.bf_nparams f.bf_nslots
+    Fmt.(list ~sep:(any " ") int)
+    f.bf_ptr_slots;
+  Array.iteri (fun i ins -> Fmt.pf ppf "  %3d: %a@." i pp_instr ins) f.bf_code

@@ -1,0 +1,143 @@
+(* Code emission with backpatched jumps. *)
+
+type emitter = { mutable code : Bytecode.instr array; mutable len : int }
+
+let new_emitter () = { code = Array.make 64 (Bytecode.Push_int 0); len = 0 }
+
+let emit em ins =
+  if em.len = Array.length em.code then begin
+    let bigger = Array.make (em.len * 2) (Bytecode.Push_int 0) in
+    Array.blit em.code 0 bigger 0 em.len;
+    em.code <- bigger
+  end;
+  em.code.(em.len) <- ins;
+  em.len <- em.len + 1;
+  em.len - 1
+
+let here em = em.len
+let patch em at ins = em.code.(at) <- ins
+let finish em = Array.sub em.code 0 em.len
+
+let is_ptr_tyo = function
+  | Some ty -> Ast.is_pointer ty
+  | None -> false
+
+open Typecheck
+
+let rec compile_expr em (e : texpr) =
+  match e.tdesc with
+  | Tint_lit n -> ignore (emit em (Bytecode.Push_int n))
+  | Tnull -> ignore (emit em (Bytecode.Push_int 0))
+  | Tlocal slot -> ignore (emit em (Bytecode.Load_local (slot, is_ptr_tyo e.tty)))
+  | Tglobal idx -> ignore (emit em (Bytecode.Load_global (idx, is_ptr_tyo e.tty)))
+  | Tbinop (op, a, b) ->
+      compile_expr em a;
+      compile_expr em b;
+      ignore (emit em (Bytecode.Binop op))
+  | Tunop (op, a) ->
+      compile_expr em a;
+      ignore (emit em (Bytecode.Unop op))
+  | Tfield (base, off) ->
+      compile_expr em base;
+      ignore (emit em (Bytecode.Load_field (off, is_ptr_tyo e.tty)))
+  | Tcall (fid, args) ->
+      List.iter (compile_expr em) args;
+      ignore (emit em (Bytecode.Call fid))
+  | Tnewregion -> ignore (emit em Bytecode.New_region)
+  | Tralloc (r, sid) ->
+      compile_expr em r;
+      ignore (emit em (Bytecode.Ralloc sid))
+  | Trallocarray (r, n, sid) ->
+      compile_expr em r;
+      compile_expr em n;
+      ignore (emit em (Bytecode.Rarrayalloc sid))
+  | Tptr_add (p, i, size) ->
+      compile_expr em p;
+      compile_expr em i;
+      ignore (emit em (Bytecode.Ptr_add size))
+  | Trstralloc (r, size) ->
+      compile_expr em r;
+      compile_expr em size;
+      ignore (emit em Bytecode.Rstralloc)
+  | Tregionof p ->
+      compile_expr em p;
+      ignore (emit em Bytecode.Regionof)
+  | Tdeleteregion slot -> ignore (emit em (Bytecode.Delete_region slot))
+
+let rec compile_stmt em (s : tstmt) =
+  match s with
+  | Tstore_local (slot, ty, e) ->
+      compile_expr em e;
+      ignore (emit em (Bytecode.Store_local (slot, Ast.is_pointer ty)))
+  | Tstore_global (idx, ty, e) ->
+      compile_expr em e;
+      ignore (emit em (Bytecode.Store_global (idx, Ast.is_pointer ty)))
+  | Tstore_field (base, off, fty, e) ->
+      compile_expr em base;
+      compile_expr em e;
+      ignore (emit em (Bytecode.Store_field (off, Ast.is_pointer fty)))
+  | Texpr e ->
+      compile_expr em e;
+      if e.tty <> None then ignore (emit em Bytecode.Pop)
+  | Tif (c, then_, else_) ->
+      compile_expr em c;
+      let jz_at = emit em (Bytecode.Jz 0) in
+      List.iter (compile_stmt em) then_;
+      if else_ = [] then patch em jz_at (Bytecode.Jz (here em))
+      else begin
+        let jmp_at = emit em (Bytecode.Jump 0) in
+        patch em jz_at (Bytecode.Jz (here em));
+        List.iter (compile_stmt em) else_;
+        patch em jmp_at (Bytecode.Jump (here em))
+      end
+  | Twhile (c, body) ->
+      let start = here em in
+      compile_expr em c;
+      let jz_at = emit em (Bytecode.Jz 0) in
+      List.iter (compile_stmt em) body;
+      ignore (emit em (Bytecode.Jump start));
+      patch em jz_at (Bytecode.Jz (here em))
+  | Treturn None -> ignore (emit em (Bytecode.Ret { has_value = false; is_ptr = false }))
+  | Treturn (Some e) ->
+      compile_expr em e;
+      ignore (emit em (Bytecode.Ret { has_value = true; is_ptr = is_ptr_tyo e.tty }))
+  | Tprint e ->
+      compile_expr em e;
+      ignore (emit em Bytecode.Print)
+
+let compile_func (tf : tfunc) =
+  let em = new_emitter () in
+  List.iter (compile_stmt em) tf.tf_body;
+  (* Falling off the end: void functions return, int-like functions
+     return 0, pointer-returning functions return null. *)
+  (match tf.tf_ret with
+  | None -> ignore (emit em (Bytecode.Ret { has_value = false; is_ptr = false }))
+  | Some ty ->
+      ignore (emit em (Bytecode.Push_int 0));
+      ignore (emit em (Bytecode.Ret { has_value = true; is_ptr = Ast.is_pointer ty })));
+  {
+    Bytecode.bf_name = tf.tf_name;
+    bf_nslots = tf.tf_nslots;
+    bf_ptr_slots = tf.tf_ptr_slots;
+    bf_nparams = tf.tf_nparams;
+    bf_param_ptrs = [];
+    bf_code = finish em;
+  }
+
+let program (tp : tprogram) =
+  let param_ptrs tf =
+    (* Parameters occupy the first slots in order. *)
+    List.init tf.tf_nparams (fun i -> List.mem i tf.tf_ptr_slots)
+  in
+  {
+    Bytecode.bp_structs = Array.map (fun si -> si.st_layout) tp.tp_structs;
+    bp_funcs =
+      Array.map
+        (fun tf -> { (compile_func tf) with Bytecode.bf_param_ptrs = param_ptrs tf })
+        tp.tp_funcs;
+    bp_globals =
+      Array.map (fun (n, ty) -> (n, Ast.is_pointer ty)) tp.tp_globals;
+    bp_main = tp.tp_main;
+  }
+
+let compile src = program (Typecheck.check (Parser.parse src))

@@ -1,0 +1,141 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | COMMA
+  | ARROW
+  | AT
+  | STAR
+  | ASSIGN
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let pp_token ppf = function
+  | INT n -> Fmt.pf ppf "%d" n
+  | IDENT s -> Fmt.pf ppf "identifier %s" s
+  | KW s -> Fmt.pf ppf "keyword %s" s
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | SEMI -> Fmt.string ppf ";"
+  | COMMA -> Fmt.string ppf ","
+  | ARROW -> Fmt.string ppf "->"
+  | AT -> Fmt.string ppf "@"
+  | STAR -> Fmt.string ppf "*"
+  | ASSIGN -> Fmt.string ppf "="
+  | EQ -> Fmt.string ppf "=="
+  | NE -> Fmt.string ppf "!="
+  | LT -> Fmt.string ppf "<"
+  | LE -> Fmt.string ppf "<="
+  | GT -> Fmt.string ppf ">"
+  | GE -> Fmt.string ppf ">="
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+  | SLASH -> Fmt.string ppf "/"
+  | PERCENT -> Fmt.string ppf "%%"
+  | ANDAND -> Fmt.string ppf "&&"
+  | OROR -> Fmt.string ppf "||"
+  | BANG -> Fmt.string ppf "!"
+  | EOF -> Fmt.string ppf "<eof>"
+
+exception Error of string * Ast.pos
+
+let keywords =
+  [
+    "struct"; "int"; "region"; "if"; "else"; "while"; "return"; "null"; "void";
+    "newregion"; "deleteregion"; "ralloc"; "rallocarray"; "rstralloc";
+    "regionof"; "print";
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let pos i = { Ast.line = !line; col = i - !bol + 1 } in
+  let fail i msg = raise (Error (msg, pos i)) in
+  let toks = ref [] in
+  let emit i tok = toks := (tok, pos i) :: !toks in
+  let rec go i =
+    if i >= n then emit i EOF
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+          incr line;
+          bol := i + 1;
+          go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+          go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+          let rec skip j =
+            if j + 1 >= n then fail i "unterminated comment"
+            else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+            else begin
+              if src.[j] = '\n' then begin
+                incr line;
+                bol := j + 1
+              end;
+              skip (j + 1)
+            end
+          in
+          go (skip (i + 2))
+      | '{' -> emit i LBRACE; go (i + 1)
+      | '}' -> emit i RBRACE; go (i + 1)
+      | '(' -> emit i LPAREN; go (i + 1)
+      | ')' -> emit i RPAREN; go (i + 1)
+      | ';' -> emit i SEMI; go (i + 1)
+      | ',' -> emit i COMMA; go (i + 1)
+      | '@' -> emit i AT; go (i + 1)
+      | '*' -> emit i STAR; go (i + 1)
+      | '+' -> emit i PLUS; go (i + 1)
+      | '%' -> emit i PERCENT; go (i + 1)
+      | '/' -> emit i SLASH; go (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '>' -> emit i ARROW; go (i + 2)
+      | '-' -> emit i MINUS; go (i + 1)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit i EQ; go (i + 2)
+      | '=' -> emit i ASSIGN; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit i NE; go (i + 2)
+      | '!' -> emit i BANG; go (i + 1)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit i LE; go (i + 2)
+      | '<' -> emit i LT; go (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit i GE; go (i + 2)
+      | '>' -> emit i GT; go (i + 1)
+      | '&' when i + 1 < n && src.[i + 1] = '&' -> emit i ANDAND; go (i + 2)
+      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit i OROR; go (i + 2)
+      | c when is_digit c ->
+          let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+          let j = scan i in
+          emit i (INT (int_of_string (String.sub src i (j - i))));
+          go j
+      | c when is_alpha c ->
+          let rec scan j = if j < n && is_alnum src.[j] then scan (j + 1) else j in
+          let j = scan i in
+          let word = String.sub src i (j - i) in
+          emit i (if List.mem word keywords then KW word else IDENT word);
+          go j
+      | c -> fail i (Printf.sprintf "illegal character %C" c)
+  in
+  go 0;
+  List.rev !toks

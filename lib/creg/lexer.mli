@@ -1,0 +1,40 @@
+(** Hand-written lexer for creg. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string  (** keywords: struct int region if else while return
+                      null void newregion deleteregion ralloc rallocarray
+                      rstralloc regionof print *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | COMMA
+  | ARROW  (** [->] *)
+  | AT
+  | STAR
+  | ASSIGN
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+val pp_token : token Fmt.t
+
+exception Error of string * Ast.pos
+
+val tokenize : string -> (token * Ast.pos) list
+(** @raise Error on illegal input.  Supports [//] line comments and
+    [/* ... */] block comments. *)

@@ -1,0 +1,438 @@
+exception Error of string * Ast.pos
+
+type state = { toks : (Lexer.token * Ast.pos) array; mutable i : int }
+
+let peek st = fst st.toks.(st.i)
+let peek_at st k = if st.i + k < Array.length st.toks then fst st.toks.(st.i + k) else Lexer.EOF
+let pos st = snd st.toks.(st.i)
+let advance st = st.i <- st.i + 1
+
+let fail st msg =
+  raise (Error (Fmt.str "%s (found %a)" msg Lexer.pp_token (peek st), pos st))
+
+let expect st tok msg =
+  if peek st = tok then advance st else fail st ("expected " ^ msg)
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | _ -> fail st "expected identifier"
+
+let kw st k = expect st (Lexer.KW k) k
+
+(* type := "int" | "region" | "struct" IDENT ("@" or "*") *)
+let parse_ty st =
+  match peek st with
+  | Lexer.KW "int" ->
+      advance st;
+      Ast.Tint
+  | Lexer.KW "region" ->
+      advance st;
+      Ast.Tregion
+  | Lexer.KW "struct" ->
+      advance st;
+      let name = ident st in
+      (match peek st with
+      | Lexer.AT ->
+          advance st;
+          Ast.Trptr name
+      | Lexer.STAR ->
+          advance st;
+          Ast.Tnptr name
+      | _ -> fail st "expected @ or * after struct type")
+  | _ -> fail st "expected type"
+
+let starts_ty st =
+  match peek st with
+  | Lexer.KW ("int" | "region" | "struct") -> true
+  | _ -> false
+
+(* A parenthesised cast: "(" "struct" IDENT ("@"|"*") ")" *)
+let starts_cast st =
+  peek st = Lexer.LPAREN
+  && peek_at st 1 = Lexer.KW "struct"
+  && (match peek_at st 2 with Lexer.IDENT _ -> true | _ -> false)
+  && (match peek_at st 3 with Lexer.AT | Lexer.STAR -> true | _ -> false)
+  && peek_at st 4 = Lexer.RPAREN
+
+let mk p desc = { Ast.desc; pos = p }
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let rec loop lhs =
+    if peek st = Lexer.OROR then begin
+      let p = pos st in
+      advance st;
+      let rhs = parse_and st in
+      loop (mk p (Ast.Binop (Ast.Or, lhs, rhs)))
+    end
+    else lhs
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop lhs =
+    if peek st = Lexer.ANDAND then begin
+      let p = pos st in
+      advance st;
+      let rhs = parse_eq st in
+      loop (mk p (Ast.Binop (Ast.And, lhs, rhs)))
+    end
+    else lhs
+  in
+  loop (parse_eq st)
+
+and parse_eq st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.EQ ->
+        let p = pos st in
+        advance st;
+        loop (mk p (Ast.Binop (Ast.Eq, lhs, parse_rel st)))
+    | Lexer.NE ->
+        let p = pos st in
+        advance st;
+        loop (mk p (Ast.Binop (Ast.Ne, lhs, parse_rel st)))
+    | _ -> lhs
+  in
+  loop (parse_rel st)
+
+and parse_rel st =
+  let rec loop lhs =
+    let op =
+      match peek st with
+      | Lexer.LT -> Some Ast.Lt
+      | Lexer.LE -> Some Ast.Le
+      | Lexer.GT -> Some Ast.Gt
+      | Lexer.GE -> Some Ast.Ge
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+        let p = pos st in
+        advance st;
+        loop (mk p (Ast.Binop (op, lhs, parse_add st)))
+    | None -> lhs
+  in
+  loop (parse_add st)
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS ->
+        let p = pos st in
+        advance st;
+        loop (mk p (Ast.Binop (Ast.Add, lhs, parse_mul st)))
+    | Lexer.MINUS ->
+        let p = pos st in
+        advance st;
+        loop (mk p (Ast.Binop (Ast.Sub, lhs, parse_mul st)))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    let op =
+      match peek st with
+      | Lexer.STAR -> Some Ast.Mul
+      | Lexer.SLASH -> Some Ast.Div
+      | Lexer.PERCENT -> Some Ast.Mod
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+        let p = pos st in
+        advance st;
+        loop (mk p (Ast.Binop (op, lhs, parse_unary st)))
+    | None -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS ->
+      let p = pos st in
+      advance st;
+      mk p (Ast.Unop (Ast.Neg, parse_unary st))
+  | Lexer.BANG ->
+      let p = pos st in
+      advance st;
+      mk p (Ast.Unop (Ast.Not, parse_unary st))
+  | _ when starts_cast st ->
+      let p = pos st in
+      advance st (* ( *);
+      let ty = parse_ty st in
+      expect st Lexer.RPAREN ")";
+      mk p (Ast.Cast (ty, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop e =
+    if peek st = Lexer.ARROW then begin
+      let p = pos st in
+      advance st;
+      let f = ident st in
+      loop (mk p (Ast.Field (e, f)))
+    end
+    else e
+  in
+  loop (parse_primary st)
+
+and parse_args st =
+  expect st Lexer.LPAREN "(";
+  if peek st = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let e = parse_expr st in
+      match peek st with
+      | Lexer.COMMA ->
+          advance st;
+          loop (e :: acc)
+      | Lexer.RPAREN ->
+          advance st;
+          List.rev (e :: acc)
+      | _ -> fail st "expected , or )"
+    in
+    loop []
+  end
+
+and parse_primary st =
+  let p = pos st in
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      mk p (Ast.Int n)
+  | Lexer.KW "null" ->
+      advance st;
+      mk p Ast.Null
+  | Lexer.KW "newregion" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      expect st Lexer.RPAREN ")";
+      mk p Ast.New_region
+  | Lexer.KW "deleteregion" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let v = ident st in
+      expect st Lexer.RPAREN ")";
+      mk p (Ast.Deleteregion v)
+  | Lexer.KW "ralloc" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let r = parse_expr st in
+      expect st Lexer.COMMA ",";
+      kw st "struct";
+      let s = ident st in
+      expect st Lexer.RPAREN ")";
+      mk p (Ast.Ralloc (r, s))
+  | Lexer.KW "rallocarray" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let r = parse_expr st in
+      expect st Lexer.COMMA ",";
+      let n = parse_expr st in
+      expect st Lexer.COMMA ",";
+      kw st "struct";
+      let s = ident st in
+      expect st Lexer.RPAREN ")";
+      mk p (Ast.Rallocarray (r, n, s))
+  | Lexer.KW "rstralloc" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let r = parse_expr st in
+      expect st Lexer.COMMA ",";
+      let sz = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      mk p (Ast.Rstralloc (r, sz))
+  | Lexer.KW "regionof" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let e = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      mk p (Ast.Regionof e)
+  | Lexer.IDENT name ->
+      advance st;
+      if peek st = Lexer.LPAREN then mk p (Ast.Call (name, parse_args st))
+      else mk p (Ast.Var name)
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      e
+  | _ -> fail st "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let rec parse_stmt st =
+  let p = pos st in
+  let mk_s sdesc = { Ast.sdesc; spos = p } in
+  match peek st with
+  | _ when starts_ty st ->
+      let ty = parse_ty st in
+      let name = ident st in
+      let init =
+        if peek st = Lexer.ASSIGN then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st Lexer.SEMI ";";
+      mk_s (Ast.Decl (ty, name, init))
+  | Lexer.KW "if" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let c = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      let then_ = parse_block st in
+      let else_ =
+        if peek st = Lexer.KW "else" then begin
+          advance st;
+          (* "else if" chains: the else branch is the nested if *)
+          if peek st = Lexer.KW "if" then [ parse_stmt st ] else parse_block st
+        end
+        else []
+      in
+      mk_s (Ast.If (c, then_, else_))
+  | Lexer.KW "while" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let c = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      mk_s (Ast.While (c, parse_block st))
+  | Lexer.KW "return" ->
+      advance st;
+      if peek st = Lexer.SEMI then begin
+        advance st;
+        mk_s (Ast.Return None)
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Lexer.SEMI ";";
+        mk_s (Ast.Return (Some e))
+      end
+  | Lexer.KW "print" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let e = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      expect st Lexer.SEMI ";";
+      mk_s (Ast.Print e)
+  | _ ->
+      let e = parse_expr st in
+      if peek st = Lexer.ASSIGN then begin
+        advance st;
+        let rhs = parse_expr st in
+        expect st Lexer.SEMI ";";
+        let lv =
+          match e.Ast.desc with
+          | Ast.Var v -> Ast.Lvar v
+          | Ast.Field (b, f) -> Ast.Lfield (b, f)
+          | _ -> raise (Error ("invalid assignment target", e.Ast.pos))
+        in
+        mk_s (Ast.Assign (lv, rhs))
+      end
+      else begin
+        expect st Lexer.SEMI ";";
+        mk_s (Ast.Expr e)
+      end
+
+and parse_block st =
+  expect st Lexer.LBRACE "{";
+  let rec loop acc =
+    if peek st = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Top level *)
+
+let parse_params st =
+  expect st Lexer.LPAREN "(";
+  if peek st = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let ty = parse_ty st in
+      let name = ident st in
+      match peek st with
+      | Lexer.COMMA ->
+          advance st;
+          loop ((ty, name) :: acc)
+      | Lexer.RPAREN ->
+          advance st;
+          List.rev ((ty, name) :: acc)
+      | _ -> fail st "expected , or )"
+    in
+    loop []
+  end
+
+let parse_item st =
+  let p = pos st in
+  match (peek st, peek_at st 1, peek_at st 2) with
+  | Lexer.KW "struct", Lexer.IDENT name, Lexer.LBRACE ->
+      (* struct definition *)
+      advance st;
+      advance st;
+      advance st;
+      let rec fields acc =
+        if peek st = Lexer.RBRACE then begin
+          advance st;
+          expect st Lexer.SEMI ";";
+          List.rev acc
+        end
+        else begin
+          let ty = parse_ty st in
+          let fname = ident st in
+          expect st Lexer.SEMI ";";
+          fields ((ty, fname) :: acc)
+        end
+      in
+      Ast.Struct { s_name = name; s_fields = fields []; s_pos = p }
+  | _ ->
+      let ret =
+        if peek st = Lexer.KW "void" then begin
+          advance st;
+          None
+        end
+        else Some (parse_ty st)
+      in
+      let name = ident st in
+      if peek st = Lexer.LPAREN then begin
+        let params = parse_params st in
+        let body = parse_block st in
+        Ast.Func { f_name = name; f_ret = ret; f_params = params; f_body = body; f_pos = p }
+      end
+      else begin
+        expect st Lexer.SEMI ";";
+        match ret with
+        | None -> raise (Error ("void global", p))
+        | Some ty -> Ast.Global { g_ty = ty; g_name = name; g_pos = p }
+      end
+
+let parse src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); i = 0 } in
+  let rec loop acc =
+    if peek st = Lexer.EOF then List.rev acc else loop (parse_item st :: acc)
+  in
+  loop []
+
+let parse_expr src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); i = 0 } in
+  let e = parse_expr st in
+  if peek st <> Lexer.EOF then fail st "trailing input";
+  e

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for creg. *)
+
+exception Error of string * Ast.pos
+
+val parse : string -> Ast.program
+(** Parse a whole source file.
+    @raise Error on syntax errors, with position.
+    @raise Lexer.Error on lexical errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (tests). *)

@@ -1,0 +1,489 @@
+exception Error of string * Ast.pos
+
+let err pos fmt = Fmt.kstr (fun s -> raise (Error (s, pos))) fmt
+
+type struct_info = {
+  st_name : string;
+  st_id : int;
+  st_size : int;
+  st_fields : (string * int * Ast.ty) list;
+  st_layout : Regions.Cleanup.layout;
+}
+
+type texpr = { tdesc : tdesc; tty : Ast.ty option }
+
+and tdesc =
+  | Tint_lit of int
+  | Tnull
+  | Tlocal of int
+  | Tglobal of int
+  | Tbinop of Ast.binop * texpr * texpr
+  | Tunop of Ast.unop * texpr
+  | Tfield of texpr * int
+  | Tcall of int * texpr list
+  | Tnewregion
+  | Tralloc of texpr * int
+  | Trallocarray of texpr * texpr * int
+  | Tptr_add of texpr * texpr * int  (* pointer, index, element bytes *)
+  | Trstralloc of texpr * texpr
+  | Tregionof of texpr
+  | Tdeleteregion of int
+
+type tstmt =
+  | Tstore_local of int * Ast.ty * texpr
+  | Tstore_global of int * Ast.ty * texpr
+  | Tstore_field of texpr * int * Ast.ty * texpr
+  | Texpr of texpr
+  | Tif of texpr * tstmt list * tstmt list
+  | Twhile of texpr * tstmt list
+  | Treturn of texpr option
+  | Tprint of texpr
+
+type tfunc = {
+  tf_name : string;
+  tf_id : int;
+  tf_nslots : int;
+  tf_ptr_slots : int list;
+  tf_nparams : int;
+  tf_ret : Ast.ty option;
+  tf_body : tstmt list;
+}
+
+type tprogram = {
+  tp_structs : struct_info array;
+  tp_funcs : tfunc array;
+  tp_globals : (string * Ast.ty) array;
+  tp_main : int;
+}
+
+type fsig = { fs_id : int; fs_params : Ast.ty list; fs_ret : Ast.ty option }
+
+type genv = {
+  structs : (string, struct_info) Hashtbl.t;
+  funcs : (string, fsig) Hashtbl.t;
+  globals : (string, int * Ast.ty) Hashtbl.t;
+}
+
+let valid_ty genv pos = function
+  | Ast.Tint | Ast.Tregion -> ()
+  | Ast.Trptr s | Ast.Tnptr s ->
+      if not (Hashtbl.mem genv.structs s) then err pos "unknown struct %s" s
+
+let pp_tyo ppf = function
+  | None -> Fmt.string ppf "void"
+  | Some t -> Ast.pp_ty ppf t
+
+(* ------------------------------------------------------------------ *)
+(* Expression checking *)
+
+type fenv = {
+  genv : genv;
+  mutable scopes : (string, int * Ast.ty) Hashtbl.t list;
+  mutable next_slot : int;
+  mutable ptr_slots : int list;
+  ret : Ast.ty option;
+}
+
+let lookup_local fenv name =
+  let rec go = function
+    | [] -> None
+    | sc :: rest -> (
+        match Hashtbl.find_opt sc name with Some x -> Some x | None -> go rest)
+  in
+  go fenv.scopes
+
+let declare_local fenv pos name ty =
+  (match fenv.scopes with
+  | sc :: _ ->
+      if Hashtbl.mem sc name then err pos "duplicate variable %s" name;
+      Hashtbl.replace sc name (fenv.next_slot, ty)
+  | [] -> assert false);
+  let slot = fenv.next_slot in
+  fenv.next_slot <- slot + 1;
+  if Ast.is_pointer ty then fenv.ptr_slots <- slot :: fenv.ptr_slots;
+  slot
+
+let struct_of fenv pos name =
+  match Hashtbl.find_opt fenv.genv.structs name with
+  | Some si -> si
+  | None -> err pos "unknown struct %s" name
+
+(* [fits ~dst e] checks an expression of type [e.tty] against an
+   expected type, allowing null for pointers. *)
+let fits ~dst (e : texpr) =
+  match (dst, e.tty) with
+  | d, Some s when d = s -> true
+  | (Ast.Trptr _ | Ast.Tnptr _ | Ast.Tregion), None when e.tdesc = Tnull -> true
+  | _, _ -> false
+
+let rec check_expr fenv (e : Ast.expr) : texpr =
+  let pos = e.Ast.pos in
+  match e.Ast.desc with
+  | Ast.Int n -> { tdesc = Tint_lit n; tty = Some Ast.Tint }
+  | Ast.Null -> { tdesc = Tnull; tty = None }
+  | Ast.Var name -> (
+      match lookup_local fenv name with
+      | Some (slot, ty) -> { tdesc = Tlocal slot; tty = Some ty }
+      | None -> (
+          match Hashtbl.find_opt fenv.genv.globals name with
+          | Some (idx, ty) -> { tdesc = Tglobal idx; tty = Some ty }
+          | None -> err pos "unbound variable %s" name))
+  | Ast.Binop (op, a, b) -> check_binop fenv pos op a b
+  | Ast.Unop (op, a) ->
+      let ta = check_expr fenv a in
+      if ta.tty <> Some Ast.Tint then
+        err pos "unary operator needs int, got %a" pp_tyo ta.tty;
+      { tdesc = Tunop (op, ta); tty = Some Ast.Tint }
+  | Ast.Field (b, fname) -> (
+      let tb = check_expr fenv b in
+      match tb.tty with
+      | Some (Ast.Trptr s | Ast.Tnptr s) -> (
+          let si = struct_of fenv pos s in
+          match
+            List.find_opt (fun (n, _, _) -> n = fname) si.st_fields
+          with
+          | Some (_, off, fty) -> { tdesc = Tfield (tb, off); tty = Some fty }
+          | None -> err pos "struct %s has no field %s" s fname)
+      | t -> err pos "-> requires a struct pointer, got %a" pp_tyo t)
+  | Ast.Call (name, args) -> (
+      match Hashtbl.find_opt fenv.genv.funcs name with
+      | None -> err pos "unknown function %s" name
+      | Some fs ->
+          if List.length args <> List.length fs.fs_params then
+            err pos "%s expects %d arguments, got %d" name
+              (List.length fs.fs_params) (List.length args);
+          let targs =
+            List.map2
+              (fun pty arg ->
+                let ta = check_expr fenv arg in
+                if not (fits ~dst:pty ta) then
+                  err arg.Ast.pos "argument of type %a where %a expected"
+                    pp_tyo ta.tty Ast.pp_ty pty;
+                ta)
+              fs.fs_params args
+          in
+          { tdesc = Tcall (fs.fs_id, targs); tty = fs.fs_ret })
+  | Ast.New_region -> { tdesc = Tnewregion; tty = Some Ast.Tregion }
+  | Ast.Ralloc (r, sname) ->
+      let tr = check_expr fenv r in
+      if tr.tty <> Some Ast.Tregion then
+        err pos "ralloc needs a region, got %a" pp_tyo tr.tty;
+      let si = struct_of fenv pos sname in
+      { tdesc = Tralloc (tr, si.st_id); tty = Some (Ast.Trptr sname) }
+  | Ast.Rallocarray (r, n, sname) ->
+      let tr = check_expr fenv r in
+      if tr.tty <> Some Ast.Tregion then
+        err pos "rallocarray needs a region, got %a" pp_tyo tr.tty;
+      let tn = check_expr fenv n in
+      if tn.tty <> Some Ast.Tint then
+        err pos "rallocarray count must be int, got %a" pp_tyo tn.tty;
+      let si = struct_of fenv pos sname in
+      { tdesc = Trallocarray (tr, tn, si.st_id); tty = Some (Ast.Trptr sname) }
+  | Ast.Rstralloc (r, size) ->
+      let tr = check_expr fenv r in
+      if tr.tty <> Some Ast.Tregion then
+        err pos "rstralloc needs a region, got %a" pp_tyo tr.tty;
+      let tsize = check_expr fenv size in
+      if tsize.tty <> Some Ast.Tint then
+        err pos "rstralloc size must be int, got %a" pp_tyo tsize.tty;
+      { tdesc = Trstralloc (tr, tsize); tty = Some Ast.Tint }
+  | Ast.Regionof e' -> (
+      let te = check_expr fenv e' in
+      match te.tty with
+      | Some (Ast.Trptr _ | Ast.Tregion) ->
+          { tdesc = Tregionof te; tty = Some Ast.Tregion }
+      | t -> err pos "regionof needs a region pointer, got %a" pp_tyo t)
+  | Ast.Deleteregion v -> (
+      match lookup_local fenv v with
+      | Some (slot, Ast.Tregion) ->
+          { tdesc = Tdeleteregion slot; tty = Some Ast.Tint }
+      | Some (_, t) ->
+          err pos "deleteregion needs a region variable, %s is %a" v Ast.pp_ty t
+      | None -> err pos "deleteregion needs a local region variable" )
+  | Ast.Cast (ty, e') -> (
+      valid_ty fenv.genv pos ty;
+      let te = check_expr fenv e' in
+      (* Casts convert between pointer types only: the paper's
+         explicit, unsafe casts between region and normal pointers. *)
+      match (ty, te.tty) with
+      | (Ast.Trptr _ | Ast.Tnptr _), Some (Ast.Trptr _ | Ast.Tnptr _) ->
+          { te with tty = Some ty }
+      | (Ast.Trptr _ | Ast.Tnptr _), None when te.tdesc = Tnull ->
+          { te with tty = Some ty }
+      | _ ->
+          err pos "cast to %a from %a is not allowed" Ast.pp_ty ty pp_tyo te.tty)
+
+and check_binop fenv pos op a b =
+  let ta = check_expr fenv a in
+  let tb = check_expr fenv b in
+  let int_result = { tdesc = Tbinop (op, ta, tb); tty = Some Ast.Tint } in
+  match op with
+  | Ast.Add when
+      (match ta.tty with Some (Ast.Trptr _) -> true | _ -> false)
+      && tb.tty = Some Ast.Tint -> (
+      (* Address arithmetic on region pointers (paper section 3.1):
+         p + i steps i elements of p's struct type. *)
+      match ta.tty with
+      | Some (Ast.Trptr sname) ->
+          let si = struct_of fenv pos sname in
+          { tdesc = Tptr_add (ta, tb, si.st_size); tty = ta.tty }
+      | _ -> assert false)
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      if ta.tty <> Some Ast.Tint || tb.tty <> Some Ast.Tint then
+        err pos "operator needs ints, got %a and %a" pp_tyo ta.tty pp_tyo tb.tty;
+      int_result
+  | Ast.Eq | Ast.Ne -> (
+      (* ints compare with ints; pointers with same-type pointers or
+         null.  Comparing @ with * needs a cast. *)
+      match (ta.tty, tb.tty) with
+      | Some Ast.Tint, Some Ast.Tint -> int_result
+      | Some t, Some t' when t = t' && t <> Ast.Tint -> int_result
+      | Some (Ast.Trptr _ | Ast.Tnptr _ | Ast.Tregion), None
+        when tb.tdesc = Tnull ->
+          int_result
+      | None, Some (Ast.Trptr _ | Ast.Tnptr _ | Ast.Tregion)
+        when ta.tdesc = Tnull ->
+          int_result
+      | _ ->
+          err pos "cannot compare %a with %a" pp_tyo ta.tty pp_tyo tb.tty)
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let rec check_stmt fenv (s : Ast.stmt) : tstmt =
+  let pos = s.Ast.spos in
+  match s.Ast.sdesc with
+  | Ast.Decl (ty, name, init) ->
+      valid_ty fenv.genv pos ty;
+      let tinit =
+        match init with
+        | Some e ->
+            let te = check_expr fenv e in
+            if not (fits ~dst:ty te) then
+              err pos "initialiser of type %a for variable of type %a" pp_tyo
+                te.tty Ast.pp_ty ty;
+            Some te
+        | None ->
+            (* Locals holding region pointers must always be
+               initialised (paper section 3.1). *)
+            if Ast.is_pointer ty then
+              err pos
+                "variable %s holds a region pointer and must be initialised"
+                name;
+            None
+      in
+      let slot = declare_local fenv pos name ty in
+      let init_expr =
+        match tinit with
+        | Some te -> te
+        | None -> { tdesc = Tint_lit 0; tty = Some Ast.Tint }
+      in
+      Tstore_local (slot, ty, init_expr)
+  | Ast.Assign (lv, e) -> (
+      let te = check_expr fenv e in
+      match lv with
+      | Ast.Lvar name -> (
+          match lookup_local fenv name with
+          | Some (slot, ty) ->
+              if not (fits ~dst:ty te) then
+                err pos "assigning %a to variable of type %a" pp_tyo te.tty
+                  Ast.pp_ty ty;
+              Tstore_local (slot, ty, te)
+          | None -> (
+              match Hashtbl.find_opt fenv.genv.globals name with
+              | Some (idx, ty) ->
+                  if not (fits ~dst:ty te) then
+                    err pos "assigning %a to global of type %a" pp_tyo te.tty
+                      Ast.pp_ty ty;
+                  Tstore_global (idx, ty, te)
+              | None -> err pos "unbound variable %s" name))
+      | Ast.Lfield (b, fname) -> (
+          let tb = check_expr fenv b in
+          match tb.tty with
+          | Some (Ast.Trptr sname | Ast.Tnptr sname) -> (
+              let si = struct_of fenv pos sname in
+              match List.find_opt (fun (n, _, _) -> n = fname) si.st_fields with
+              | Some (_, off, fty) ->
+                  if not (fits ~dst:fty te) then
+                    err pos "assigning %a to field of type %a" pp_tyo te.tty
+                      Ast.pp_ty fty;
+                  Tstore_field (tb, off, fty, te)
+              | None -> err pos "struct %s has no field %s" sname fname)
+          | t -> err pos "-> requires a struct pointer, got %a" pp_tyo t))
+  | Ast.Expr e -> Texpr (check_expr fenv e)
+  | Ast.If (c, then_, else_) ->
+      let tc = check_expr fenv c in
+      if tc.tty <> Some Ast.Tint then err pos "condition must be int";
+      Tif (tc, check_block fenv then_, check_block fenv else_)
+  | Ast.While (c, body) ->
+      let tc = check_expr fenv c in
+      if tc.tty <> Some Ast.Tint then err pos "condition must be int";
+      Twhile (tc, check_block fenv body)
+  | Ast.Return None ->
+      if fenv.ret <> None then err pos "missing return value";
+      Treturn None
+  | Ast.Return (Some e) -> (
+      let te = check_expr fenv e in
+      match fenv.ret with
+      | None -> err pos "void function returns a value"
+      | Some ty ->
+          if not (fits ~dst:ty te) then
+            err pos "returning %a from a function returning %a" pp_tyo te.tty
+              Ast.pp_ty ty;
+          Treturn (Some te))
+  | Ast.Print e ->
+      let te = check_expr fenv e in
+      if te.tty <> Some Ast.Tint then err pos "print needs an int";
+      Tprint te
+
+and check_block fenv stmts =
+  let scope = Hashtbl.create 8 in
+  fenv.scopes <- scope :: fenv.scopes;
+  let out = List.map (check_stmt fenv) stmts in
+  fenv.scopes <- List.tl fenv.scopes;
+  (* Region pointers declared in this block are dead once it exits:
+     clear their slots so they drop out of the stack scan's liveness
+     map (the paper's prototype "considers all variables in scope to
+     be live" — variables out of scope must not linger). *)
+  let dead =
+    Hashtbl.fold
+      (fun _ (slot, ty) acc -> if Ast.is_pointer ty then (slot, ty) :: acc else acc)
+      scope []
+    |> List.sort compare
+  in
+  out
+  @ List.map
+      (fun (slot, ty) ->
+        Tstore_local (slot, ty, { tdesc = Tnull; tty = None }))
+      dead
+
+(* ------------------------------------------------------------------ *)
+(* Program *)
+
+let build_struct genv id (sd : Ast.struct_decl) =
+  let seen = Hashtbl.create 8 in
+  let fields =
+    List.mapi
+      (fun i (ty, name) ->
+        if Hashtbl.mem seen name then
+          err sd.Ast.s_pos "duplicate field %s in struct %s" name sd.Ast.s_name;
+        Hashtbl.replace seen name ();
+        valid_ty genv sd.Ast.s_pos ty;
+        (name, i * 4, ty))
+      sd.Ast.s_fields
+  in
+  if fields = [] then err sd.Ast.s_pos "empty struct %s" sd.Ast.s_name;
+  let size = 4 * List.length fields in
+  let ptr_offsets =
+    List.filter_map
+      (fun (_, off, ty) -> if Ast.is_pointer ty then Some off else None)
+      fields
+  in
+  {
+    st_name = sd.Ast.s_name;
+    st_id = id;
+    st_size = size;
+    st_fields = fields;
+    st_layout = Regions.Cleanup.layout ~size_bytes:size ~ptr_offsets;
+  }
+
+let check (prog : Ast.program) : tprogram =
+  let genv =
+    {
+      structs = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      globals = Hashtbl.create 16;
+    }
+  in
+  (* Pass 1: collect struct names (mutual recursion allowed), function
+     signatures and globals. *)
+  let struct_decls =
+    List.filter_map (function Ast.Struct s -> Some s | _ -> None) prog
+  in
+  List.iteri
+    (fun i sd ->
+      if Hashtbl.mem genv.structs sd.Ast.s_name then
+        err sd.Ast.s_pos "duplicate struct %s" sd.Ast.s_name;
+      (* placeholder so field types can reference any struct *)
+      Hashtbl.replace genv.structs sd.Ast.s_name
+        {
+          st_name = sd.Ast.s_name;
+          st_id = i;
+          st_size = 0;
+          st_fields = [];
+          st_layout = Regions.Cleanup.layout_words 1;
+        })
+    struct_decls;
+  let structs =
+    Array.of_list (List.mapi (fun i sd -> build_struct genv i sd) struct_decls)
+  in
+  Array.iter (fun si -> Hashtbl.replace genv.structs si.st_name si) structs;
+  let func_decls =
+    List.filter_map (function Ast.Func f -> Some f | _ -> None) prog
+  in
+  List.iteri
+    (fun i (fd : Ast.func_decl) ->
+      if Hashtbl.mem genv.funcs fd.Ast.f_name then
+        err fd.Ast.f_pos "duplicate function %s" fd.Ast.f_name;
+      List.iter (fun (ty, _) -> valid_ty genv fd.Ast.f_pos ty) fd.Ast.f_params;
+      (match fd.Ast.f_ret with
+      | Some ty -> valid_ty genv fd.Ast.f_pos ty
+      | None -> ());
+      Hashtbl.replace genv.funcs fd.Ast.f_name
+        {
+          fs_id = i;
+          fs_params = List.map fst fd.Ast.f_params;
+          fs_ret = fd.Ast.f_ret;
+        })
+    func_decls;
+  let global_decls =
+    List.filter_map (function Ast.Global g -> Some g | _ -> None) prog
+  in
+  List.iteri
+    (fun i (gd : Ast.global_decl) ->
+      if Hashtbl.mem genv.globals gd.Ast.g_name then
+        err gd.Ast.g_pos "duplicate global %s" gd.Ast.g_name;
+      valid_ty genv gd.Ast.g_pos gd.Ast.g_ty;
+      Hashtbl.replace genv.globals gd.Ast.g_name (i, gd.Ast.g_ty))
+    global_decls;
+  (* Pass 2: check function bodies. *)
+  let check_func i (fd : Ast.func_decl) =
+    let fenv =
+      {
+        genv;
+        scopes = [ Hashtbl.create 8 ];
+        next_slot = 0;
+        ptr_slots = [];
+        ret = fd.Ast.f_ret;
+      }
+    in
+    List.iter
+      (fun (ty, name) -> ignore (declare_local fenv fd.Ast.f_pos name ty))
+      fd.Ast.f_params;
+    let body = check_block fenv fd.Ast.f_body in
+    {
+      tf_name = fd.Ast.f_name;
+      tf_id = i;
+      tf_nslots = fenv.next_slot;
+      tf_ptr_slots = List.rev fenv.ptr_slots;
+      tf_nparams = List.length fd.Ast.f_params;
+      tf_ret = fd.Ast.f_ret;
+      tf_body = body;
+    }
+  in
+  let funcs = Array.of_list (List.mapi check_func func_decls) in
+  let main =
+    match Hashtbl.find_opt genv.funcs "main" with
+    | Some { fs_id; fs_params = []; fs_ret = Some Ast.Tint } -> fs_id
+    | Some _ ->
+        err { Ast.line = 1; col = 1 } "main must be: int main()"
+    | None -> err { Ast.line = 1; col = 1 } "program has no main function"
+  in
+  {
+    tp_structs = structs;
+    tp_funcs = funcs;
+    tp_globals =
+      Array.of_list (List.map (fun g -> (g.Ast.g_name, g.Ast.g_ty)) global_decls);
+    tp_main = main;
+  }

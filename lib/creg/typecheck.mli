@@ -1,0 +1,78 @@
+(** Type checker for creg.
+
+    Enforces the rules of paper section 3.1:
+
+    - [T@] and [T*] are distinct types with no implicit conversion;
+      explicit casts are allowed (and unsafe);
+    - local variables that hold region pointers (or regions) must be
+      initialised at declaration;
+    - field access requires a struct pointer; arithmetic requires
+      ints; conditions are ints.
+
+    Produces a typed IR with name resolution done: locals are slots,
+    globals are indices, struct fields are byte offsets, and every
+    function carries the list of slots holding region pointers — the
+    liveness map the compiler emits for the stack scan. *)
+
+exception Error of string * Ast.pos
+
+type struct_info = {
+  st_name : string;
+  st_id : int;
+  st_size : int;  (** bytes; every field is one word *)
+  st_fields : (string * int * Ast.ty) list;  (** name, byte offset, type *)
+  st_layout : Regions.Cleanup.layout;
+      (** the compiler-generated cleanup layout: offsets of region
+          pointers and region handles *)
+}
+
+type texpr = { tdesc : tdesc; tty : Ast.ty option }
+
+and tdesc =
+  | Tint_lit of int
+  | Tnull
+  | Tlocal of int
+  | Tglobal of int
+  | Tbinop of Ast.binop * texpr * texpr
+  | Tunop of Ast.unop * texpr
+  | Tfield of texpr * int
+  | Tcall of int * texpr list
+  | Tnewregion
+  | Tralloc of texpr * int
+  | Trallocarray of texpr * texpr * int
+  | Tptr_add of texpr * texpr * int
+      (** pointer, index, element size in bytes: C@ address
+          arithmetic *)
+  | Trstralloc of texpr * texpr
+  | Tregionof of texpr
+  | Tdeleteregion of int
+
+type tstmt =
+  | Tstore_local of int * Ast.ty * texpr
+  | Tstore_global of int * Ast.ty * texpr
+  | Tstore_field of texpr * int * Ast.ty * texpr
+  | Texpr of texpr
+  | Tif of texpr * tstmt list * tstmt list
+  | Twhile of texpr * tstmt list
+  | Treturn of texpr option
+  | Tprint of texpr
+
+type tfunc = {
+  tf_name : string;
+  tf_id : int;
+  tf_nslots : int;
+  tf_ptr_slots : int list;
+  tf_nparams : int;  (** parameters occupy slots [0 .. nparams-1] *)
+  tf_ret : Ast.ty option;
+  tf_body : tstmt list;
+}
+
+type tprogram = {
+  tp_structs : struct_info array;
+  tp_funcs : tfunc array;
+  tp_globals : (string * Ast.ty) array;
+  tp_main : int;  (** index of [main], which must exist and return int *)
+}
+
+val check : Ast.program -> tprogram
+(** @raise Error on any type or scope violation. *)

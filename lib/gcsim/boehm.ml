@@ -1,0 +1,276 @@
+let page_bytes = 4096
+let max_small = 512
+let num_classes = max_small / 16 (* 16, 32, ..., 512 *)
+let class_of_size size = ((size + 15) / 16) - 1
+let class_bytes cls = (cls + 1) * 16
+
+type small_block = {
+  s_addr : int;
+  s_class : int;  (* object size in bytes *)
+  s_nobj : int;
+  s_alloc : Bytes.t;  (* bitsets *)
+  s_mark : Bytes.t;
+}
+
+type large_block = {
+  l_addr : int;
+  l_pages : int;
+  l_bytes : int;  (* user size, rounded to a word *)
+  mutable l_allocated : bool;
+  mutable l_marked : bool;
+}
+
+type block = Small of small_block | Large of large_block
+
+type t = {
+  mem : Sim.Memory.t;
+  stats : Alloc.Stats.t;
+  blocks : (int, block) Hashtbl.t;  (* page number -> block *)
+  freelists : int array;  (* per class; links threaded through the heap *)
+  mutable free_large : (int * large_block) list;  (* pages, block *)
+  mutable heap_bytes : int;
+  mutable since_gc : int;
+  trigger_min : int;
+  fraction : float;
+  roots : (int -> unit) -> unit;
+  mutable collections : int;
+  mutable live_last : int;
+}
+
+let bit_get b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  Bytes.set b (i lsr 3)
+    (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+let bit_clear b i =
+  Bytes.set b (i lsr 3)
+    (Char.chr (Char.code (Bytes.get b (i lsr 3)) land lnot (1 lsl (i land 7))))
+
+let cost t = Sim.Memory.cost t.mem
+
+(* ------------------------------------------------------------------ *)
+(* Block management *)
+
+let carve_small t cls =
+  let csize = class_bytes cls in
+  Sim.Cost.instr (cost t) 20 (* OS call overhead *);
+  let addr = Sim.Memory.map_pages t.mem 1 in
+  Alloc.Stats.on_map t.stats page_bytes;
+  t.heap_bytes <- t.heap_bytes + page_bytes;
+  let nobj = page_bytes / csize in
+  let bits () = Bytes.make ((nobj + 7) / 8) '\000' in
+  Hashtbl.replace t.blocks (addr lsr 12)
+    (Small { s_addr = addr; s_class = csize; s_nobj = nobj; s_alloc = bits (); s_mark = bits () });
+  (* Thread the fresh objects onto the class free list. *)
+  for i = nobj - 1 downto 0 do
+    let o = addr + (i * csize) in
+    Sim.Memory.store t.mem o t.freelists.(cls);
+    t.freelists.(cls) <- o
+  done
+
+let alloc_large t size =
+  let pages = ((size + 3) / 4 * 4 + page_bytes - 1) / page_bytes in
+  let reuse, rest =
+    List.partition (fun (p, _) -> p = pages) t.free_large
+  in
+  match reuse with
+  | (_, blk) :: more ->
+      Sim.Cost.instr (cost t) 8;
+      t.free_large <- more @ rest;
+      blk.l_allocated <- true;
+      blk.l_marked <- false;
+      blk
+  | [] ->
+      Sim.Cost.instr (cost t) 20;
+      let addr = Sim.Memory.map_pages t.mem pages in
+      Alloc.Stats.on_map t.stats (pages * page_bytes);
+      t.heap_bytes <- t.heap_bytes + (pages * page_bytes);
+      let blk =
+        {
+          l_addr = addr;
+          l_pages = pages;
+          l_bytes = (size + 3) land lnot 3;
+          l_allocated = true;
+          l_marked = false;
+        }
+      in
+      for i = 0 to pages - 1 do
+        Hashtbl.replace t.blocks ((addr lsr 12) + i) (Large blk)
+      done;
+      blk
+
+(* ------------------------------------------------------------------ *)
+(* Collection *)
+
+let collect_into t =
+  t.collections <- t.collections + 1;
+  (* Clear marks. *)
+  Hashtbl.iter
+    (fun pageno blk ->
+      match blk with
+      | Small b ->
+          if pageno = b.s_addr lsr 12 then
+            Bytes.fill b.s_mark 0 (Bytes.length b.s_mark) '\000'
+      | Large b -> if pageno = b.l_addr lsr 12 then b.l_marked <- false)
+    t.blocks;
+  Sim.Cost.instr (cost t) (Hashtbl.length t.blocks);
+  let stack = ref [] in
+  (* Conservative pointer test: any word reaching into an allocated
+     object (interior pointers included) pins that object. *)
+  let try_mark v =
+    Sim.Cost.instr (cost t) 2;
+    if v land 3 = 0 && v > 0 then
+      match Hashtbl.find_opt t.blocks (v lsr 12) with
+      | Some (Small b) ->
+          let off = v - b.s_addr in
+          if off >= 0 && off < b.s_nobj * b.s_class then begin
+            let idx = off / b.s_class in
+            if bit_get b.s_alloc idx && not (bit_get b.s_mark idx) then begin
+              bit_set b.s_mark idx;
+              stack := (b.s_addr + (idx * b.s_class), b.s_class) :: !stack
+            end
+          end
+      | Some (Large b) ->
+          if b.l_allocated && not b.l_marked then begin
+            b.l_marked <- true;
+            stack := (b.l_addr, b.l_bytes) :: !stack
+          end
+      | None -> ()
+  in
+  t.roots try_mark;
+  (* Transitive marking: scan every word of every reached object. *)
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | (addr, bytes) :: rest ->
+        stack := rest;
+        for i = 0 to (bytes / 4) - 1 do
+          try_mark (Sim.Memory.load t.mem (addr + (i * 4)))
+        done;
+        drain ()
+  in
+  drain ();
+  (* Sweep. *)
+  let live = ref 0 in
+  Hashtbl.iter
+    (fun pageno blk ->
+      match blk with
+      | Small b when pageno = b.s_addr lsr 12 ->
+          let cls = class_of_size b.s_class in
+          for idx = 0 to b.s_nobj - 1 do
+            Sim.Cost.instr (cost t) 1;
+            if bit_get b.s_alloc idx then
+              if bit_get b.s_mark idx then live := !live + b.s_class
+              else begin
+                let o = b.s_addr + (idx * b.s_class) in
+                bit_clear b.s_alloc idx;
+                Alloc.Stats.on_free t.stats o;
+                Sim.Memory.store t.mem o t.freelists.(cls);
+                t.freelists.(cls) <- o
+              end
+          done
+      | Small _ -> ()
+      | Large b when pageno = b.l_addr lsr 12 ->
+          Sim.Cost.instr (cost t) 2;
+          if b.l_allocated then
+            if b.l_marked then live := !live + b.l_bytes
+            else begin
+              b.l_allocated <- false;
+              Alloc.Stats.on_free t.stats b.l_addr;
+              t.free_large <- (b.l_pages, b) :: t.free_large
+            end
+      | Large _ -> ())
+    t.blocks;
+  t.live_last <- !live;
+  t.since_gc <- 0
+
+let collect t =
+  Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () -> collect_into t)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation *)
+
+let maybe_gc t =
+  let threshold =
+    max t.trigger_min (int_of_float (t.fraction *. float_of_int t.heap_bytes))
+  in
+  if t.since_gc > threshold then collect_into t
+
+let malloc t size =
+  Alloc.Allocator.check_size size;
+  Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+      Sim.Cost.instr (cost t) 6;
+      maybe_gc t;
+      let user =
+        if size <= max_small then begin
+          let cls = class_of_size size in
+          if t.freelists.(cls) = 0 then carve_small t cls;
+          let o = t.freelists.(cls) in
+          t.freelists.(cls) <- Sim.Memory.load t.mem o;
+          (match Hashtbl.find_opt t.blocks (o lsr 12) with
+          | Some (Small b) -> bit_set b.s_alloc ((o - b.s_addr) / b.s_class)
+          | Some (Large _) | None -> assert false);
+          (* GC_malloc returns zeroed storage. *)
+          Sim.Memory.clear t.mem o (class_bytes cls);
+          t.since_gc <- t.since_gc + class_bytes cls;
+          o
+        end
+        else begin
+          let blk = alloc_large t size in
+          Sim.Memory.clear t.mem blk.l_addr blk.l_bytes;
+          t.since_gc <- t.since_gc + blk.l_bytes;
+          blk.l_addr
+        end
+      in
+      Alloc.Stats.on_alloc t.stats ~addr:user ~size;
+      user)
+
+let usable_size t user =
+  match Hashtbl.find_opt t.blocks (user lsr 12) with
+  | Some (Small b) -> b.s_class
+  | Some (Large b) -> b.l_bytes
+  | None -> 0
+
+let is_live t addr =
+  match Hashtbl.find_opt t.blocks (addr lsr 12) with
+  | Some (Small b) ->
+      let off = addr - b.s_addr in
+      off >= 0
+      && off < b.s_nobj * b.s_class
+      && bit_get b.s_alloc (off / b.s_class)
+  | Some (Large b) -> b.l_allocated
+  | None -> false
+
+let collections t = t.collections
+let heap_bytes t = t.heap_bytes
+let live_bytes_last_gc t = t.live_last
+
+let create ?(trigger_min_bytes = 128 * 1024) ?(heap_fraction = 0.5) ~roots mem =
+  let t =
+    {
+      mem;
+      stats = Alloc.Stats.create ();
+      blocks = Hashtbl.create 256;
+      freelists = Array.make num_classes 0;
+      free_large = [];
+      heap_bytes = 0;
+      since_gc = 0;
+      trigger_min = trigger_min_bytes;
+      fraction = heap_fraction;
+      roots;
+      collections = 0;
+      live_last = 0;
+    }
+  in
+  let allocator =
+    {
+      Alloc.Allocator.name = "gc";
+      memory = mem;
+      malloc = malloc t;
+      free = (fun _ -> () (* frees disabled under the collector *));
+      usable_size = usable_size t;
+      stats = t.stats;
+    }
+  in
+  (allocator, t)

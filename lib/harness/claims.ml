@@ -1,0 +1,127 @@
+open Workloads
+
+type verdict = Pass | Deviation
+
+let pp_verdict = function Pass -> "PASS     " | Deviation -> "DEVIATION"
+
+let render m =
+  let buf = Buffer.create 2048 in
+  let claim verdict text detail =
+    Buffer.add_string buf (Printf.sprintf "%s %s\n          %s\n" (pp_verdict verdict) text detail)
+  in
+  let cycles spec mode = (Matrix.get m spec mode).Results.cycles in
+  let os spec mode = (Matrix.get m spec mode).Results.os_bytes in
+  let best_malloc spec f =
+    List.fold_left (fun acc mode -> min acc (f spec mode)) max_int
+      (Matrix.malloc_modes spec)
+  in
+  Buffer.add_string buf
+    "Headline claims of the paper, checked against this run\n\
+     ======================================================\n\n";
+
+  (* 1. "regions are competitive with malloc/free and sometimes
+        substantially faster" / unsafe "never slower, up to 16% faster" *)
+  let unsafe_vs_best =
+    List.map
+      (fun spec ->
+        let u = cycles spec Matrix.region_unsafe in
+        let b = best_malloc spec cycles in
+        (spec.Workload.name, 100. *. (float_of_int u /. float_of_int b -. 1.)))
+      Matrix.workloads
+  in
+  let slower = List.filter (fun (_, d) -> d > 10.) unsafe_vs_best in
+  claim
+    (if List.length slower <= 1 then Pass else Deviation)
+    "Unsafe regions are the fastest manager on (nearly) every benchmark."
+    (String.concat "  "
+       (List.map (fun (n, d) -> Printf.sprintf "%s %+.0f%%" n d) unsafe_vs_best)
+    ^
+    match slower with
+    | [ (n, _) ] -> Printf.sprintf "  (known deviation: %s, see EXPERIMENTS.md)" n
+    | _ -> "");
+
+  (* 2. cost of safety *)
+  let overheads =
+    List.map
+      (fun spec ->
+        let s = cycles spec Matrix.region_safe in
+        let u = cycles spec Matrix.region_unsafe in
+        (spec.Workload.name, 100. *. (float_of_int s /. float_of_int u -. 1.)))
+      Matrix.workloads
+  in
+  let wmax = List.fold_left (fun a (_, d) -> max a d) 0. overheads in
+  claim
+    (if wmax <= 25. then Pass else Deviation)
+    "The cost of safety ranges from negligible to moderate (paper: <= 17%)."
+    (String.concat "  "
+       (List.map (fun (n, d) -> Printf.sprintf "%s %+.0f%%" n d) overheads));
+
+  (* 3. memory: the paper's claim is "from 9% less to 19% more memory
+        than Doug Lea's allocator" *)
+  let vs_lea =
+    List.map
+      (fun spec ->
+        let lea =
+          List.find
+            (fun mode -> Matrix.mode_label mode = "Lea")
+            (Matrix.malloc_modes spec)
+        in
+        ( spec.Workload.name,
+          100. *. (float_of_int (os spec Matrix.region_safe)
+                   /. float_of_int (os spec lea)
+                  -. 1.) ))
+      Matrix.workloads
+  in
+  claim
+    (if List.for_all (fun (_, d) -> d <= 19.) vs_lea then Pass else Deviation)
+    "Regions use from less memory to at most 19% more than Lea (paper's band)."
+    (String.concat "  "
+       (List.map (fun (n, d) -> Printf.sprintf "%s %+.0f%%" n d) vs_lea));
+
+  (* 4. GC memory hungry *)
+  let gc_worst =
+    List.filter
+      (fun spec ->
+        let modes = Matrix.malloc_modes spec in
+        let gc = List.find (fun mo -> Matrix.mode_label mo = "GC") modes in
+        List.for_all (fun mo -> os spec mo <= os spec gc) modes)
+      Matrix.workloads
+  in
+  claim
+    (if 2 * List.length gc_worst >= List.length Matrix.workloads then Pass
+     else Deviation)
+    "The conservative collector uses the most memory on most benchmarks."
+    (Printf.sprintf "GC is the most expensive malloc-side manager on %d of %d"
+       (List.length gc_worst)
+       (List.length Matrix.workloads));
+
+  (* 5. moss locality *)
+  let moss = Matrix.get m (Workload.find "moss") Matrix.region_safe in
+  let slow = Matrix.moss_slow_result m in
+  let speedup =
+    100. *. (1. -. (float_of_int moss.Results.cycles /. float_of_int slow.Results.cycles))
+  in
+  claim
+    (if speedup >= 10. then Pass else Deviation)
+    "Two regions for moss's small/large objects give a large speedup (paper: 24%)."
+    (Printf.sprintf "measured %.0f%% faster" speedup);
+
+  (* 6. BSD stalls *)
+  let stalls spec label =
+    let mode =
+      List.find (fun mo -> Matrix.mode_label mo = label) (Matrix.malloc_modes spec)
+    in
+    let r = Matrix.get m spec mode in
+    r.Results.read_stall_cycles + r.Results.write_stall_cycles
+  in
+  let spec = Workload.find "moss" in
+  claim
+    (if stalls spec "BSD" < stalls spec "Sun" && stalls spec "BSD" < stalls spec "Lea"
+     then Pass
+     else Deviation)
+    "BSD (size-segregated) has fewer stalls than the other explicit allocators on moss."
+    (Printf.sprintf "BSD %s vs Sun %s vs Lea %s stall cycles"
+       (Render.mega (stalls spec "BSD"))
+       (Render.mega (stalls spec "Sun"))
+       (Render.mega (stalls spec "Lea")));
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** Machine-checked summary of the paper's headline claims.
+
+    Each claim from the paper's abstract and section 5 is evaluated
+    against the measured matrix and reported as PASS / DEVIATION with
+    the numbers that decide it.  The test suite asserts the same
+    predicates; this report is the human-readable version. *)
+
+val render : Matrix.t -> string

@@ -1,0 +1,44 @@
+open Workloads
+
+let render m =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Figure 10: processor cycles lost to stalls; '#' = read stalls, '=' = \
+     write stalls\n";
+  List.iter
+    (fun spec ->
+      Buffer.add_string buf (Printf.sprintf "\n%s\n" spec.Workload.name);
+      let modes =
+        Matrix.malloc_modes spec @ [ Matrix.region_safe; Matrix.region_unsafe ]
+      in
+      let rows =
+        List.map (fun mode -> (Matrix.mode_label mode, Matrix.get m spec mode)) modes
+      in
+      let rows =
+        if spec.Workload.name = "moss" then
+          rows @ [ ("Slow", Matrix.moss_slow_result m) ]
+        else rows
+      in
+      let total r = r.Results.read_stall_cycles + r.Results.write_stall_cycles in
+      let maxv = List.fold_left (fun acc (_, r) -> max acc (total r)) 1 rows in
+      List.iter
+        (fun (label, r) ->
+          let t = float_of_int (max 1 (total r)) in
+          let scale = t /. float_of_int maxv in
+          let read_frac = float_of_int r.Results.read_stall_cycles /. t in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-7s %10s |%s\n" label
+               (Render.mega (total r))
+               (Render.bar ~width:44 (scale *. read_frac)
+                  (scale *. (1. -. read_frac)))))
+        rows)
+    Matrix.workloads;
+  let moss_reg = Matrix.get m (Workload.find "moss") Matrix.region_safe in
+  let moss_slow = Matrix.moss_slow_result m in
+  let stalls r = r.Results.read_stall_cycles + r.Results.write_stall_cycles in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nmoss: the optimised two-region version has %.0f%% of the stalls of \
+        the single-region version (paper: approximately half)\n"
+       (100. *. float_of_int (stalls moss_reg) /. float_of_int (stalls moss_slow)));
+  Buffer.contents buf

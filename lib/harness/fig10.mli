@@ -1,0 +1,5 @@
+(** Figure 10 of the paper: processor cycles lost to read stalls
+    (loads waiting on cache misses) and write stalls (store buffer
+    full), per allocator. *)
+
+val render : Matrix.t -> string

@@ -1,0 +1,5 @@
+(** Figure 8 of the paper: memory requested from the OS by each
+    allocator versus the memory the program requested, per
+    benchmark. *)
+
+val render : Matrix.t -> string

@@ -1,0 +1,71 @@
+open Workloads
+
+let render m =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Figure 9: execution time (simulated cycles); '#' = base, '=' = memory \
+     management (allocation + reference counting + scans)\n";
+  List.iter
+    (fun spec ->
+      Buffer.add_string buf (Printf.sprintf "\n%s\n" spec.Workload.name);
+      let modes =
+        Matrix.malloc_modes spec @ [ Matrix.region_safe; Matrix.region_unsafe ]
+      in
+      let rows =
+        List.map
+          (fun mode -> (Matrix.mode_label mode, Matrix.get m spec mode))
+          modes
+      in
+      let rows =
+        if spec.Workload.name = "moss" then
+          rows @ [ ("Slow", Matrix.moss_slow_result m) ]
+        else rows
+      in
+      let maxv =
+        List.fold_left (fun acc (_, r) -> max acc r.Results.cycles) 1 rows
+      in
+      List.iter
+        (fun (label, r) ->
+          let mem = Results.memory_instrs r in
+          (* Stall cycles are apportioned pro rata between base and
+             memory instructions for the bar split. *)
+          let total = float_of_int r.Results.cycles in
+          let instrs = float_of_int (r.Results.base_instrs + mem) in
+          let base_frac = float_of_int r.Results.base_instrs /. instrs in
+          let scale = total /. float_of_int maxv in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-7s %10s |%s  (memory: %s)\n" label
+               (Render.mega r.Results.cycles)
+               (Render.bar ~width:44 (scale *. base_frac) (scale *. (1. -. base_frac)))
+               (Render.pct (1. -. base_frac))))
+        rows;
+      (* Headline ratios. *)
+      let cycles label =
+        (List.assoc label rows).Results.cycles
+      in
+      let best_malloc =
+        List.fold_left
+          (fun acc (l, r) ->
+            if l = "Reg" || l = "Unsafe" || l = "Slow" then acc
+            else min acc r.Results.cycles)
+          max_int rows
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  safe vs best malloc/GC: %+.1f%%; unsafe vs best: %+.1f%%; cost \
+            of safety: %+.1f%%\n"
+           (100. *. (float_of_int (cycles "Reg") /. float_of_int best_malloc -. 1.))
+           (100. *. (float_of_int (cycles "Unsafe") /. float_of_int best_malloc -. 1.))
+           (100. *. (float_of_int (cycles "Reg") /. float_of_int (cycles "Unsafe") -. 1.))))
+    Matrix.workloads;
+  let moss_reg = Matrix.get m (Workload.find "moss") Matrix.region_safe in
+  let moss_slow = Matrix.moss_slow_result m in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nmoss two-region locality optimisation: %.0f%% faster than the \
+        single-region version (paper: 24%%)\n"
+       (100.
+       *. (1.
+          -. float_of_int moss_reg.Results.cycles
+             /. float_of_int moss_slow.Results.cycles)));
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** Figure 9 of the paper: execution time per allocator, split into
+    the base (application) part and the memory-management part, with
+    unsafe regions and the unoptimised ("slow") moss variant as extra
+    bars. *)
+
+val render : Matrix.t -> string

@@ -1,0 +1,44 @@
+type t = {
+  size : Workloads.Workload.size;
+  progress : string -> unit;
+  cache : (string * string, Workloads.Results.t) Hashtbl.t;
+}
+
+let create ?(progress = ignore) size = { size; progress; cache = Hashtbl.create 64 }
+let size t = t.size
+
+let get t (spec : Workloads.Workload.spec) mode =
+  let key = (spec.Workloads.Workload.name, Workloads.Api.mode_name mode) in
+  match Hashtbl.find_opt t.cache key with
+  | Some r -> r
+  | None ->
+      t.progress
+        (Fmt.str "running %s under %s ..." spec.Workloads.Workload.name
+           (Workloads.Api.mode_name mode));
+      let r = Workloads.Workload.run_collect spec mode t.size in
+      Hashtbl.replace t.cache key r;
+      r
+
+let workloads = Workloads.Workload.all
+
+let malloc_modes spec =
+  List.filter
+    (fun m -> match m with Workloads.Api.Region _ -> false | _ -> true)
+    (Workloads.Workload.modes_for spec)
+
+let region_safe = Workloads.Api.Region { safe = true }
+let region_unsafe = Workloads.Api.Region { safe = false }
+
+let moss_slow_result t = get t Workloads.Workload.moss_slow region_safe
+
+let mode_label = function
+  | Workloads.Api.Direct Workloads.Api.Sun | Workloads.Api.Emulated Workloads.Api.Sun
+    -> "Sun"
+  | Workloads.Api.Direct Workloads.Api.Bsd | Workloads.Api.Emulated Workloads.Api.Bsd
+    -> "BSD"
+  | Workloads.Api.Direct Workloads.Api.Lea | Workloads.Api.Emulated Workloads.Api.Lea
+    -> "Lea"
+  | Workloads.Api.Direct Workloads.Api.Gc | Workloads.Api.Emulated Workloads.Api.Gc
+    -> "GC"
+  | Workloads.Api.Region { safe = true } -> "Reg"
+  | Workloads.Api.Region { safe = false } -> "Unsafe"

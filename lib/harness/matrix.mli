@@ -1,0 +1,27 @@
+(** Memoised result matrix: every (workload, mode) pair is run at most
+    once per harness invocation, and every table and figure is derived
+    from the same runs (as in the paper, where one set of executions
+    feeds Tables 2-3 and Figures 8-11). *)
+
+type t
+
+val create : ?progress:(string -> unit) -> Workloads.Workload.size -> t
+val size : t -> Workloads.Workload.size
+
+val get : t -> Workloads.Workload.spec -> Workloads.Api.mode -> Workloads.Results.t
+
+val workloads : Workloads.Workload.spec list
+(** The six benchmarks, in the paper's order. *)
+
+val malloc_modes : Workloads.Workload.spec -> Workloads.Api.mode list
+(** The four malloc-ish columns (direct or emulated). *)
+
+val region_safe : Workloads.Api.mode
+val region_unsafe : Workloads.Api.mode
+
+val moss_slow_result : t -> Workloads.Results.t
+(** The single-region moss variant under safe regions (the "slow" bar
+    of Figures 9 and 10). *)
+
+val mode_label : Workloads.Api.mode -> string
+(** Paper-style column label: Sun, BSD, Lea, GC, Reg, Unsafe. *)

@@ -1,0 +1,35 @@
+let table ~header rows =
+  let rows = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 rows in
+  let width c =
+    List.fold_left
+      (fun m r -> match List.nth_opt r c with Some s -> max m (String.length s) | None -> m)
+      0 rows
+  in
+  let widths = List.init ncols width in
+  let render_row r =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let s = match List.nth_opt r c with Some s -> s | None -> "" in
+           if c = 0 then Printf.sprintf "%-*s" w s else Printf.sprintf "%*s" w s)
+         widths)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row (List.tl rows))
+
+let bar ~width a b =
+  let na = int_of_float (a *. float_of_int width +. 0.5) in
+  let nb = int_of_float (b *. float_of_int width +. 0.5) in
+  String.make na '#' ^ String.make nb '='
+
+let kb bytes = Printf.sprintf "%.1f" (float_of_int bytes /. 1024.)
+
+let mega n =
+  if n >= 10_000_000 then Printf.sprintf "%.1fM" (float_of_int n /. 1_000_000.)
+  else if n >= 10_000 then Printf.sprintf "%.0fk" (float_of_int n /. 1_000.)
+  else string_of_int n
+
+let pct f = Printf.sprintf "%.1f%%" (f *. 100.)

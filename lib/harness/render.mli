@@ -1,0 +1,18 @@
+(** Plain-text table and bar-chart rendering for the harness. *)
+
+val table : header:string list -> string list list -> string
+(** Aligned columns, first column left-justified, the rest right-
+    justified. *)
+
+val bar : width:int -> float -> float -> string
+(** [bar ~width fraction_a fraction_b] renders a horizontal bar of
+    [fraction_a + fraction_b] (of 1.0) total length, the first part
+    with '#', the second with '='. *)
+
+val kb : int -> string
+(** Bytes as a kilobyte figure with one decimal. *)
+
+val mega : int -> string
+(** Large counts as M/k-suffixed figures. *)
+
+val pct : float -> string

@@ -1,0 +1,7 @@
+(** Tables 2 and 3 of the paper: allocation behaviour of each
+    benchmark with regions (Table 2) and with malloc (Table 3),
+    measured on this repository's workloads, with the paper's reported
+    values shown alongside. *)
+
+val render_table2 : Matrix.t -> string
+val render_table3 : Matrix.t -> string

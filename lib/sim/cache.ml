@@ -1,0 +1,122 @@
+type level = {
+  line_bytes : int;
+  sets : int;
+  ways : int;
+  tags : int array;  (* [set * ways + way] = line id; -1 = invalid;
+                        way order is LRU (most recent first) *)
+}
+
+type t = {
+  cost : Cost.t;
+  l1 : level;
+  l2 : level;
+  l1_miss_penalty : int;
+  l2_miss_penalty : int;
+  sb_depth : int;
+  sb : int Queue.t;  (* completion cycle of outstanding stores *)
+  mutable sb_last_completion : int;
+  drain_hit : int;
+  drain_miss : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_misses : int;
+  mutable stores : int;
+}
+
+let make_level (g : Machine.cache_geometry) =
+  let lines = g.size_bytes / g.line_bytes in
+  if lines mod g.ways <> 0 then invalid_arg "Cache: ways must divide lines";
+  let sets = lines / g.ways in
+  {
+    line_bytes = g.line_bytes;
+    sets;
+    ways = g.ways;
+    tags = Array.make lines (-1);
+  }
+
+let create (m : Machine.t) cost =
+  {
+    cost;
+    l1 = make_level m.l1;
+    l2 = make_level m.l2;
+    l1_miss_penalty = m.l1_miss_penalty;
+    l2_miss_penalty = m.l2_miss_penalty;
+    sb_depth = m.store_buffer_depth;
+    sb = Queue.create ();
+    sb_last_completion = 0;
+    drain_hit = m.store_drain_hit;
+    drain_miss = m.store_drain_miss;
+    l1_hits = 0;
+    l1_misses = 0;
+    l2_misses = 0;
+    stores = 0;
+  }
+
+let line_id level addr = addr / level.line_bytes
+let set_of level line = line mod level.sets
+
+(* Probe an LRU set; on a hit, promote the way to most-recently-used. *)
+let probe level addr =
+  let line = line_id level addr in
+  let base = set_of level line * level.ways in
+  let rec find w = if w = level.ways then -1 else if level.tags.(base + w) = line then w else find (w + 1) in
+  match find 0 with
+  | -1 -> false
+  | w ->
+      for k = w downto 1 do
+        level.tags.(base + k) <- level.tags.(base + k - 1)
+      done;
+      level.tags.(base) <- line;
+      true
+
+(* Insert as most-recently-used, evicting the LRU way. *)
+let fill level addr =
+  let line = line_id level addr in
+  let base = set_of level line * level.ways in
+  for k = level.ways - 1 downto 1 do
+    level.tags.(base + k) <- level.tags.(base + k - 1)
+  done;
+  level.tags.(base) <- line
+
+let read t addr =
+  if probe t.l1 addr then t.l1_hits <- t.l1_hits + 1
+  else begin
+    t.l1_misses <- t.l1_misses + 1;
+    Cost.add_read_stall t.cost t.l1_miss_penalty;
+    if not (probe t.l2 addr) then begin
+      t.l2_misses <- t.l2_misses + 1;
+      Cost.add_read_stall t.cost t.l2_miss_penalty;
+      fill t.l2 addr
+    end;
+    fill t.l1 addr
+  end
+
+let write t addr =
+  t.stores <- t.stores + 1;
+  let now = Cost.cycles t.cost in
+  (* Retire completed stores. *)
+  let rec drain () =
+    match Queue.peek_opt t.sb with
+    | Some c when c <= now -> ignore (Queue.pop t.sb); drain ()
+    | Some _ | None -> ()
+  in
+  drain ();
+  if Queue.length t.sb >= t.sb_depth then begin
+    (* Buffer full: stall until the oldest entry retires. *)
+    let oldest = Queue.pop t.sb in
+    Cost.add_write_stall t.cost (oldest - now)
+  end;
+  (* L1 is write-through no-allocate: a store only updates an already
+     present line.  Drain latency depends on whether the line is in
+     L2 (the write-through target). *)
+  let latency = if probe t.l2 addr then t.drain_hit else t.drain_miss in
+  if not (probe t.l2 addr) then fill t.l2 addr;
+  let start = max (Cost.cycles t.cost) t.sb_last_completion in
+  let completion = start + latency in
+  t.sb_last_completion <- completion;
+  Queue.push completion t.sb
+
+let l1_hits t = t.l1_hits
+let l1_misses t = t.l1_misses
+let l2_misses t = t.l2_misses
+let stores t = t.stores

@@ -1,0 +1,68 @@
+type context = Base | Alloc | Refcount | Stack_scan | Cleanup
+
+type t = {
+  mutable base : int;
+  mutable alloc : int;
+  mutable refcount : int;
+  mutable stack_scan : int;
+  mutable cleanup : int;
+  mutable read_stalls : int;
+  mutable write_stalls : int;
+  mutable context : context;
+}
+
+let create () =
+  {
+    base = 0;
+    alloc = 0;
+    refcount = 0;
+    stack_scan = 0;
+    cleanup = 0;
+    read_stalls = 0;
+    write_stalls = 0;
+    context = Base;
+  }
+
+let reset t =
+  t.base <- 0;
+  t.alloc <- 0;
+  t.refcount <- 0;
+  t.stack_scan <- 0;
+  t.cleanup <- 0;
+  t.read_stalls <- 0;
+  t.write_stalls <- 0;
+  t.context <- Base
+
+let instr t n =
+  match t.context with
+  | Base -> t.base <- t.base + n
+  | Alloc -> t.alloc <- t.alloc + n
+  | Refcount -> t.refcount <- t.refcount + n
+  | Stack_scan -> t.stack_scan <- t.stack_scan + n
+  | Cleanup -> t.cleanup <- t.cleanup + n
+
+let context t = t.context
+
+let with_context t c f =
+  let saved = t.context in
+  t.context <- c;
+  match f () with
+  | v ->
+      t.context <- saved;
+      v
+  | exception e ->
+      t.context <- saved;
+      raise e
+
+let add_read_stall t n = t.read_stalls <- t.read_stalls + n
+let add_write_stall t n = t.write_stalls <- t.write_stalls + n
+let base_instrs t = t.base
+let alloc_instrs t = t.alloc
+let refcount_instrs t = t.refcount
+let stack_scan_instrs t = t.stack_scan
+let cleanup_instrs t = t.cleanup
+let memory_instrs t = t.alloc + t.refcount + t.stack_scan + t.cleanup
+let total_instrs t = t.base + memory_instrs t
+let read_stall_cycles t = t.read_stalls
+let write_stall_cycles t = t.write_stalls
+let cycles t = total_instrs t + t.read_stalls + t.write_stalls

@@ -1,0 +1,35 @@
+type cache_geometry = { size_bytes : int; line_bytes : int; ways : int }
+
+type t = {
+  word_bytes : int;
+  page_bytes : int;
+  l1 : cache_geometry;
+  l2 : cache_geometry;
+  l1_miss_penalty : int;
+  l2_miss_penalty : int;
+  store_buffer_depth : int;
+  store_drain_hit : int;
+  store_drain_miss : int;
+}
+
+let ultrasparc_i =
+  {
+    word_bytes = 4;
+    page_bytes = 4096;
+    l1 = { size_bytes = 16 * 1024; line_bytes = 32; ways = 1 };
+    l2 = { size_bytes = 512 * 1024; line_bytes = 64; ways = 1 };
+    l1_miss_penalty = 6;
+    l2_miss_penalty = 40;
+    store_buffer_depth = 8;
+    store_drain_hit = 3;
+    store_drain_miss = 12;
+  }
+
+let with_associativity m ~ways =
+  if ways <= 0 then invalid_arg "Machine.with_associativity";
+  { m with l1 = { m.l1 with ways }; l2 = { m.l2 with ways } }
+
+let round_up n multiple = (n + multiple - 1) / multiple * multiple
+let words m bytes = round_up bytes m.word_bytes / m.word_bytes
+let round_word m bytes = round_up bytes m.word_bytes
+let round_page m bytes = round_up bytes m.page_bytes

@@ -1,0 +1,45 @@
+(** Machine model parameters.
+
+    The simulated machine mirrors the paper's 167 MHz UltraSparc-I: a
+    32-bit address space with 4-byte words and 4 KB pages, a 16 KB
+    direct-mapped write-through L1 data cache with 32-byte lines, a
+    512 KB direct-mapped L2 cache with 64-byte lines, and a small store
+    buffer whose overflow produces write stalls. *)
+
+type cache_geometry = {
+  size_bytes : int;  (** total capacity *)
+  line_bytes : int;  (** line size; must be a power of two *)
+  ways : int;  (** associativity; 1 = direct-mapped (the UltraSparc) *)
+}
+
+type t = {
+  word_bytes : int;  (** machine word size (4, as on 32-bit SPARC) *)
+  page_bytes : int;  (** VM page size (4096) *)
+  l1 : cache_geometry;
+  l2 : cache_geometry;
+  l1_miss_penalty : int;  (** extra cycles for an L1 miss hitting in L2 *)
+  l2_miss_penalty : int;  (** extra cycles for an L2 miss *)
+  store_buffer_depth : int;  (** outstanding stores before stalling *)
+  store_drain_hit : int;  (** cycles to retire a store hitting in L2 *)
+  store_drain_miss : int;  (** cycles to retire a store missing in L2 *)
+}
+
+val ultrasparc_i : t
+(** The configuration used for all experiments in this repository:
+    both caches direct-mapped, as on the real machine. *)
+
+val with_associativity : t -> ways:int -> t
+(** The same machine with [ways]-associative caches (LRU): the
+    what-if ablation for the cache-conflict phenomena the paper's
+    region offsetting addresses. *)
+
+val words : t -> int -> int
+(** [words m bytes] is [bytes] rounded up to whole words, in words. *)
+
+val round_word : t -> int -> int
+(** [round_word m bytes] rounds [bytes] up to a multiple of the word
+    size. *)
+
+val round_page : t -> int -> int
+(** [round_page m bytes] rounds [bytes] up to a multiple of the page
+    size. *)

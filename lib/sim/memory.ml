@@ -1,0 +1,112 @@
+type t = {
+  machine : Machine.t;
+  cost : Cost.t;
+  cache : Cache.t option;
+  mutable data : Bytes.t;
+  mutable limit : int;  (* one past highest mapped byte *)
+  mutable os_bytes : int;
+}
+
+exception Fault of string
+
+let fault fmt = Fmt.kstr (fun s -> raise (Fault s)) fmt
+let max_memory = 1 lsl 29 (* 512 MB simulated address space cap *)
+
+let create ?(machine = Machine.ultrasparc_i) ?(with_cache = true) () =
+  let cost = Cost.create () in
+  let cache = if with_cache then Some (Cache.create machine cost) else None in
+  {
+    machine;
+    cost;
+    cache;
+    data = Bytes.make (1 lsl 20) '\000';
+    (* Page 0 is never mapped so that 0 can act as NULL. *)
+    limit = machine.Machine.page_bytes;
+    os_bytes = 0;
+  }
+
+let machine t = t.machine
+let cost t = t.cost
+let cache t = t.cache
+let os_bytes t = t.os_bytes
+let limit t = t.limit
+
+let ensure_capacity t bytes =
+  let cap = Bytes.length t.data in
+  if bytes > cap then begin
+    if bytes > max_memory then fault "simulated memory exhausted (%d bytes)" bytes;
+    let cap' = max (cap * 2) bytes in
+    let cap' = min max_memory cap' in
+    let data' = Bytes.make cap' '\000' in
+    Bytes.blit t.data 0 data' 0 cap;
+    t.data <- data'
+  end
+
+let map_pages t n =
+  if n <= 0 then invalid_arg "Memory.map_pages: n must be positive";
+  let bytes = n * t.machine.Machine.page_bytes in
+  let addr = t.limit in
+  ensure_capacity t (addr + bytes);
+  t.limit <- addr + bytes;
+  t.os_bytes <- t.os_bytes + bytes;
+  addr
+
+let is_mapped t addr = addr >= t.machine.Machine.page_bytes && addr < t.limit
+
+let check_word t addr =
+  if addr land 3 <> 0 then fault "unaligned word access at %#x" addr;
+  if not (is_mapped t addr) then fault "word access to unmapped address %#x" addr
+
+let check_byte t addr =
+  if not (is_mapped t addr) then fault "byte access to unmapped address %#x" addr
+
+let touch_read t addr =
+  Cost.instr t.cost 1;
+  match t.cache with Some c -> Cache.read c addr | None -> ()
+
+let touch_write t addr =
+  Cost.instr t.cost 1;
+  match t.cache with Some c -> Cache.write c addr | None -> ()
+
+let raw_load t addr = Int32.to_int (Bytes.get_int32_le t.data addr) land 0xFFFFFFFF
+
+let load t addr =
+  check_word t addr;
+  touch_read t addr;
+  raw_load t addr
+
+let load_signed t addr =
+  check_word t addr;
+  touch_read t addr;
+  Int32.to_int (Bytes.get_int32_le t.data addr)
+
+let store t addr v =
+  check_word t addr;
+  touch_write t addr;
+  Bytes.set_int32_le t.data addr (Int32.of_int v)
+
+let load_byte t addr =
+  check_byte t addr;
+  touch_read t addr;
+  Char.code (Bytes.get t.data addr)
+
+let store_byte t addr v =
+  check_byte t addr;
+  touch_write t addr;
+  Bytes.set t.data addr (Char.chr (v land 0xFF))
+
+let clear t addr bytes =
+  if bytes < 0 then invalid_arg "Memory.clear: negative length";
+  if addr land 3 <> 0 then fault "unaligned clear at %#x" addr;
+  let words = (bytes + 3) / 4 in
+  for i = 0 to words - 1 do
+    store t (addr + (i * 4)) 0
+  done
+
+let peek t addr =
+  check_word t addr;
+  raw_load t addr
+
+let poke t addr v =
+  check_word t addr;
+  Bytes.set_int32_le t.data addr (Int32.of_int v)

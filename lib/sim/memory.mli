@@ -1,0 +1,62 @@
+(** Simulated 32-bit byte-addressable memory.
+
+    All allocators, their metadata, and all workload data structures
+    live here, exactly as a C program's heap lives in its address
+    space.  Memory is handed out in 4 KB pages ({!map_pages}), modelling
+    requests to the operating system; {!os_bytes} is therefore the
+    "memory requested from the OS" measured in Figure 8 of the paper.
+
+    Every access charges one instruction to the attached {!Cost.t} and,
+    when a cache is attached, simulates the cache hierarchy.  Address 0
+    is never mapped, so 0 serves as NULL. *)
+
+type t
+
+exception Fault of string
+(** Raised on invalid accesses (unmapped, unaligned, out of range). *)
+
+val create : ?machine:Machine.t -> ?with_cache:bool -> unit -> t
+(** [create ()] returns a fresh memory with its own cost accounting.
+    [with_cache] defaults to [true]. *)
+
+val machine : t -> Machine.t
+val cost : t -> Cost.t
+val cache : t -> Cache.t option
+
+val map_pages : t -> int -> int
+(** [map_pages t n] maps [n] fresh contiguous pages and returns the
+    address of the first.  Models an [sbrk]/[mmap] request. *)
+
+val os_bytes : t -> int
+(** Total bytes ever mapped from the simulated OS. *)
+
+val limit : t -> int
+(** One past the highest mapped address. *)
+
+val is_mapped : t -> int -> bool
+
+val load : t -> int -> int
+(** [load t addr] reads the 32-bit word at word-aligned [addr],
+    zero-extended to an OCaml [int]. *)
+
+val load_signed : t -> int -> int
+(** As {!load} but sign-extends from 32 bits. *)
+
+val store : t -> int -> int -> unit
+(** [store t addr v] writes the low 32 bits of [v] at word-aligned
+    [addr]. *)
+
+val load_byte : t -> int -> int
+val store_byte : t -> int -> int -> unit
+
+val clear : t -> int -> int -> unit
+(** [clear t addr bytes] zeroes [bytes] bytes starting at word-aligned
+    [addr], charging one instruction per word (the paper's region
+    allocator clears every [ralloc]ed object). *)
+
+val peek : t -> int -> int
+(** Cost-free word read for tests and debugging; not for simulation
+    paths. *)
+
+val poke : t -> int -> int -> unit
+(** Cost-free word write for tests and debugging. *)

@@ -1,0 +1,264 @@
+type backend = Sun | Bsd | Lea | Gc
+
+type mode =
+  | Direct of backend
+  | Emulated of backend
+  | Region of { safe : bool }
+
+let backend_name = function Sun -> "sun" | Bsd -> "bsd" | Lea -> "lea" | Gc -> "gc"
+
+let mode_name = function
+  | Direct b -> backend_name b
+  | Emulated b -> "emu-" ^ backend_name b
+  | Region { safe = true } -> "region"
+  | Region { safe = false } -> "unsafe"
+
+let all_modes =
+  [
+    Direct Sun;
+    Direct Bsd;
+    Direct Lea;
+    Direct Gc;
+    Emulated Sun;
+    Emulated Bsd;
+    Emulated Lea;
+    Emulated Gc;
+    Region { safe = true };
+    Region { safe = false };
+  ]
+
+type region = int
+
+type t = {
+  mode : mode;
+  mem : Sim.Memory.t;
+  mut : Regions.Mutator.t;
+  alloc : Alloc.Allocator.t option;  (* Direct and Emulated *)
+  gc : Gcsim.Boehm.t option;
+  emu : Regions.Emulation.t option;
+  reg : Regions.Region.t option;
+  req : Alloc.Stats.t;  (* program-requested accounting *)
+  region_objects : (int, (int * int) list ref) Hashtbl.t;
+  mutable emu_overhead : int;  (* current bytes of emulation bookkeeping *)
+  mutable emu_overhead_max : int;
+  root_providers : ((int -> unit) -> unit) list ref;
+}
+
+let create ?machine ?(with_cache = true) ?(globals_words = 1024)
+    ?(offset_regions = true) ?(eager_locals = false) mode =
+  let mem = Sim.Memory.create ?machine ~with_cache () in
+  let mut = Regions.Mutator.create ~globals_words mem in
+  let providers = ref [] in
+  let roots f =
+    Regions.Mutator.iter_roots mut f;
+    List.iter (fun prov -> prov f) !providers
+  in
+  let make_backend = function
+    | Sun -> (Some (Alloc.Sun.create mem), None)
+    | Bsd -> (Some (Alloc.Bsd.create mem), None)
+    | Lea -> (Some (Alloc.Lea.create mem), None)
+    | Gc ->
+        let a, g = Gcsim.Boehm.create ~roots mem in
+        (Some a, Some g)
+  in
+  let alloc, gc, emu, reg =
+    match mode with
+    | Direct b ->
+        let a, g = make_backend b in
+        (a, g, None, None)
+    | Emulated b ->
+        let a, g = make_backend b in
+        (a, g, Some (Regions.Emulation.create (Option.get a)), None)
+    | Region { safe } ->
+        let cleanups = Regions.Cleanup.create () in
+        ( None,
+          None,
+          None,
+          Some
+            (Regions.Region.create ~safe ~offset_regions ~eager_locals cleanups
+               mut) )
+  in
+  {
+    mode;
+    mem;
+    mut;
+    alloc;
+    gc;
+    emu;
+    reg;
+    req = Alloc.Stats.create ();
+    region_objects = Hashtbl.create 64;
+    emu_overhead = 0;
+    emu_overhead_max = 0;
+    root_providers = providers;
+  }
+
+(* Register extra GC roots: the addresses a workload's own bookkeeping
+   keeps live — the stand-in for the C locals the conservative
+   collector would scan.  Harmless in non-GC modes. *)
+let add_roots t prov = t.root_providers := prov :: !(t.root_providers)
+
+let mode t = t.mode
+
+let kind t =
+  match t.mode with Direct _ -> `Malloc | Emulated _ | Region _ -> `Region
+
+let memory t = t.mem
+let mutator t = t.mut
+let cost t = Sim.Memory.cost t.mem
+let load t = Sim.Memory.load t.mem
+let load_signed t = Sim.Memory.load_signed t.mem
+let store t = Sim.Memory.store t.mem
+let load_byte t = Sim.Memory.load_byte t.mem
+let store_byte t = Sim.Memory.store_byte t.mem
+
+let store_ptr t ~addr v =
+  match t.reg with
+  | Some lib -> Regions.Region.write_ptr lib ~addr v
+  | None -> Sim.Memory.store t.mem addr v
+
+let work t n = Sim.Cost.instr (cost t) n
+
+let with_frame t ~nslots ~ptr_slots f =
+  Regions.Mutator.with_frame t.mut ~nslots ~ptr_slots f
+
+let set_local t fr i v = Regions.Mutator.set_local t.mut fr i v
+
+let set_local_ptr t fr i v =
+  match t.reg with
+  | Some lib -> Regions.Region.set_local_ptr lib fr i v
+  | None -> Regions.Mutator.set_local t.mut fr i v
+
+let get_local = Regions.Mutator.get_local
+
+(* ------------------------------------------------------------------ *)
+(* malloc / free *)
+
+let unsupported t what =
+  invalid_arg (Fmt.str "%s is not available in mode %s" what (mode_name t.mode))
+
+let malloc t size =
+  match (t.mode, t.alloc) with
+  | Direct _, Some a ->
+      let p = a.Alloc.Allocator.malloc size in
+      Alloc.Stats.on_alloc t.req ~addr:p ~size;
+      p
+  | _ -> unsupported t "malloc"
+
+let free t addr =
+  match (t.mode, t.alloc) with
+  | Direct Gc, Some _ ->
+      (* Frees are compiled out under the collector; only the logical
+         accounting proceeds. *)
+      Alloc.Stats.on_free t.req addr
+  | Direct _, Some a ->
+      Alloc.Stats.on_free t.req addr;
+      a.Alloc.Allocator.free addr
+  | _ -> unsupported t "free"
+
+(* ------------------------------------------------------------------ *)
+(* Regions *)
+
+let track_object t r addr size =
+  Alloc.Stats.on_alloc t.req ~addr ~size;
+  match Hashtbl.find_opt t.region_objects r with
+  | Some l -> l := (addr, size) :: !l
+  | None -> Hashtbl.replace t.region_objects r (ref [ (addr, size) ])
+
+let bump_emu_overhead t bytes =
+  t.emu_overhead <- t.emu_overhead + bytes;
+  if t.emu_overhead > t.emu_overhead_max then t.emu_overhead_max <- t.emu_overhead
+
+let newregion t =
+  match (t.reg, t.emu) with
+  | Some lib, _ -> Regions.Region.newregion lib
+  | None, Some emu ->
+      let r = Regions.Emulation.newregion emu in
+      bump_emu_overhead t 12 (* region record + its malloc header *);
+      r
+  | None, None -> unsupported t "newregion"
+
+let ralloc t r layout =
+  match (t.reg, t.emu) with
+  | Some lib, _ ->
+      let p = Regions.Region.ralloc lib r layout in
+      track_object t r p layout.Regions.Cleanup.size_bytes;
+      p
+  | None, Some emu ->
+      let p = Regions.Emulation.ralloc emu r layout.Regions.Cleanup.size_bytes in
+      track_object t r p layout.Regions.Cleanup.size_bytes;
+      bump_emu_overhead t Regions.Emulation.overhead_per_object;
+      p
+  | None, None -> unsupported t "ralloc"
+
+let rstralloc t r size =
+  match (t.reg, t.emu) with
+  | Some lib, _ ->
+      let p = Regions.Region.rstralloc lib r size in
+      track_object t r p size;
+      p
+  | None, Some emu ->
+      let p = Regions.Emulation.rstralloc emu r size in
+      track_object t r p size;
+      bump_emu_overhead t Regions.Emulation.overhead_per_object;
+      p
+  | None, None -> unsupported t "rstralloc"
+
+let rarrayalloc t r ~n layout =
+  match (t.reg, t.emu) with
+  | Some lib, _ ->
+      let p = Regions.Region.rarrayalloc lib r ~n layout in
+      track_object t r p (n * layout.Regions.Cleanup.size_bytes);
+      p
+  | None, Some emu ->
+      let bytes = n * Regions.Cleanup.stride layout in
+      let p = Regions.Emulation.ralloc emu r bytes in
+      track_object t r p bytes;
+      bump_emu_overhead t Regions.Emulation.overhead_per_object;
+      p
+  | None, None -> unsupported t "rarrayalloc"
+
+let forget_region t r =
+  match Hashtbl.find_opt t.region_objects r with
+  | Some l ->
+      List.iter (fun (addr, _) -> Alloc.Stats.on_free t.req addr) !l;
+      (match t.emu with
+      | Some _ ->
+          t.emu_overhead <-
+            t.emu_overhead - 12
+            - (List.length !l * Regions.Emulation.overhead_per_object)
+      | None -> ());
+      Hashtbl.remove t.region_objects r
+  | None -> if t.emu <> None then t.emu_overhead <- t.emu_overhead - 12
+
+let deleteregion t fr slot =
+  match (t.reg, t.emu) with
+  | Some lib, _ ->
+      let r = Regions.Mutator.get_local fr slot in
+      let ok = Regions.Region.deleteregion lib (Regions.Region.In_frame (fr, slot)) in
+      if ok then forget_region t r;
+      ok
+  | None, Some emu ->
+      let r = Regions.Mutator.get_local fr slot in
+      Regions.Emulation.deleteregion emu r;
+      forget_region t r;
+      Regions.Mutator.set_local t.mut fr slot 0;
+      true
+  | None, None -> unsupported t "deleteregion"
+
+(* ------------------------------------------------------------------ *)
+(* Measurement *)
+
+let requested_stats t = t.req
+
+let os_bytes t =
+  match (t.mode, t.alloc, t.reg) with
+  | _, Some a, _ -> Alloc.Stats.os_bytes a.Alloc.Allocator.stats
+  | _, None, Some lib -> Regions.Region.os_bytes lib
+  | _, None, None -> 0
+
+let region_rstats t = Option.map Regions.Region.rstats t.reg
+let emulation_overhead_bytes t = t.emu_overhead_max
+let allocator t = t.alloc
+let region_lib t = t.reg
+let gc t = t.gc

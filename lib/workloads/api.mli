@@ -1,0 +1,125 @@
+(** Unified memory-management facade for the benchmark workloads.
+
+    The paper runs each benchmark against several managers: three
+    malloc/free libraries, the Boehm–Weiser collector, safe and unsafe
+    regions, and a region-emulation library over malloc (section 5.2).
+    A workload written against this facade runs under any of them:
+
+    - [Direct backend] — the workload's malloc/free variant against
+      Sun, BSD, Lea or the conservative GC (whose [free] is a no-op);
+    - [Emulated backend] — the workload's {e region} variant with
+      regions emulated over the given malloc (the paper's "emulation"
+      library, used to produce the malloc columns of the originally
+      region-based benchmarks mudlle and lcc);
+    - [Region { safe }] — the real region library, safe or unsafe.
+
+    The facade also tracks what the {e program} requested
+    ({!requested_stats}) independently of what the manager consumed,
+    which is the "requested" bar of Figure 8. *)
+
+type backend = Sun | Bsd | Lea | Gc
+
+type mode =
+  | Direct of backend
+  | Emulated of backend
+  | Region of { safe : bool }
+
+val mode_name : mode -> string
+val all_modes : mode list
+
+type t
+
+(** [create mode] builds a fresh simulated machine with the requested
+    memory manager.  [offset_regions] and [eager_locals] select the
+    region-library ablations of {!Regions.Region.create}; they only
+    matter under [Region] modes. *)
+val create :
+  ?machine:Sim.Machine.t ->
+  ?with_cache:bool ->
+  ?globals_words:int ->
+  ?offset_regions:bool ->
+  ?eager_locals:bool ->
+  mode ->
+  t
+val mode : t -> mode
+
+val kind : t -> [ `Malloc | `Region ]
+(** Which workload variant should run: [`Malloc] for [Direct],
+    [`Region] for [Emulated] and [Region]. *)
+
+val memory : t -> Sim.Memory.t
+val mutator : t -> Regions.Mutator.t
+val cost : t -> Sim.Cost.t
+
+(** {1 Memory access} *)
+
+val load : t -> int -> int
+val load_signed : t -> int -> int
+val store : t -> int -> int -> unit
+val load_byte : t -> int -> int
+val store_byte : t -> int -> int -> unit
+
+val store_ptr : t -> addr:int -> int -> unit
+(** Pointer store: the write barrier of Figure 5 under safe regions, a
+    plain store everywhere else. *)
+
+val work : t -> int -> unit
+(** Charge computational (base) work. *)
+
+(** {1 Frames} *)
+
+val with_frame :
+  t -> nslots:int -> ptr_slots:int list -> (Regions.Mutator.frame -> 'a) -> 'a
+
+val add_roots : t -> ((int -> unit) -> unit) -> unit
+(** Register an extra conservative-root iterator (the addresses a
+    workload's own bookkeeping keeps live — the stand-in for C locals
+    the collector would scan).  No effect outside GC modes. *)
+
+val set_local : t -> Regions.Mutator.frame -> int -> int -> unit
+val set_local_ptr : t -> Regions.Mutator.frame -> int -> int -> unit
+val get_local : Regions.Mutator.frame -> int -> int
+
+(** {1 malloc/free (Direct modes)} *)
+
+val malloc : t -> int -> int
+val free : t -> int -> unit
+(** Logical deallocation: calls the allocator's [free] under Sun, BSD
+    and Lea; is free of charge under the collector (the paper disables
+    frees); and updates requested-bytes accounting everywhere. *)
+
+(** {1 Regions (Emulated and Region modes)} *)
+
+type region = int
+
+val newregion : t -> region
+val ralloc : t -> region -> Regions.Cleanup.layout -> int
+val rstralloc : t -> region -> int -> int
+val rarrayalloc : t -> region -> n:int -> Regions.Cleanup.layout -> int
+
+val deleteregion : t -> Regions.Mutator.frame -> int -> bool
+(** [deleteregion t frame slot] deletes the region whose handle is in
+    the given local slot.  Under real safe regions this can fail
+    (returns [false]); under unsafe and emulated regions it always
+    succeeds. *)
+
+(** {1 Measurement} *)
+
+val requested_stats : t -> Alloc.Stats.t
+(** What the program asked for, independent of manager overheads. *)
+
+val os_bytes : t -> int
+(** Memory requested from the OS by the manager (Figure 8), including
+    the region page-map overhead where applicable. *)
+
+val region_rstats : t -> Regions.Rstats.t option
+(** Region statistics under [Region] modes (Table 2). *)
+
+val emulation_overhead_bytes : t -> int
+(** Bytes attributable purely to emulation (per-object links and
+    region records) at peak, for the "w/o overhead" rows of Table 3 /
+    Figure 8.  Zero in other modes. *)
+
+val allocator : t -> Alloc.Allocator.t option
+val region_lib : t -> Regions.Region.t option
+val gc : t -> Gcsim.Boehm.t option

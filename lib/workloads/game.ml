@@ -1,0 +1,161 @@
+type params = {
+  ticks : int;
+  spawn_per_tick : int;
+  max_lifetime : int;
+  correlated : bool;
+  entity_words : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    ticks = 120;
+    spawn_per_tick = 40;
+    max_lifetime = 40;
+    correlated = false;
+    entity_words = 24;
+    seed = 77;
+  }
+
+let correlated_params = { default_params with correlated = true }
+
+type outcome = {
+  spawned : int;
+  peak_live_entities : int;
+  peak_os_bytes : int;
+  peak_live_bytes : int;
+}
+
+(* Per-entity storage strategy: the malloc variant frees entities as
+   they die; the region variant groups each spawn wave in a region
+   that can only be deleted once its last entity is dead. *)
+type storage = {
+  begin_wave : int -> unit;  (* wave number *)
+  spawn : int -> int;  (* wave -> entity address *)
+  death : wave:int -> addr:int -> unit;
+  finish : unit -> unit;
+}
+
+let region_storage api (params : params) =
+  let nwaves = params.ticks + 2 in
+  let handle w = Regions.Mutator.global_addr (Api.mutator api) w in
+  let live = Array.make nwaves 0 in
+  let open_waves = Array.make nwaves false in
+  let layout = Regions.Cleanup.layout_words params.entity_words in
+  let delete_wave w =
+    (* Move the handle into a frame slot, clear the global, delete:
+       the slot is then the region's only remaining reference. *)
+    Api.with_frame api ~nslots:1 ~ptr_slots:[ 0 ] (fun fr ->
+        Api.set_local_ptr api fr 0 (Api.load api (handle w));
+        Api.store_ptr api ~addr:(handle w) 0;
+        let deleted = Api.deleteregion api fr 0 in
+        assert deleted);
+    open_waves.(w) <- false
+  in
+  {
+    begin_wave =
+      (fun w ->
+        let r = Api.newregion api in
+        Api.store_ptr api ~addr:(handle w) r;
+        open_waves.(w) <- true;
+        live.(w) <- 0);
+    spawn =
+      (fun w ->
+        live.(w) <- live.(w) + 1;
+        Api.ralloc api (Api.load api (handle w)) layout);
+    death =
+      (fun ~wave ~addr ->
+        ignore addr;
+        live.(wave) <- live.(wave) - 1;
+        if live.(wave) = 0 && open_waves.(wave) then delete_wave wave);
+    finish =
+      (fun () ->
+        Array.iteri (fun w opened -> if opened then delete_wave w) open_waves);
+  }
+
+let malloc_storage api (params : params) =
+  let live = ref [] in
+  Api.add_roots api (fun f -> List.iter f !live);
+  let bytes = params.entity_words * 4 in
+  {
+    begin_wave = (fun _ -> ());
+    spawn =
+      (fun _ ->
+        let p = Api.malloc api bytes in
+        live := p :: !live;
+        p);
+    death =
+      (fun ~wave ~addr ->
+        ignore wave;
+        live := List.filter (fun p -> p <> addr) !live;
+        Api.free api addr);
+    finish =
+      (fun () ->
+        List.iter (Api.free api) !live;
+        live := []);
+  }
+
+let run api (params : params) =
+  let rng = Sim.Rng.create params.seed in
+  let st =
+    match Api.kind api with
+    | `Region -> region_storage api params
+    | `Malloc -> malloc_storage api params
+  in
+  let horizon = params.ticks + params.max_lifetime + 2 in
+  let deaths = Array.make horizon [] in
+  let spawned = ref 0 in
+  let live_now = ref 0 in
+  let peak_live = ref 0 in
+  let peak_os = ref 0 in
+  let peak_bytes = ref 0 in
+  for t = 0 to params.ticks - 1 do
+    Api.work api 200 (* simulation step: physics, AI, rendering *);
+    st.begin_wave t;
+    for _ = 1 to params.spawn_per_tick do
+      Api.work api 30;
+      let addr = st.spawn t in
+      (* touch the entity *)
+      Api.store api addr t;
+      Api.store api (addr + 4) (Sim.Rng.int rng 1000);
+      incr spawned;
+      incr live_now;
+      let death_tick =
+        if params.correlated then
+          (* the whole wave dies together, a fixed time later *)
+          t + (params.max_lifetime / 2)
+        else (* the paper's problem: lifetimes depend on play *)
+          t + 1 + Sim.Rng.int rng params.max_lifetime
+      in
+      deaths.(death_tick) <- (t, addr) :: deaths.(death_tick)
+    done;
+    List.iter
+      (fun (wave, addr) ->
+        Api.work api 30;
+        (* last read of the dying entity *)
+        ignore (Api.load api addr);
+        st.death ~wave ~addr;
+        decr live_now)
+      deaths.(t);
+    deaths.(t) <- [];
+    peak_live := max !peak_live !live_now;
+    peak_os := max !peak_os (Api.os_bytes api);
+    peak_bytes :=
+      max !peak_bytes (Alloc.Stats.live_bytes (Api.requested_stats api))
+  done;
+  (* Drain the remaining deaths. *)
+  for t = params.ticks to horizon - 1 do
+    List.iter
+      (fun (wave, addr) ->
+        st.death ~wave ~addr;
+        decr live_now)
+      deaths.(t);
+    deaths.(t) <- []
+  done;
+  st.finish ();
+  {
+    spawned = !spawned;
+    peak_live_entities = !peak_live;
+    peak_os_bytes = max !peak_os (Api.os_bytes api);
+    peak_live_bytes = !peak_bytes;
+  }

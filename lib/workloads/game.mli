@@ -1,0 +1,41 @@
+(** The paper's counter-example (section 1): "One example we
+    encountered is a game where objects are allocated and deallocated
+    as the result of the player's actions; there is no way to place
+    objects with similar lifetimes in a common region."
+
+    This workload simulates such a game: every tick spawns a wave of
+    entities whose death ticks are either {e random} (the paper's
+    problem case) or {e correlated} with their spawn wave (the control
+    case where regions work).  The region variant puts each wave in
+    its own region, deletable only when the wave's last entity dies;
+    the malloc variant frees each entity at death.
+
+    With random lifetimes, the region variant's memory footprint
+    balloons (a single survivor pins its whole wave); with correlated
+    lifetimes it matches malloc.  Both directions are asserted by the
+    test suite and printed by the harness's "limitation"
+    experiment. *)
+
+type params = {
+  ticks : int;
+  spawn_per_tick : int;
+  max_lifetime : int;
+  correlated : bool;  (** lifetimes correlated with the spawn wave *)
+  entity_words : int;
+  seed : int;
+}
+
+val default_params : params
+(** Random lifetimes: the paper's problem case. *)
+
+val correlated_params : params
+(** Wave-correlated lifetimes: regions behave well. *)
+
+type outcome = {
+  spawned : int;
+  peak_live_entities : int;
+  peak_os_bytes : int;  (** manager footprint at its worst moment *)
+  peak_live_bytes : int;  (** what the program actually needed *)
+}
+
+val run : Api.t -> params -> outcome

@@ -1,0 +1,343 @@
+type params = {
+  nvars : int;
+  npolys : int;
+  nterms : int;
+  maxdeg : int;
+  field_prime : int;
+  max_pairs : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    nvars = 5;
+    npolys = 4;
+    nterms = 4;
+    maxdeg = 2;
+    field_prime = 32003;
+    max_pairs = 60;
+    seed = 42;
+  }
+
+let large_params = { default_params with max_pairs = 110 }
+
+type outcome = { basis_size : int; pairs_processed : int; reductions_to_zero : int }
+
+(* ------------------------------------------------------------------ *)
+(* Polynomials: linked lists of term nodes in the simulated heap.
+   Node layout: [coeff][e_0 .. e_{nvars-1}][next].  The list is sorted
+   descending in degree-lexicographic order; 0 is the zero
+   polynomial. *)
+
+type pctx = {
+  api : Api.t;
+  nvars : int;
+  prime : int;
+  mutable alloc_term : unit -> int;  (* current scratch allocator *)
+  mutable link : int -> int -> unit;  (* pointer store for [next] *)
+}
+
+let off_next ctx = 4 + (4 * ctx.nvars)
+let node_size ctx = 8 + (4 * ctx.nvars)
+
+let term_layout ctx =
+  Regions.Cleanup.layout ~size_bytes:(node_size ctx)
+    ~ptr_offsets:[ off_next ctx ]
+
+let coeff ctx t = Api.load ctx.api t
+let exp ctx t i = Api.load ctx.api (t + 4 + (4 * i))
+let next ctx t = Api.load ctx.api (t + off_next ctx)
+
+(* Allocate a term with the given coefficient and exponent array; the
+   [next] field is linked by the caller. *)
+let make_term ctx c exps =
+  let t = ctx.alloc_term () in
+  Api.store ctx.api t c;
+  for i = 0 to ctx.nvars - 1 do
+    if exps.(i) <> 0 then Api.store ctx.api (t + 4 + (4 * i)) exps.(i)
+  done;
+  (* the next field is already null: ralloc clears objects *)
+  t
+
+let read_exps ctx t = Array.init ctx.nvars (fun i -> exp ctx t i)
+
+(* Degree-lexicographic order on exponent arrays. *)
+let mono_cmp ctx a b =
+  Api.work ctx.api (ctx.nvars + 2);
+  let deg x = Array.fold_left ( + ) 0 x in
+  let da = deg a and db = deg b in
+  if da <> db then compare da db
+  else begin
+    let rec go i =
+      if i = ctx.nvars then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i + 1)
+    in
+    go 0
+  end
+
+let mono_divides a b = Array.for_all2 (fun x y -> x <= y) a b
+let mono_sub a b = Array.map2 (fun x y -> x - y) b a (* b - a *)
+let mono_add a b = Array.map2 ( + ) a b
+let mono_lcm a b = Array.map2 max a b
+
+let powmod b e m =
+  let rec go b e acc =
+    if e = 0 then acc
+    else go (b * b mod m) (e lsr 1) (if e land 1 = 1 then acc * b mod m else acc)
+  in
+  go (b mod m) e 1
+
+let inv ctx c =
+  (* ~15 square-and-multiply steps; integer multiply and divide are
+     multi-cycle operations on the paper's UltraSparc *)
+  Api.work ctx.api 300;
+  powmod c (ctx.prime - 2) ctx.prime
+
+(* out = fc * x^fs * f + gc * x^gs * g, building a fresh list.  This
+   one merge implements polynomial addition, S-polynomials and
+   reduction steps. *)
+let combine ctx ~fc ~fs f ~gc ~gs g =
+  let head = ref 0 in
+  let tail = ref 0 in
+  let append c exps =
+    (* two multiply+mod pairs per coefficient (integer divide alone is
+       ~36 cycles on the UltraSparc) plus monomial arithmetic *)
+    Api.work ctx.api ((2 * ctx.nvars) + 85);
+    if c <> 0 then begin
+      let t = make_term ctx c exps in
+      if !tail = 0 then head := t else ctx.link (!tail + off_next ctx) t;
+      tail := t
+    end
+  in
+  let rec go f g =
+    Api.work ctx.api 4;
+    match (f, g) with
+    | 0, 0 -> ()
+    | 0, g ->
+        append (gc * coeff ctx g mod ctx.prime) (mono_add gs (read_exps ctx g));
+        go 0 (next ctx g)
+    | f, 0 ->
+        append (fc * coeff ctx f mod ctx.prime) (mono_add fs (read_exps ctx f));
+        go (next ctx f) 0
+    | f, g -> (
+        let mf = mono_add fs (read_exps ctx f) in
+        let mg = mono_add gs (read_exps ctx g) in
+        match mono_cmp ctx mf mg with
+        | c when c > 0 ->
+            append (fc * coeff ctx f mod ctx.prime) mf;
+            go (next ctx f) g
+        | c when c < 0 ->
+            append (gc * coeff ctx g mod ctx.prime) mg;
+            go f (next ctx g)
+        | _ ->
+            append (((fc * coeff ctx f) + (gc * coeff ctx g)) mod ctx.prime) mf;
+            go (next ctx f) (next ctx g))
+  in
+  go f g;
+  !head
+
+let zero_shift ctx = Array.make ctx.nvars 0
+
+(* Reduce [r] to normal form modulo the basis [gs] (an array of
+   polynomial heads).  Irreducible leading terms are peeled off into
+   the result. *)
+let reduce ctx gs r =
+  let out_head = ref 0 in
+  let out_tail = ref 0 in
+  let emit c exps =
+    let t = make_term ctx c exps in
+    if !out_tail = 0 then out_head := t else ctx.link (!out_tail + off_next ctx) t;
+    out_tail := t
+  in
+  let rec go r =
+    if r <> 0 then begin
+      let lm = read_exps ctx r in
+      let lc = coeff ctx r in
+      Api.work ctx.api ((Array.length gs * 2) + 30) (* divisibility tests *);
+      match
+        Array.find_opt (fun g -> mono_divides (read_exps ctx g) lm) gs
+      with
+      | Some g ->
+          let shift = mono_sub (read_exps ctx g) lm in
+          let c = ctx.prime - (lc * inv ctx (coeff ctx g) mod ctx.prime) in
+          go (combine ctx ~fc:1 ~fs:(zero_shift ctx) r ~gc:c ~gs:shift g)
+      | None ->
+          emit lc lm;
+          go (next ctx r)
+    end
+  in
+  go r;
+  !out_head
+
+let spoly ctx f g =
+  let mf = read_exps ctx f and mg = read_exps ctx g in
+  let l = mono_lcm mf mg in
+  let cf = inv ctx (coeff ctx f) in
+  let cg = ctx.prime - (inv ctx (coeff ctx g) mod ctx.prime) in
+  combine ctx ~fc:cf ~fs:(mono_sub mf l) f ~gc:cg ~gs:(mono_sub mg l) g
+
+(* Make monic and copy into the destination allocator. *)
+let copy_normalised ctx ~dst_alloc ~dst_link f =
+  let saved_alloc = ctx.alloc_term and saved_link = ctx.link in
+  ctx.alloc_term <- dst_alloc;
+  ctx.link <- dst_link;
+  let c = inv ctx (coeff ctx f) in
+  let out = combine ctx ~fc:c ~fs:(zero_shift ctx) f ~gc:0 ~gs:(zero_shift ctx) 0 in
+  ctx.alloc_term <- saved_alloc;
+  ctx.link <- saved_link;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Storage strategies *)
+
+type storage = {
+  basis_alloc : unit -> int;
+  basis_link : int -> int -> unit;
+  new_scratch : unit -> unit;  (* dispose the scratch and start fresh *)
+  finish : unit -> unit;
+}
+
+(* Frame slots: 0 = basis region, 1 = scratch region, 2 = spare. *)
+let region_storage api fr ctx =
+  let basis = Api.newregion api in
+  Api.set_local_ptr api fr 0 basis;
+  Api.set_local_ptr api fr 1 (Api.newregion api);
+  let layout = term_layout ctx in
+  ctx.alloc_term <- (fun () -> Api.ralloc api (Api.get_local fr 1) layout);
+  ctx.link <- (fun addr v -> Api.store_ptr api ~addr v);
+  {
+    basis_alloc = (fun () -> Api.ralloc api basis layout);
+    basis_link = (fun addr v -> Api.store_ptr api ~addr v);
+    new_scratch =
+      (fun () ->
+        let ok = Api.deleteregion api fr 1 in
+        assert ok;
+        Api.set_local_ptr api fr 1 (Api.newregion api));
+    finish =
+      (fun () ->
+        ignore (Api.deleteregion api fr 1);
+        ignore (Api.deleteregion api fr 0));
+  }
+
+let malloc_storage api _fr ctx =
+  let scratch = ref [] in
+  let basis = ref [] in
+  Api.add_roots api (fun f ->
+      List.iter f !scratch;
+      List.iter f !basis);
+  let size = node_size ctx in
+  (* make_term relies on cleared storage (as ralloc guarantees), so
+     the malloc variant clears its term nodes too. *)
+  ctx.alloc_term <-
+    (fun () ->
+      let p = Api.malloc api size in
+      Sim.Memory.clear (Api.memory api) p size;
+      scratch := p :: !scratch;
+      p);
+  ctx.link <- (fun addr v -> Api.store api addr v);
+  {
+    basis_alloc =
+      (fun () ->
+        let p = Api.malloc api size in
+        Sim.Memory.clear (Api.memory api) p size;
+        basis := p :: !basis;
+        p);
+    basis_link = (fun addr v -> Api.store api addr v);
+    new_scratch =
+      (fun () ->
+        List.iter (Api.free api) !scratch;
+        scratch := []);
+    finish =
+      (fun () ->
+        List.iter (Api.free api) !scratch;
+        List.iter (Api.free api) !basis;
+        scratch := [];
+        basis := []);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Buchberger's algorithm *)
+
+let random_polys ctx st (params : params) =
+  let rng = Sim.Rng.create params.seed in
+  List.init params.npolys (fun _ ->
+      (* Build each input polynomial directly in the basis storage by
+         summing random monomials (summing removes duplicates). *)
+      let acc = ref 0 in
+      for _ = 1 to params.nterms do
+        let c = 1 + Sim.Rng.int rng (params.field_prime - 1) in
+        let exps =
+          Array.init params.nvars (fun _ -> Sim.Rng.int rng (params.maxdeg + 1))
+        in
+        let t =
+          copy_normalised ctx ~dst_alloc:st.basis_alloc ~dst_link:st.basis_link
+            (make_term ctx c exps)
+        in
+        acc :=
+          copy_normalised ctx ~dst_alloc:st.basis_alloc ~dst_link:st.basis_link
+            (combine ctx ~fc:1 ~fs:(zero_shift ctx) !acc ~gc:c
+               ~gs:(zero_shift ctx) t)
+      done;
+      !acc)
+  |> List.filter (fun p -> p <> 0)
+
+let run api (params : params) =
+  Api.with_frame api ~nslots:3 ~ptr_slots:[ 0; 1; 2 ] (fun fr ->
+      let ctx =
+        {
+          api;
+          nvars = params.nvars;
+          prime = params.field_prime;
+          alloc_term = (fun () -> assert false);
+          link = (fun _ _ -> assert false);
+        }
+      in
+      let st =
+        match Api.kind api with
+        | `Region -> region_storage api fr ctx
+        | `Malloc -> malloc_storage api fr ctx
+      in
+      (* needs a scratch allocator for make_term during input setup *)
+      let basis = ref (Array.of_list (random_polys ctx st params)) in
+      st.new_scratch ();
+      let pairs = Queue.create () in
+      let add_pairs upto j =
+        for i = 0 to upto - 1 do
+          Queue.add (i, j) pairs
+        done
+      in
+      Array.iteri (fun j _ -> add_pairs j j) !basis;
+      let processed = ref 0 in
+      let zeros = ref 0 in
+      while (not (Queue.is_empty pairs)) && !processed < params.max_pairs do
+        let i, j = Queue.pop pairs in
+        incr processed;
+        let f = !basis.(i) and g = !basis.(j) in
+        let mf = read_exps ctx f and mg = read_exps ctx g in
+        (* Buchberger's first criterion: coprime leading monomials
+           reduce to zero; skip. *)
+        if mono_lcm mf mg <> mono_add mf mg then begin
+          let s = spoly ctx f g in
+          let h = reduce ctx !basis s in
+          if h = 0 then incr zeros
+          else begin
+            let kept =
+              copy_normalised ctx ~dst_alloc:st.basis_alloc
+                ~dst_link:st.basis_link h
+            in
+            basis := Array.append !basis [| kept |];
+            add_pairs (Array.length !basis - 1) (Array.length !basis - 1)
+          end;
+          st.new_scratch ()
+        end
+      done;
+      let result =
+        {
+          basis_size = Array.length !basis;
+          pairs_processed = !processed;
+          reductions_to_zero = !zeros;
+        }
+      in
+      st.finish ();
+      result)

@@ -1,0 +1,37 @@
+(** The gröbner benchmark: compute a Gröbner basis of a set of
+    multivariate polynomials with Buchberger's algorithm, as in the
+    paper's suite (which used nine nine-variable polynomials).
+
+    Polynomials are linked lists of term nodes in the simulated heap,
+    sorted in a degree-lexicographic order, with coefficients in a
+    prime field.  Every arithmetic operation builds fresh term lists,
+    so S-polynomial reduction allocates heavily.
+
+    Region structure: a basis region holds the (long-lived) basis
+    polynomials; each S-polynomial reduction runs in a scratch region
+    deleted when the reduction ends, with surviving reduced polynomials
+    copied into the basis region first — the paper's "copies of the
+    polynomials that form the basis [are added] to a result region".
+    The malloc variant frees each reduction's scratch terms
+    explicitly. *)
+
+type params = {
+  nvars : int;
+  npolys : int;  (** generated input polynomials *)
+  nterms : int;  (** terms per input polynomial *)
+  maxdeg : int;  (** maximum exponent per variable *)
+  field_prime : int;
+  max_pairs : int;  (** cap on critical pairs processed *)
+  seed : int;
+}
+
+val default_params : params
+val large_params : params
+
+type outcome = {
+  basis_size : int;
+  pairs_processed : int;
+  reductions_to_zero : int;
+}
+
+val run : Api.t -> params -> outcome

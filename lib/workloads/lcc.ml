@@ -1,0 +1,454 @@
+type params = {
+  functions : int;
+  stmts_per_function : int;
+  repeats : int;
+  stmts_per_region : int;
+  seed : int;
+}
+
+let default_params =
+  { functions = 30; stmts_per_function = 12; repeats = 4; stmts_per_region = 100; seed = 5 }
+
+let large_params =
+  { functions = 80; stmts_per_function = 15; repeats = 10; stmts_per_region = 100; seed = 5 }
+
+type outcome = { statements : int; triples : int; checksum : int }
+
+(* ------------------------------------------------------------------ *)
+(* Source generation: a deterministic C-like file. *)
+
+let generate_source (params : params) =
+  let rng = Sim.Rng.create params.seed in
+  let buf = Buffer.create 8192 in
+  for f = 0 to params.functions - 1 do
+    Buffer.add_string buf (Printf.sprintf "int fn%d(int a, int b) {\n" f);
+    Buffer.add_string buf "  int x; int y;\n  x = a; y = b;\n";
+    let rec expr depth =
+      if depth = 0 then
+        match Sim.Rng.int rng 4 with
+        | 0 -> string_of_int (Sim.Rng.int rng 100)
+        | 1 -> "a"
+        | 2 -> "x"
+        | _ -> "y"
+      else begin
+        match Sim.Rng.int rng (if f > 0 then 4 else 3) with
+        | 0 -> Printf.sprintf "(%s + %s)" (expr (depth - 1)) (expr (depth - 1))
+        | 1 -> Printf.sprintf "(%s - %s)" (expr (depth - 1)) (expr (depth - 1))
+        | 2 -> Printf.sprintf "(%s * %s)" (expr (depth - 1)) (expr (depth - 1))
+        | _ -> Printf.sprintf "fn%d(%s, %s)" (Sim.Rng.int rng f) (expr (depth - 1)) (expr (depth - 1))
+      end
+    in
+    for _ = 1 to params.stmts_per_function do
+      match Sim.Rng.int rng 4 with
+      | 0 -> Buffer.add_string buf (Printf.sprintf "  x = %s;\n" (expr 2))
+      | 1 -> Buffer.add_string buf (Printf.sprintf "  y = %s;\n" (expr 2))
+      | 2 ->
+          Buffer.add_string buf
+            (Printf.sprintf "  if (%s < %s) { x = %s; } else { y = %s; }\n"
+               (expr 1) (expr 1) (expr 1) (expr 1))
+      | _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "  while (x < %s) { x = (x + %s); }\n" (expr 1) (expr 0))
+    done;
+    Buffer.add_string buf "  return (x + y);\n}\n"
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Heap layouts *)
+
+(* token: [kind][value or string ptr] *)
+let token_layout = Regions.Cleanup.layout ~size_bytes:8 ~ptr_offsets:[ 4 ]
+
+(* AST node: [op][left][right][value] *)
+let node_layout = Regions.Cleanup.layout ~size_bytes:16 ~ptr_offsets:[ 4; 8 ]
+
+(* symbol: [name ptr][next ptr][slot] *)
+let sym_layout = Regions.Cleanup.layout ~size_bytes:12 ~ptr_offsets:[ 0; 4 ]
+
+(* triple: [op][a][b][next] *)
+let triple_layout = Regions.Cleanup.layout ~size_bytes:16 ~ptr_offsets:[ 12 ]
+
+type kind = Kint | Kident | Kpunct  (* encoded small ints *)
+
+let kind_code = function Kint -> 1 | Kident -> 2 | Kpunct -> 3
+
+(* ------------------------------------------------------------------ *)
+(* The compiler state *)
+
+type state = {
+  api : Api.t;
+  fr : Regions.Mutator.frame;
+  src : string;
+  mutable pos : int;
+  (* slots: 0 = permanent (symbol) region, 1 = statement region *)
+  buckets : int;  (* symbol hash buckets array, in the permanent region *)
+  nbuckets : int;
+  mutable nsyms : int;
+  mutable statements : int;
+  mutable triples : int;
+  mutable checksum : int;
+  stmts_per_region : int;
+  (* current token *)
+  mutable tok : int;  (* token record address *)
+  mutable tok_kind : int;
+  mutable tok_str : string;  (* OCaml view of ident/punct text *)
+  mutable tok_val : int;
+}
+
+let perm st = Api.get_local st.fr 0
+let stmt_region st = Api.get_local st.fr 1
+
+(* Identifier interning in the permanent region: individually
+   allocated strings, hash chains of symbol records. *)
+let intern st name =
+  Api.work st.api (String.length name * 2);
+  let h = Hashtbl.hash name mod st.nbuckets in
+  let bucket = st.buckets + (h * 4) in
+  let rec find s =
+    if s = 0 then None
+    else begin
+      let nm = Api.load st.api s in
+      let len = Api.load st.api nm in
+      let matches =
+        len = String.length name
+        && (let ok = ref true in
+            String.iteri
+              (fun i c ->
+                if Api.load_byte st.api (nm + 4 + i) <> Char.code c then ok := false)
+              name;
+            !ok)
+      in
+      if matches then Some s else find (Api.load st.api (s + 4))
+    end
+  in
+  match find (Api.load st.api bucket) with
+  | Some s -> s
+  | None ->
+      let n = String.length name in
+      let nm = Api.rstralloc st.api (perm st) (4 + n) in
+      Api.store st.api nm n;
+      String.iteri (fun i c -> Api.store_byte st.api (nm + 4 + i) (Char.code c)) name;
+      let s = Api.ralloc st.api (perm st) sym_layout in
+      Api.store_ptr st.api ~addr:s nm;
+      Api.store_ptr st.api ~addr:(s + 4) (Api.load st.api bucket);
+      Api.store st.api (s + 8) st.nsyms;
+      st.nsyms <- st.nsyms + 1;
+      Api.store_ptr st.api ~addr:bucket s;
+      s
+
+(* ------------------------------------------------------------------ *)
+(* Lexer: allocates a token record per token in the statement region. *)
+
+exception Bad_input of string
+
+let next_token st =
+  Api.work st.api 45 (* lexer automaton + keyword lookup *);
+  let n = String.length st.src in
+  while
+    st.pos < n
+    && (st.src.[st.pos] = ' ' || st.src.[st.pos] = '\n' || st.src.[st.pos] = '\t')
+  do
+    Api.work st.api 1;
+    st.pos <- st.pos + 1
+  done;
+  if st.pos >= n then begin
+    st.tok_kind <- 0;
+    st.tok_str <- "";
+    st.tok <- 0
+  end
+  else begin
+    let c = st.src.[st.pos] in
+    let tok = Api.ralloc st.api (stmt_region st) token_layout in
+    st.tok <- tok;
+    if c >= '0' && c <= '9' then begin
+      let start = st.pos in
+      while st.pos < n && st.src.[st.pos] >= '0' && st.src.[st.pos] <= '9' do
+        Api.work st.api 1;
+        st.pos <- st.pos + 1
+      done;
+      st.tok_kind <- kind_code Kint;
+      st.tok_val <- int_of_string (String.sub st.src start (st.pos - start));
+      st.tok_str <- "";
+      Api.store st.api tok (kind_code Kint);
+      Api.store st.api (tok + 4) st.tok_val
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = st.pos in
+      let is_ident c =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+      in
+      while st.pos < n && is_ident st.src.[st.pos] do
+        Api.work st.api 1;
+        st.pos <- st.pos + 1
+      done;
+      let name = String.sub st.src start (st.pos - start) in
+      st.tok_kind <- kind_code Kident;
+      st.tok_str <- name;
+      let sym = intern st name in
+      Api.store st.api tok (kind_code Kident);
+      Api.store_ptr st.api ~addr:(tok + 4) sym
+    end
+    else begin
+      st.pos <- st.pos + 1;
+      st.tok_kind <- kind_code Kpunct;
+      st.tok_str <- String.make 1 c;
+      st.tok_val <- Char.code c;
+      Api.store st.api tok (kind_code Kpunct);
+      Api.store st.api (tok + 4) (Char.code c)
+    end
+  end
+  [@@warning "-unused-value-declaration"]
+
+let expect st s =
+  if st.tok_str <> s then raise (Bad_input ("expected " ^ s ^ " got " ^ st.tok_str));
+  next_token st
+
+let expect_ident st =
+  if st.tok_kind <> kind_code Kident then raise (Bad_input "expected identifier");
+  let name = st.tok_str in
+  next_token st;
+  name
+
+(* ------------------------------------------------------------------ *)
+(* Parser + code generator.  AST nodes and triples go to the statement
+   region. *)
+
+let op_const = 1
+and op_var = 2
+and op_add = 3
+and op_sub = 4
+and op_mul = 5
+and op_lt = 6
+and op_call = 7
+and op_assign = 8
+and op_jz = 9
+and op_jmp = 10
+and op_label = 11
+and op_ret = 12
+
+let node st op a b v =
+  let nd = Api.ralloc st.api (stmt_region st) node_layout in
+  Api.store st.api nd op;
+  (* ralloc clears: only non-null children need stores *)
+  if a <> 0 then Api.store_ptr st.api ~addr:(nd + 4) a;
+  if b <> 0 then Api.store_ptr st.api ~addr:(nd + 8) b;
+  if v <> 0 then Api.store st.api (nd + 12) v;
+  nd
+
+let rec parse_expr st =
+  (* expression: primary (('+'|'-'|'*'|'<') primary)?  — the generator
+     fully parenthesises, so precedence is immaterial. *)
+  let lhs = parse_primary st in
+  match st.tok_str with
+  | "+" | "-" | "*" | "<" ->
+      let op =
+        match st.tok_str with
+        | "+" -> op_add
+        | "-" -> op_sub
+        | "*" -> op_mul
+        | _ -> op_lt
+      in
+      next_token st;
+      let rhs = parse_primary st in
+      node st op lhs rhs 0
+  | _ -> lhs
+
+and parse_primary st =
+  if st.tok_kind = kind_code Kint then begin
+    let v = st.tok_val in
+    next_token st;
+    node st op_const 0 0 v
+  end
+  else if st.tok_kind = kind_code Kident then begin
+    let sym = Api.load st.api (st.tok + 4) in
+    next_token st;
+    if st.tok_str = "(" then begin
+      next_token st;
+      let a = parse_expr st in
+      expect st ",";
+      let b = parse_expr st in
+      expect st ")";
+      node st op_call a b sym
+    end
+    else node st op_var 0 0 sym
+  end
+  else if st.tok_str = "(" then begin
+    next_token st;
+    let e = parse_expr st in
+    expect st ")";
+    e
+  end
+  else raise (Bad_input ("unexpected " ^ st.tok_str))
+
+(* Emit triples for an AST (a one-pass "codegen" walking the tree). *)
+let rec gen st ast =
+  Api.work st.api 110 (* type checking + instruction selection *);
+  let op = Api.load st.api ast in
+  let a = Api.load st.api (ast + 4) in
+  let b = Api.load st.api (ast + 8) in
+  let v = Api.load st.api (ast + 12) in
+  if a <> 0 then gen st a;
+  if b <> 0 then gen st b;
+  (* Symbol operands are emitted by their stable slot number. *)
+  let v = if op = op_var || op = op_call then Api.load st.api (v + 8) else v in
+  emit st op v
+
+and emit st op v =
+  Api.work st.api 45 (* register allocation / emission bookkeeping *);
+  let tr = Api.ralloc st.api (stmt_region st) triple_layout in
+  Api.store st.api tr op;
+  Api.store st.api (tr + 4) v;
+  Api.store st.api (tr + 8) st.triples;
+  st.triples <- st.triples + 1;
+  st.checksum <- ((st.checksum * 17) + (op * 131) + v) land 0xFFFFFF
+
+(* Rotate the statement region every [stmts_per_region] statements. *)
+let end_statement st =
+  st.statements <- st.statements + 1;
+  if st.statements mod st.stmts_per_region = 0 then begin
+    (* Everything in the statement region is dead between statements
+       except the current lookahead token: refresh it afterwards. *)
+    let ok = Api.deleteregion st.api st.fr 1 in
+    assert ok;
+    Api.set_local_ptr st.api st.fr 1 (Api.newregion st.api);
+    (* Re-materialise the lookahead token in the fresh region. *)
+    let tok = Api.ralloc st.api (stmt_region st) token_layout in
+    Api.store st.api tok st.tok_kind;
+    (if st.tok_kind = kind_code Kident then
+       let sym = intern st st.tok_str in
+       Api.store_ptr st.api ~addr:(tok + 4) sym
+     else Api.store st.api (tok + 4) st.tok_val);
+    st.tok <- tok
+  end
+
+let rec parse_stmt st =
+  match st.tok_str with
+  | "int" ->
+      next_token st;
+      let _name = expect_ident st in
+      expect st ";";
+      end_statement st
+  | "if" ->
+      next_token st;
+      expect st "(";
+      let c = parse_expr st in
+      expect st ")";
+      gen st c;
+      emit st op_jz 0;
+      expect st "{";
+      parse_block st;
+      emit st op_jmp 0;
+      expect st "else";
+      expect st "{";
+      emit st op_label 0;
+      parse_block st;
+      emit st op_label 1;
+      end_statement st
+  | "while" ->
+      next_token st;
+      expect st "(";
+      emit st op_label 2;
+      let c = parse_expr st in
+      expect st ")";
+      gen st c;
+      emit st op_jz 3;
+      expect st "{";
+      parse_block st;
+      emit st op_jmp 2;
+      emit st op_label 3;
+      end_statement st
+  | "return" ->
+      next_token st;
+      let e = parse_expr st in
+      expect st ";";
+      gen st e;
+      emit st op_ret 0;
+      end_statement st
+  | _ ->
+      (* assignment: ident = expr ; *)
+      let sym = Api.load st.api (st.tok + 4) in
+      ignore (expect_ident st);
+      expect st "=";
+      let e = parse_expr st in
+      expect st ";";
+      gen st e;
+      emit st op_assign (Api.load st.api (sym + 8));
+      end_statement st
+
+and parse_block st =
+  let rec go () =
+    if st.tok_str <> "}" then begin
+      parse_stmt st;
+      go ()
+    end
+  in
+  go ();
+  expect st "}"
+
+let parse_function st =
+  expect st "int";
+  ignore (expect_ident st);
+  expect st "(";
+  expect st "int";
+  ignore (expect_ident st);
+  expect st ",";
+  expect st "int";
+  ignore (expect_ident st);
+  expect st ")";
+  expect st "{";
+  parse_block st;
+  emit st op_ret 0
+
+(* ------------------------------------------------------------------ *)
+
+let run api (params : params) =
+  if Api.kind api <> `Region then
+    invalid_arg "lcc is region-based; run it under Emulated for malloc";
+  let src = generate_source params in
+  (* Slots: 0 = permanent region, 1 = statement region. *)
+  Api.with_frame api ~nslots:2 ~ptr_slots:[ 0; 1 ] (fun fr ->
+      let out = ref { statements = 0; triples = 0; checksum = 0 } in
+      for _ = 1 to params.repeats do
+        Api.set_local_ptr api fr 0 (Api.newregion api);
+        Api.set_local_ptr api fr 1 (Api.newregion api);
+        let nbuckets = 64 in
+        let buckets =
+          Api.rarrayalloc api (Api.get_local fr 0) ~n:nbuckets
+            (Regions.Cleanup.layout ~size_bytes:4 ~ptr_offsets:[ 0 ])
+        in
+        let st =
+          {
+            api;
+            fr;
+            src;
+            pos = 0;
+            buckets;
+            nbuckets;
+            nsyms = 0;
+            statements = 0;
+            triples = 0;
+            checksum = 0;
+            stmts_per_region = params.stmts_per_region;
+            tok = 0;
+            tok_kind = 0;
+            tok_str = "";
+            tok_val = 0;
+          }
+        in
+        next_token st;
+        while st.tok_kind <> 0 do
+          parse_function st
+        done;
+        out :=
+          {
+            statements = st.statements;
+            triples = st.triples;
+            checksum = st.checksum;
+          };
+        let ok = Api.deleteregion api fr 1 in
+        assert ok;
+        let ok = Api.deleteregion api fr 0 in
+        assert ok
+      done;
+      !out)

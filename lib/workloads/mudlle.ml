@@ -1,0 +1,349 @@
+type params = { functions : int; body_depth : int; repeats : int; seed : int }
+
+let default_params = { functions = 40; body_depth = 5; repeats = 10; seed = 99 }
+let large_params = { functions = 60; body_depth = 6; repeats = 40; seed = 99 }
+
+type outcome = { functions_compiled : int; code_words : int; checksum : int }
+
+(* ------------------------------------------------------------------ *)
+(* Source generation: a deterministic scheme-like file. *)
+
+let generate_source (params : params) =
+  let rng = Sim.Rng.create params.seed in
+  let buf = Buffer.create 4096 in
+  for f = 0 to params.functions - 1 do
+    let rec expr depth =
+      if depth = 0 then
+        match Sim.Rng.int rng 3 with
+        | 0 -> string_of_int (Sim.Rng.int rng 1000)
+        | 1 -> "a"
+        | _ -> "b"
+      else begin
+        match Sim.Rng.int rng (if f > 0 then 6 else 5) with
+        | 0 -> Printf.sprintf "(+ %s %s)" (expr (depth - 1)) (expr (depth - 1))
+        | 1 -> Printf.sprintf "(- %s %s)" (expr (depth - 1)) (expr (depth - 1))
+        | 2 -> Printf.sprintf "(* %s %s)" (expr (depth - 1)) (expr (depth - 1))
+        | 3 ->
+            Printf.sprintf "(if (< %s %s) %s %s)" (expr (depth - 1))
+              (expr (depth - 1)) (expr (depth - 1)) (expr (depth - 1))
+        | 4 -> Printf.sprintf "(< %s %s)" (expr (depth - 1)) (expr (depth - 1))
+        | _ ->
+            (* call an earlier function *)
+            Printf.sprintf "(f%d %s %s)" (Sim.Rng.int rng f) (expr (depth - 1))
+              (expr (depth - 1))
+      end
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "(define (f%d a b)\n  %s)\n" f
+         (expr (1 + Sim.Rng.int rng params.body_depth)))
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Tagged values in the simulated heap:
+     0           -> nil
+     ....00      -> pair (cons-cell address)
+     ....01      -> integer immediate (n lsl 2 lor 1)
+     ....10      -> symbol (object address lor 2)
+   Tagged non-aligned values pass through pointer fields uncounted,
+   like the paper's pointers cast to normal pointers. *)
+
+let int_v n = (n lsl 2) lor 1
+let is_int v = v land 3 = 1
+let int_of v = v asr 2
+let is_pair v = v <> 0 && v land 3 = 0
+let sym_v addr = addr lor 2
+let is_sym v = v land 3 = 2
+
+let cons_layout = Regions.Cleanup.layout ~size_bytes:8 ~ptr_offsets:[ 0; 4 ]
+
+type env = {
+  api : Api.t;
+  mutable file_region : Api.region;
+  mutable interned : (string, int) Hashtbl.t;  (* name -> symbol value *)
+  mutable sym_names : (int, string) Hashtbl.t;
+}
+
+let cons env r car cdr =
+  let c = Api.ralloc env.api r cons_layout in
+  (* ralloc clears: only non-nil fields need stores *)
+  if car <> 0 then Api.store_ptr env.api ~addr:c car;
+  if cdr <> 0 then Api.store_ptr env.api ~addr:(c + 4) cdr;
+  c
+
+let car env v = Api.load env.api v
+let cdr env v = Api.load env.api (v + 4)
+
+let intern env name =
+  match Hashtbl.find_opt env.interned name with
+  | Some v -> v
+  | None ->
+      let n = String.length name in
+      let addr = Api.rstralloc env.api env.file_region (4 + n) in
+      Api.store env.api addr n;
+      String.iteri (fun i c -> Api.store_byte env.api (addr + 4 + i) (Char.code c)) name;
+      let v = sym_v addr in
+      Hashtbl.replace env.interned name v;
+      Hashtbl.replace env.sym_names v name;
+      v
+
+(* ------------------------------------------------------------------ *)
+(* Reader: source text -> lists in the file region. *)
+
+exception Bad_source of string
+
+let parse env src =
+  let n = String.length src in
+  let i = ref 0 in
+  let work k = Api.work env.api k in
+  let rec skip () =
+    if !i < n && (src.[!i] = ' ' || src.[!i] = '\n' || src.[!i] = '\t') then begin
+      work 1;
+      incr i;
+      skip ()
+    end
+  in
+  let rec value () =
+    Api.work env.api 30 (* reader dispatch *);
+    skip ();
+    if !i >= n then raise (Bad_source "eof");
+    match src.[!i] with
+    | '(' ->
+        incr i;
+        list ()
+    | ')' -> raise (Bad_source "unexpected )")
+    | c
+      when (c >= '0' && c <= '9')
+           || (c = '-' && !i + 1 < n && src.[!i + 1] >= '0' && src.[!i + 1] <= '9')
+      ->
+        let start = !i in
+        incr i;
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+          work 1;
+          incr i
+        done;
+        int_v (int_of_string (String.sub src start (!i - start)))
+    | _ ->
+        let start = !i in
+        let is_sym_char c =
+          c <> ' ' && c <> '\n' && c <> '\t' && c <> '(' && c <> ')'
+        in
+        while !i < n && is_sym_char src.[!i] do
+          work 1;
+          incr i
+        done;
+        intern env (String.sub src start (!i - start))
+  and list () =
+    skip ();
+    if !i >= n then raise (Bad_source "eof in list");
+    if src.[!i] = ')' then begin
+      incr i;
+      0
+    end
+    else begin
+      let head = value () in
+      let tail = list () in
+      cons env env.file_region head tail
+    end
+  in
+  (* top level: a list of forms *)
+  let rec top acc =
+    skip ();
+    if !i >= n then List.rev acc else top (value () :: acc)
+  in
+  top []
+
+(* ------------------------------------------------------------------ *)
+(* Compiler: one function at a time, scratch in a per-function
+   region. *)
+
+let op_pushk = 1
+and op_local = 2
+and op_add = 3
+and op_sub = 4
+and op_mul = 5
+and op_lt = 6
+and op_jz = 7
+and op_jmp = 8
+and op_call = 9
+and op_ret = 10
+
+let code_buf_words = 1000
+
+type fn_info = { index : int; arity : int }
+
+let compile_function env ~fn_region ~funcs ~defn =
+  let api = env.api in
+  (* defn = (define (name a b) body) *)
+  let expect_pair what v = if not (is_pair v) then raise (Bad_source what) in
+  expect_pair "define" defn;
+  let header = car env (cdr env defn) in
+  let body = car env (cdr env (cdr env defn)) in
+  expect_pair "header" header;
+  let name = car env header in
+  (* Build the environment: an assoc list ((sym . slot) ...) in the
+     function region. *)
+  let env_list = ref 0 in
+  let nparams = ref 0 in
+  let rec params v =
+    if is_pair v then begin
+      let slot = int_v !nparams in
+      incr nparams;
+      env_list := cons env fn_region (cons env fn_region (car env v) slot) !env_list;
+      params (cdr env v)
+    end
+  in
+  params (cdr env header);
+  (* Code buffer: scratch in the function region. *)
+  let buf = Api.rstralloc api fn_region (code_buf_words * 4) in
+  let pc = ref 0 in
+  let emit w =
+    if !pc >= code_buf_words then raise (Bad_source "function too large");
+    Api.store api (buf + (!pc * 4)) w;
+    incr pc
+  in
+  let lookup_local sym =
+    let rec go e =
+      if e = 0 then None
+      else begin
+        let entry = car env e in
+        if car env entry = sym then Some (int_of (cdr env entry))
+        else go (cdr env e)
+      end
+    in
+    go !env_list
+  in
+  let rec compile v =
+    Api.work api 400 (* macroexpansion, folding, dispatch, peephole *);
+    if is_int v then begin
+      emit op_pushk;
+      emit (int_of v)
+    end
+    else if is_sym v then begin
+      match lookup_local v with
+      | Some slot ->
+          emit op_local;
+          emit slot
+      | None -> raise (Bad_source ("unbound " ^ Hashtbl.find env.sym_names v))
+    end
+    else if is_pair v then begin
+      let head = car env v in
+      let args = cdr env v in
+      let arg k =
+        let rec go v k = if k = 0 then car env v else go (cdr env v) (k - 1) in
+        go args k
+      in
+      let binop op =
+        compile (arg 0);
+        compile (arg 1);
+        emit op
+      in
+      if is_sym head then begin
+        match Hashtbl.find_opt env.sym_names head with
+        | Some "+" -> binop op_add
+        | Some "-" -> binop op_sub
+        | Some "*" -> binop op_mul
+        | Some "<" -> binop op_lt
+        | Some "if" ->
+            compile (arg 0);
+            emit op_jz;
+            let fixup1 = !pc in
+            emit 0;
+            compile (arg 1);
+            emit op_jmp;
+            let fixup2 = !pc in
+            emit 0;
+            Api.store api (buf + (fixup1 * 4)) !pc;
+            compile (arg 2);
+            Api.store api (buf + (fixup2 * 4)) !pc
+        | Some fname -> (
+            match Hashtbl.find_opt funcs fname with
+            | Some { index; arity } ->
+                let rec args_go v n =
+                  if is_pair v then begin
+                    compile (car env v);
+                    args_go (cdr env v) (n + 1)
+                  end
+                  else n
+                in
+                let n = args_go args 0 in
+                if n <> arity then raise (Bad_source ("arity " ^ fname));
+                emit op_call;
+                emit index;
+                emit n
+            | None -> raise (Bad_source ("unknown function " ^ fname)))
+        | None -> raise (Bad_source "bad head symbol")
+      end
+      else raise (Bad_source "non-symbol head")
+    end
+    else raise (Bad_source "nil in expression")
+  in
+  compile body;
+  emit op_ret;
+  (* Copy the finished code into an exact-size vector that outlives
+     the function region (it lives in the file region). *)
+  let out = Api.rstralloc api env.file_region (4 + (!pc * 4)) in
+  Api.store api out !pc;
+  for k = 0 to !pc - 1 do
+    Api.store api (out + 4 + (k * 4)) (Api.load api (buf + (k * 4)))
+  done;
+  (name, !nparams, out, !pc)
+
+(* ------------------------------------------------------------------ *)
+
+let run api (params : params) =
+  if Api.kind api <> `Region then
+    invalid_arg "mudlle is region-based; run it under Emulated for malloc";
+  let src = generate_source params in
+  let total_words = ref 0 in
+  let total_fns = ref 0 in
+  let checksum = ref 0 in
+  (* Slots: 0 = file region, 1 = function region, 2 = compiled-code list. *)
+  Api.with_frame api ~nslots:3 ~ptr_slots:[ 0; 1; 2 ] (fun fr ->
+      for _ = 1 to params.repeats do
+        let file_region = Api.newregion api in
+        Api.set_local_ptr api fr 0 file_region;
+        let env =
+          {
+            api;
+            file_region;
+            interned = Hashtbl.create 64;
+            sym_names = Hashtbl.create 64;
+          }
+        in
+        let forms = parse env src in
+        let funcs = Hashtbl.create 64 in
+        let n_index = ref 0 in
+        List.iter
+          (fun defn ->
+            let fn_region = Api.newregion api in
+            Api.set_local_ptr api fr 1 fn_region;
+            let name, arity, code, words =
+              compile_function env ~fn_region ~funcs ~defn
+            in
+            Hashtbl.replace funcs
+              (Hashtbl.find env.sym_names name)
+              { index = !n_index; arity };
+            incr n_index;
+            (* Keep the code on a list in the file region. *)
+            let cell = cons env file_region code (Api.get_local fr 2) in
+            Api.set_local_ptr api fr 2 cell;
+            for k = 0 to words - 1 do
+              checksum :=
+                (!checksum * 31) + Api.load api (code + 4 + (k * 4)) land 0xFFFFFF
+            done;
+            total_words := !total_words + words;
+            incr total_fns;
+            let ok = Api.deleteregion api fr 1 in
+            assert ok
+          )
+          forms;
+        Api.set_local_ptr api fr 2 0;
+        let ok = Api.deleteregion api fr 0 in
+        assert ok
+      done);
+  {
+    functions_compiled = !total_fns;
+    code_words = !total_words;
+    checksum = !checksum land 0xFFFFFF;
+  }

@@ -1,0 +1,72 @@
+type region_summary = {
+  total_regions : int;
+  max_live_regions : int;
+  max_region_bytes : int;
+  avg_region_bytes : float;
+  avg_allocs_per_region : float;
+}
+
+type t = {
+  workload : string;
+  mode : string;
+  summary : string;
+  cycles : int;
+  base_instrs : int;
+  alloc_instrs : int;
+  refcount_instrs : int;
+  stack_scan_instrs : int;
+  cleanup_instrs : int;
+  read_stall_cycles : int;
+  write_stall_cycles : int;
+  os_bytes : int;
+  emu_overhead_bytes : int;
+  req_allocs : int;
+  req_total_bytes : int;
+  req_max_bytes : int;
+  regions : region_summary option;
+}
+
+let memory_instrs t =
+  t.alloc_instrs + t.refcount_instrs + t.stack_scan_instrs + t.cleanup_instrs
+
+let collect api ~workload ~summary =
+  let c = Api.cost api in
+  let req = Api.requested_stats api in
+  let regions =
+    Option.map
+      (fun rs ->
+        {
+          total_regions = Regions.Rstats.total_regions rs;
+          max_live_regions = Regions.Rstats.max_live_regions rs;
+          max_region_bytes = Regions.Rstats.max_region_bytes rs;
+          avg_region_bytes = Regions.Rstats.avg_region_bytes rs;
+          avg_allocs_per_region = Regions.Rstats.avg_allocs_per_region rs;
+        })
+      (Api.region_rstats api)
+  in
+  {
+    workload;
+    mode = Api.mode_name (Api.mode api);
+    summary;
+    cycles = Sim.Cost.cycles c;
+    base_instrs = Sim.Cost.base_instrs c;
+    alloc_instrs = Sim.Cost.alloc_instrs c;
+    refcount_instrs = Sim.Cost.refcount_instrs c;
+    stack_scan_instrs = Sim.Cost.stack_scan_instrs c;
+    cleanup_instrs = Sim.Cost.cleanup_instrs c;
+    read_stall_cycles = Sim.Cost.read_stall_cycles c;
+    write_stall_cycles = Sim.Cost.write_stall_cycles c;
+    os_bytes = Api.os_bytes api;
+    emu_overhead_bytes = Api.emulation_overhead_bytes api;
+    req_allocs = Alloc.Stats.allocs req;
+    req_total_bytes = Alloc.Stats.total_bytes req;
+    req_max_bytes = Alloc.Stats.max_live_bytes req;
+    regions;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "%s/%s: cycles=%d base=%d mem=%d stalls=%d/%d os=%dK req_max=%dK allocs=%d (%s)"
+    t.workload t.mode t.cycles t.base_instrs (memory_instrs t)
+    t.read_stall_cycles t.write_stall_cycles (t.os_bytes / 1024)
+    (t.req_max_bytes / 1024) t.req_allocs t.summary

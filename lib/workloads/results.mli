@@ -1,0 +1,38 @@
+(** Measurement record collected after a workload run: everything the
+    paper's tables and figures need. *)
+
+type region_summary = {
+  total_regions : int;
+  max_live_regions : int;
+  max_region_bytes : int;
+  avg_region_bytes : float;
+  avg_allocs_per_region : float;
+}
+
+type t = {
+  workload : string;
+  mode : string;
+  summary : string;  (** workload-specific outcome line *)
+  (* Figure 9: time, split base vs memory management *)
+  cycles : int;
+  base_instrs : int;
+  alloc_instrs : int;
+  refcount_instrs : int;
+  stack_scan_instrs : int;
+  cleanup_instrs : int;
+  (* Figure 10: stalls *)
+  read_stall_cycles : int;
+  write_stall_cycles : int;
+  (* Figure 8 / Tables 2-3: memory *)
+  os_bytes : int;
+  emu_overhead_bytes : int;
+  req_allocs : int;
+  req_total_bytes : int;
+  req_max_bytes : int;
+  (* Table 2 region columns *)
+  regions : region_summary option;
+}
+
+val memory_instrs : t -> int
+val collect : Api.t -> workload:string -> summary:string -> t
+val pp : t Fmt.t

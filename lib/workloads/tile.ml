@@ -1,0 +1,358 @@
+type params = {
+  copies : int;
+  sentences : int;
+  words_per_sentence : int;
+  sentences_per_topic : int;
+  block_tokens : int;
+  vocabulary : int;
+  topics : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    copies = 10;
+    sentences = 300;
+    words_per_sentence = 12;
+    sentences_per_topic = 25;
+    block_tokens = 80;
+    vocabulary = 50;
+    topics = 8;
+    seed = 31;
+  }
+
+let large_params = { default_params with copies = 20; sentences = 500 }
+
+type outcome = { tokens : int; blocks : int; boundaries : int; checksum : int }
+
+(* ------------------------------------------------------------------ *)
+
+let common_words = [| "the"; "of"; "and"; "to"; "in" |]
+
+let generate_text (params : params) =
+  let rng = Sim.Rng.create params.seed in
+  let buf = Buffer.create 65536 in
+  for s = 0 to params.sentences - 1 do
+    let topic = s / params.sentences_per_topic mod params.topics in
+    for _ = 1 to params.words_per_sentence do
+      let w =
+        if Sim.Rng.int rng 10 < 3 then Sim.Rng.choose rng common_words
+        else Printf.sprintf "w%d_%d" topic (Sim.Rng.int rng params.vocabulary)
+      in
+      Buffer.add_string buf w;
+      Buffer.add_char buf ' '
+    done;
+    Buffer.add_string buf ".\n"
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Layouts *)
+
+let word_layout = Regions.Cleanup.layout ~size_bytes:12 ~ptr_offsets:[ 0; 4 ]
+(* vocabulary word: [name][next][id] *)
+
+let entry_layout = Regions.Cleanup.layout ~size_bytes:12 ~ptr_offsets:[ 8 ]
+(* block frequency entry: [word id][count][next] *)
+
+let bucket_cell = Regions.Cleanup.layout ~size_bytes:4 ~ptr_offsets:[ 0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Storage strategies.  Frame slots: 0 = document region, 1 = previous
+   block's region, 2 = current block's region. *)
+
+type storage = {
+  doc_raw : int -> int;
+  doc_obj : Regions.Cleanup.layout -> int;
+  doc_arr : n:int -> Regions.Cleanup.layout -> int;
+  block_obj : Regions.Cleanup.layout -> int;
+  block_arr : n:int -> Regions.Cleanup.layout -> int;
+  ptr : addr:int -> int -> unit;
+  new_block : unit -> unit;  (* current block completed: shift cur -> prev *)
+  drop_prev : unit -> unit;
+  finish : unit -> unit;
+}
+
+let region_storage api fr =
+  let doc = Api.newregion api in
+  Api.set_local_ptr api fr 0 doc;
+  Api.set_local_ptr api fr 2 (Api.newregion api);
+  {
+    doc_raw = (fun bytes -> Api.rstralloc api doc bytes);
+    doc_obj = (fun l -> Api.ralloc api doc l);
+    doc_arr = (fun ~n l -> Api.rarrayalloc api doc ~n l);
+    block_obj = (fun l -> Api.ralloc api (Api.get_local fr 2) l);
+    block_arr = (fun ~n l -> Api.rarrayalloc api (Api.get_local fr 2) ~n l);
+    ptr = (fun ~addr v -> Api.store_ptr api ~addr v);
+    new_block =
+      (fun () ->
+        (* prev (slot 1) must already be dropped *)
+        assert (Api.get_local fr 1 = 0);
+        Api.set_local_ptr api fr 1 (Api.get_local fr 2);
+        Api.set_local_ptr api fr 2 (Api.newregion api));
+    drop_prev =
+      (fun () ->
+        if Api.get_local fr 1 <> 0 then begin
+          let ok = Api.deleteregion api fr 1 in
+          assert ok
+        end);
+    finish =
+      (fun () ->
+        if Api.get_local fr 1 <> 0 then ignore (Api.deleteregion api fr 1);
+        ignore (Api.deleteregion api fr 2);
+        ignore (Api.deleteregion api fr 0));
+  }
+
+let malloc_storage api _fr =
+  let doc = ref [] in
+  let prev = ref [] in
+  let cur = ref [] in
+  Api.add_roots api (fun f ->
+      List.iter f !doc;
+      List.iter f !prev;
+      List.iter f !cur);
+  let alloc_into lst bytes =
+    let p = Api.malloc api bytes in
+    lst := p :: !lst;
+    p
+  in
+  let clear_into lst (l : Regions.Cleanup.layout) =
+    let p = alloc_into lst l.Regions.Cleanup.size_bytes in
+    Sim.Memory.clear (Api.memory api) p l.Regions.Cleanup.size_bytes;
+    p
+  in
+  let arr_into lst ~n (l : Regions.Cleanup.layout) =
+    let stride = Regions.Cleanup.stride l in
+    let p = alloc_into lst (n * stride) in
+    Sim.Memory.clear (Api.memory api) p (n * stride);
+    p
+  in
+  {
+    doc_raw = (fun bytes -> alloc_into doc bytes);
+    doc_obj = (fun l -> clear_into doc l);
+    doc_arr = (fun ~n l -> arr_into doc ~n l);
+    block_obj = (fun l -> clear_into cur l);
+    block_arr = (fun ~n l -> arr_into cur ~n l);
+    ptr = (fun ~addr v -> Api.store api addr v);
+    new_block =
+      (fun () ->
+        assert (!prev = []);
+        prev := !cur;
+        cur := []);
+    drop_prev =
+      (fun () ->
+        List.iter (Api.free api) !prev;
+        prev := []);
+    finish =
+      (fun () ->
+        List.iter (Api.free api) !prev;
+        List.iter (Api.free api) !cur;
+        List.iter (Api.free api) !doc;
+        prev := [];
+        cur := [];
+        doc := []);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Vocabulary (document lifetime) *)
+
+type vocab = { api : Api.t; buckets : int; nbuckets : int; mutable nwords : int }
+
+let vocab_create api (st : storage) =
+  let nbuckets = 128 in
+  { api; buckets = st.doc_arr ~n:nbuckets bucket_cell; nbuckets; nwords = 0 }
+
+let vocab_intern (v : vocab) (st : storage) name =
+  Api.work v.api (String.length name * 2);
+  let h = Hashtbl.hash name mod v.nbuckets in
+  let bucket = v.buckets + (h * 4) in
+  let rec find w =
+    if w = 0 then None
+    else begin
+      let nm = Api.load v.api w in
+      let len = Api.load v.api nm in
+      let same =
+        len = String.length name
+        && (let ok = ref true in
+            String.iteri
+              (fun i c ->
+                if Api.load_byte v.api (nm + 4 + i) <> Char.code c then ok := false)
+              name;
+            !ok)
+      in
+      if same then Some w else find (Api.load v.api (w + 4))
+    end
+  in
+  match find (Api.load v.api bucket) with
+  | Some w -> w
+  | None ->
+      let n = String.length name in
+      let nm = st.doc_raw (4 + n) in
+      Api.store v.api nm n;
+      String.iteri (fun i c -> Api.store_byte v.api (nm + 4 + i) (Char.code c)) name;
+      let w = st.doc_obj word_layout in
+      st.ptr ~addr:w nm;
+      let head = Api.load v.api bucket in
+      if head <> 0 then st.ptr ~addr:(w + 4) head;
+      Api.store v.api (w + 8) v.nwords;
+      v.nwords <- v.nwords + 1;
+      st.ptr ~addr:bucket w;
+      w
+
+(* ------------------------------------------------------------------ *)
+(* Block frequency tables (block lifetime) *)
+
+type block = { tbuckets : int; tn : int; mutable count : int }
+
+let block_new (st : storage) =
+  { tbuckets = st.block_arr ~n:32 bucket_cell; tn = 32; count = 0 }
+
+let block_add api (st : storage) b word_id =
+  let h = word_id mod b.tn in
+  let bucket = b.tbuckets + (h * 4) in
+  let rec find e =
+    if e = 0 then None
+    else if Api.load api e = word_id then Some e
+    else find (Api.load api (e + 8))
+  in
+  (match find (Api.load api bucket) with
+  | Some e -> Api.store api (e + 4) (Api.load api (e + 4) + 1)
+  | None ->
+      let e = st.block_obj entry_layout in
+      Api.store api e word_id;
+      Api.store api (e + 4) 1;
+      let head = Api.load api bucket in
+      if head <> 0 then st.ptr ~addr:(e + 8) head;
+      st.ptr ~addr:bucket e);
+  b.count <- b.count + 1
+
+let block_iter api b f =
+  for h = 0 to b.tn - 1 do
+    let rec go e =
+      if e <> 0 then begin
+        f (Api.load api e) (Api.load api (e + 4));
+        go (Api.load api (e + 8))
+      end
+    in
+    go (Api.load api (b.tbuckets + (h * 4)))
+  done
+
+let block_find api b word_id =
+  let rec go e =
+    if e = 0 then 0
+    else if Api.load api e = word_id then Api.load api (e + 4)
+    else go (Api.load api (e + 8))
+  in
+  go (Api.load api (b.tbuckets + (word_id mod b.tn * 4)))
+
+(* Cosine similarity scaled to 0..1000 fixed point. *)
+let similarity api a b =
+  let dot = ref 0 and na = ref 0 and nb = ref 0 in
+  block_iter api a (fun w c ->
+      Api.work api 8;
+      na := !na + (c * c);
+      let cb = block_find api b w in
+      dot := !dot + (c * cb));
+  block_iter api b (fun _ c ->
+      Api.work api 2;
+      nb := !nb + (c * c));
+  if !na = 0 || !nb = 0 then 0
+  else begin
+    let denom = sqrt (float_of_int !na *. float_of_int !nb) in
+    Api.work api 20;
+    int_of_float (1000.0 *. float_of_int !dot /. denom)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let tokenize text f =
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    while
+      !i < n
+      &&
+      match text.[!i] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> false | _ -> true
+    do
+      incr i
+    done;
+    if !i < n then begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        match text.[!i] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+      do
+        incr i
+      done;
+      f (String.sub text start (!i - start))
+    end
+  done
+
+let run api (params : params) =
+  let text = generate_text params in
+  Api.with_frame api ~nslots:3 ~ptr_slots:[ 0; 1; 2 ] (fun fr ->
+      let st =
+        match Api.kind api with
+        | `Region -> region_storage api fr
+        | `Malloc -> malloc_storage api fr
+      in
+      let tokens = ref 0 and blocks = ref 0 and boundaries = ref 0 in
+      let checksum = ref 0 in
+      for _ = 1 to params.copies do
+        let vocab = vocab_create api st in
+        (* Streaming pass: fill the current block; on completion,
+           compare with the previous block and drop it. *)
+        let sims = ref [] in
+        let cur = ref (block_new st) in
+        let prev = ref None in
+        let flush_block () =
+          if (!cur).count > 0 then begin
+            incr blocks;
+            (match !prev with
+            | Some p ->
+                let s = similarity api p !cur in
+                sims := s :: !sims;
+                st.drop_prev ()
+            | None -> ());
+            st.new_block ();
+            prev := Some !cur;
+            cur := block_new st
+          end
+        in
+        tokenize text (fun word ->
+            Api.work api 150 (* lexing, case folding, stemming, stop lists *);
+            incr tokens;
+            let w = vocab_intern vocab st word in
+            block_add api st !cur (Api.load api (w + 8));
+            if (!cur).count >= params.block_tokens then flush_block ());
+        flush_block ();
+        st.drop_prev ();
+        prev := None;
+        (* Boundary detection: similarity minima below the mean. *)
+        let sims = Array.of_list (List.rev !sims) in
+        let ns = Array.length sims in
+        if ns > 2 then begin
+          (* store the profile in the document storage, as tile does *)
+          let profile = st.doc_raw (ns * 4) in
+          Array.iteri (fun i s -> Api.store api (profile + (i * 4)) s) sims;
+          let mean = Array.fold_left ( + ) 0 sims / ns in
+          for i = 1 to ns - 2 do
+            let s = Api.load api (profile + (i * 4)) in
+            let l = Api.load api (profile + ((i - 1) * 4)) in
+            let r = Api.load api (profile + ((i + 1) * 4)) in
+            Api.work api 6;
+            if s < l && s <= r && s < mean then begin
+              incr boundaries;
+              checksum := ((!checksum * 31) + i) land 0xFFFFFF
+            end
+          done
+        end
+      done;
+      st.finish ();
+      {
+        tokens = !tokens;
+        blocks = !blocks;
+        boundaries = !boundaries;
+        checksum = !checksum;
+      })

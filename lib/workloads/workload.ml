@@ -1,0 +1,158 @@
+type size = Quick | Full
+
+type spec = {
+  name : string;
+  description : string;
+  region_only : bool;
+  run : Api.t -> size -> string;
+}
+
+let cfrac =
+  {
+    name = "cfrac";
+    description = "factor a large integer with the continued fraction method";
+    region_only = false;
+    run =
+      (fun api size ->
+        let params =
+          match size with
+          | Quick -> Cfrac.default_params
+          | Full -> Cfrac.medium_params
+        in
+        let o = Cfrac.run api params in
+        Fmt.str "factor=%s iterations=%d relations=%d"
+          (Option.value ~default:"none" o.Cfrac.factor)
+          o.Cfrac.iterations o.Cfrac.relations);
+  }
+
+let grobner =
+  {
+    name = "grobner";
+    description = "Groebner basis of a polynomial set (Buchberger)";
+    region_only = false;
+    run =
+      (fun api size ->
+        let params =
+          match size with
+          | Quick -> Grobner.default_params
+          | Full -> Grobner.large_params
+        in
+        let o = Grobner.run api params in
+        Fmt.str "basis=%d pairs=%d zeros=%d" o.Grobner.basis_size
+          o.Grobner.pairs_processed o.Grobner.reductions_to_zero);
+  }
+
+let mudlle =
+  {
+    name = "mudlle";
+    description = "byte-code compiler for a scheme-like language";
+    region_only = true;
+    run =
+      (fun api size ->
+        let params =
+          match size with
+          | Quick -> Mudlle.default_params
+          | Full -> Mudlle.large_params
+        in
+        let o = Mudlle.run api params in
+        Fmt.str "functions=%d code_words=%d checksum=%x"
+          o.Mudlle.functions_compiled o.Mudlle.code_words o.Mudlle.checksum);
+  }
+
+let lcc =
+  {
+    name = "lcc";
+    description = "one-pass C-like compiler front end";
+    region_only = true;
+    run =
+      (fun api size ->
+        let params =
+          match size with Quick -> Lcc.default_params | Full -> Lcc.large_params
+        in
+        let o = Lcc.run api params in
+        Fmt.str "statements=%d triples=%d checksum=%x" o.Lcc.statements
+          o.Lcc.triples o.Lcc.checksum);
+  }
+
+let tile =
+  {
+    name = "tile";
+    description = "partition text into subsections by word frequency";
+    region_only = false;
+    run =
+      (fun api size ->
+        let params =
+          match size with Quick -> Tile.default_params | Full -> Tile.large_params
+        in
+        let o = Tile.run api params in
+        Fmt.str "tokens=%d blocks=%d boundaries=%d checksum=%x" o.Tile.tokens
+          o.Tile.blocks o.Tile.boundaries o.Tile.checksum);
+  }
+
+let moss_with ~optimized =
+  {
+    name = (if optimized then "moss" else "moss-slow");
+    description =
+      (if optimized then
+         "plagiarism detection by winnowing (two-region locality layout)"
+       else "plagiarism detection by winnowing (single-region layout)");
+    region_only = false;
+    run =
+      (fun api size ->
+        let base =
+          match size with Quick -> Moss.default_params | Full -> Moss.large_params
+        in
+        let o = Moss.run api { base with Moss.optimized } in
+        Fmt.str "fingerprints=%d matches=%d best=(%d,%d) checksum=%x"
+          o.Moss.fingerprints o.Moss.matches (fst o.Moss.best_pair)
+          (snd o.Moss.best_pair) o.Moss.checksum);
+  }
+
+let moss = moss_with ~optimized:true
+let moss_slow = moss_with ~optimized:false
+
+let game_with ~correlated =
+  {
+    name = (if correlated then "game-correlated" else "game");
+    description =
+      (if correlated then
+         "the game counter-example with wave-correlated lifetimes (control)"
+       else
+         "the paper's counter-example: play-driven lifetimes defeat regions");
+    region_only = false;
+    run =
+      (fun api _size ->
+        let params =
+          if correlated then Game.correlated_params else Game.default_params
+        in
+        let o = Game.run api params in
+        Fmt.str "spawned=%d peak_entities=%d peak_live_kb=%d" o.Game.spawned
+          o.Game.peak_live_entities
+          (o.Game.peak_live_bytes / 1024));
+  }
+
+let game = game_with ~correlated:false
+let game_correlated = game_with ~correlated:true
+let all = [ cfrac; grobner; mudlle; lcc; tile; moss ]
+let extras = [ moss_slow; game; game_correlated ]
+
+let find name =
+  match List.find_opt (fun s -> s.name = name) (extras @ all) with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Fmt.str "unknown workload %s (have: %s)" name
+           (String.concat ", " (List.map (fun s -> s.name) all)))
+
+let modes_for spec =
+  let backends = [ Api.Sun; Api.Bsd; Api.Lea; Api.Gc ] in
+  let malloc_modes =
+    if spec.region_only then List.map (fun b -> Api.Emulated b) backends
+    else List.map (fun b -> Api.Direct b) backends
+  in
+  malloc_modes @ [ Api.Region { safe = true }; Api.Region { safe = false } ]
+
+let run_collect spec mode size =
+  let api = Api.create ~with_cache:true mode in
+  let summary = spec.run api size in
+  Results.collect api ~workload:spec.name ~summary

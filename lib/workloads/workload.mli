@@ -1,0 +1,43 @@
+(** Registry of the six benchmark workloads. *)
+
+type size = Quick | Full
+(** [Quick] for tests; [Full] for the benchmark harness (still
+    laptop-scale — the simulator executes tens of millions of
+    simulated cycles per run). *)
+
+type spec = {
+  name : string;
+  description : string;
+  region_only : bool;
+      (** mudlle and lcc were region-based programs: their malloc
+          numbers come from the emulation library (paper section
+          5.2) *)
+  run : Api.t -> size -> string;
+      (** run and return a deterministic one-line outcome summary *)
+}
+
+val all : spec list
+val find : string -> spec
+
+val run_collect : spec -> Api.mode -> size -> Results.t
+(** Create an [Api.t] for [mode] (with the cache simulator on), run,
+    and collect measurements. *)
+
+val modes_for : spec -> Api.mode list
+(** The paper's allocator columns for this workload: Sun, BSD, Lea, GC
+    (direct or emulated depending on [region_only]), safe regions,
+    unsafe regions. *)
+
+val moss_slow : spec
+(** The unoptimised (one-region) moss variant, shown as the extra
+    "slow" bar in Figures 9 and 10. *)
+
+val game : spec
+(** The paper's section-1 counter-example (random lifetimes); not part
+    of the six-benchmark matrix. *)
+
+val game_correlated : spec
+(** The game with wave-correlated lifetimes: the control case. *)
+
+val extras : spec list
+(** Workloads outside the paper's benchmark matrix. *)

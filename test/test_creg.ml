@@ -1,0 +1,931 @@
+(* Tests for the creg language: lexer, parser, typechecker, compiler
+   and VM, including the paper's Figure 3 list-copy program. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+
+let run ?safe src = fst (Creg.Vm.run_source ?safe src)
+
+let output ?safe src = (run ?safe src).Creg.Vm.output
+let exit_value ?safe src = (run ?safe src).Creg.Vm.exit_value
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_basics () =
+  let toks = Creg.Lexer.tokenize "x12 -> @ * != <= // comment\n 42" in
+  let kinds = List.map fst toks in
+  Alcotest.(check bool)
+    "token stream" true
+    (kinds
+    = [
+        Creg.Lexer.IDENT "x12";
+        Creg.Lexer.ARROW;
+        Creg.Lexer.AT;
+        Creg.Lexer.STAR;
+        Creg.Lexer.NE;
+        Creg.Lexer.LE;
+        Creg.Lexer.INT 42;
+        Creg.Lexer.EOF;
+      ])
+
+let test_lexer_keywords_vs_idents () =
+  let toks = Creg.Lexer.tokenize "region regions" in
+  match List.map fst toks with
+  | [ Creg.Lexer.KW "region"; Creg.Lexer.IDENT "regions"; Creg.Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "keyword prefix must not swallow identifiers"
+
+let test_lexer_positions () =
+  let toks = Creg.Lexer.tokenize "a\n  b" in
+  match toks with
+  | [ (_, p1); (_, p2); _ ] ->
+      check "line 1" 1 p1.Creg.Ast.line;
+      check "line 2" 2 p2.Creg.Ast.line;
+      check "col 3" 3 p2.Creg.Ast.col
+  | _ -> Alcotest.fail "expected two tokens"
+
+let test_lexer_block_comment () =
+  let toks = Creg.Lexer.tokenize "1 /* multi\nline */ 2" in
+  check "tokens" 3 (List.length toks)
+
+let test_lexer_errors () =
+  (match Creg.Lexer.tokenize "a $ b" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Creg.Lexer.Error (_, _) -> ());
+  match Creg.Lexer.tokenize "/* unterminated" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Creg.Lexer.Error (_, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parser_precedence () =
+  let e = Creg.Parser.parse_expr "1 + 2 * 3 == 7" in
+  match e.Creg.Ast.desc with
+  | Creg.Ast.Binop (Creg.Ast.Eq, _, _) -> ()
+  | _ -> Alcotest.fail "== must bind loosest"
+
+let test_parser_syntax_error () =
+  match Creg.Parser.parse "int main() { return 1 + ; }" with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Creg.Parser.Error (_, _) -> ()
+
+let test_parser_program_shapes () =
+  let prog =
+    Creg.Parser.parse
+      "struct list { int i; struct list @next; };\n\
+       struct list @g;\n\
+       int f(int x, struct list @l) { return x; }\n\
+       int main() { return 0; }"
+  in
+  check "four items" 4 (List.length prog)
+
+(* ------------------------------------------------------------------ *)
+(* Typechecker: every rule of section 3.1 *)
+
+let type_error src =
+  match Creg.Typecheck.check (Creg.Parser.parse src) with
+  | _ -> Alcotest.fail "expected type error"
+  | exception Creg.Typecheck.Error (_, _) -> ()
+
+let type_ok src = ignore (Creg.Typecheck.check (Creg.Parser.parse src))
+
+let test_ty_no_implicit_conversion () =
+  (* @ and * are different types: no implicit conversion. *)
+  type_error
+    "struct s { int x; };\n\
+     int main() { region r = newregion(); struct s @p = ralloc(r, struct s);\n\
+     struct s *q = p; return 0; }"
+
+let test_ty_explicit_cast_allowed () =
+  type_ok
+    "struct s { int x; };\n\
+     int main() { region r = newregion(); struct s @p = ralloc(r, struct s);\n\
+     struct s *q = (struct s *) p; return 0; }"
+
+let test_ty_region_ptr_must_be_initialised () =
+  type_error "struct s { int x; };\nint main() { struct s @p; return 0; }";
+  type_error "int main() { region r; return 0; }";
+  (* ints may be uninitialised *)
+  type_ok "int main() { int x; return x; }"
+
+let test_ty_unbound_and_unknown () =
+  type_error "int main() { return x; }";
+  type_error "int main() { return f(); }";
+  type_error "struct s { int x; };\nint main() { struct t @p = null; return 0; }"
+
+let test_ty_field_errors () =
+  type_error "struct s { int x; };\nint main() { int y; return y->x; }";
+  type_error
+    "struct s { int x; };\n\
+     int main() { region r = newregion(); struct s @p = ralloc(r, struct s);\n\
+     return p->nope; }"
+
+let test_ty_call_arity_and_types () =
+  type_error "int f(int x) { return x; }\nint main() { return f(); }";
+  type_error
+    "struct s { int x; };\nint f(struct s @p) { return 0; }\n\
+     int main() { return f(3); }"
+
+let test_ty_deleteregion_needs_region_var () =
+  type_error "int main() { int x; return deleteregion(x); }";
+  type_ok "int main() { region r = newregion(); return deleteregion(r); }"
+
+let test_ty_condition_and_arith () =
+  type_error
+    "struct s { int x; };\n\
+     int main() { region r = newregion(); struct s @p = ralloc(r, struct s);\n\
+     if (p) { } return 0; }";
+  type_error
+    "struct s { int x; };\n\
+     int main() { region r = newregion(); struct s @p = ralloc(r, struct s);\n\
+     return p + 1; }"
+
+let test_ty_pointer_comparison () =
+  type_ok
+    "struct s { int x; };\n\
+     int main() { region r = newregion(); struct s @p = ralloc(r, struct s);\n\
+     if (p == null) { } if (p != p) { } return 0; }";
+  (* Comparing @ with * requires a cast. *)
+  type_error
+    "struct s { int x; };\n\
+     int main() { region r = newregion(); struct s @p = ralloc(r, struct s);\n\
+     struct s *q = (struct s *) p; if (p == q) { } return 0; }"
+
+let test_ty_main_required () =
+  type_error "int f() { return 0; }";
+  type_error "void main() { }"
+
+let test_ty_return_checks () =
+  type_error "void f() { return 3; }\nint main() { return 0; }";
+  type_error "int f() { return; }\nint main() { return 0; }";
+  type_error
+    "struct s { int x; };\nstruct s @f(region r) { return 3; }\n\
+     int main() { return 0; }"
+
+let test_ty_duplicates () =
+  type_error "int main() { int x; int x; return 0; }";
+  type_error "struct s { int x; int x; };\nint main() { return 0; }";
+  type_error "int f() { return 0; }\nint f() { return 1; }\nint main() { return 0; }";
+  (* shadowing in an inner block is fine *)
+  type_ok "int main() { int x; if (1) { int x; x = 2; } return x; }"
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let test_run_arith_and_control () =
+  check "arith" 42 (exit_value "int main() { return 2 * 20 + 10 / 5; }");
+  check "if" 1 (exit_value "int main() { if (2 > 1) { return 1; } return 2; }");
+  check "while" 55
+    (exit_value
+       "int main() { int s; int i; s = 0; i = 1;\n\
+        while (i <= 10) { s = s + i; i = i + 1; } return s; }")
+
+let test_run_recursion () =
+  check "fib" 89
+    (exit_value
+       "int fib(int n) { if (n < 2) { return 1; } return fib(n-1) + fib(n-2); }\n\
+        int main() { return fib(10); }")
+
+let test_run_print () =
+  check_ints "print order" [ 1; 2; 3 ]
+    (output "int main() { print(1); print(2); print(3); return 0; }")
+
+let test_run_globals () =
+  check "global int" 7
+    (exit_value "int g;\nint bump() { g = g + 7; return 0; }\n\
+                 int main() { bump(); return g; }")
+
+let test_run_structs () =
+  check "fields" 30
+    (exit_value
+       "struct point { int x; int y; };\n\
+        int main() { region r = newregion();\n\
+        struct point @p = ralloc(r, struct point);\n\
+        p->x = 10; p->y = 20; return p->x + p->y; }")
+
+(* The paper's Figure 3: copy a list into a region, then delete it. *)
+let figure3 =
+  "struct list { int i; struct list @next; };\n\
+   struct list @cons(region r, int x, struct list @l) {\n\
+  \  struct list @p = ralloc(r, struct list);\n\
+  \  p->i = x;\n\
+  \  p->next = l;\n\
+  \  return p;\n\
+   }\n\
+   struct list @copy_list(region r, struct list @l) {\n\
+  \  if (l == null) { return null; }\n\
+  \  return cons(r, l->i, copy_list(r, l->next));\n\
+   }\n\
+   int sum(struct list @l) {\n\
+  \  int s;\n\
+  \  s = 0;\n\
+  \  while (l != null) { s = s + l->i; l = l->next; }\n\
+  \  return s;\n\
+   }\n\
+   int main() {\n\
+  \  region r0 = newregion();\n\
+  \  struct list @l = null;\n\
+  \  int i;\n\
+  \  i = 1;\n\
+  \  while (i <= 10) { l = cons(r0, i, l); i = i + 1; }\n\
+  \  region tmp = newregion();\n\
+  \  struct list @c = copy_list(tmp, l);\n\
+  \  int s1 = sum(c);\n\
+  \  c = null;\n\
+  \  int ok = deleteregion(tmp);\n\
+  \  return s1 * 100 + ok * 10 + (sum(l) == s1);\n\
+   }"
+
+let test_figure3_list_copy () =
+  (* sum 1..10 = 55; delete succeeds (ok=1); original intact (1). *)
+  let r, lib = Creg.Vm.run_source figure3 in
+  check "figure 3 result" 5511 r.Creg.Vm.exit_value;
+  let rs = Regions.Region.rstats lib in
+  check "two regions created" 2 (Regions.Rstats.total_regions rs);
+  check "one region deleted" 1 (Regions.Rstats.live_regions rs)
+
+let test_deleteregion_blocked_at_language_level () =
+  (* Keeping a pointer into tmp blocks deletion; nulling it unblocks. *)
+  let src =
+    "struct list { int i; struct list @next; };\n\
+     int main() {\n\
+    \  region tmp = newregion();\n\
+    \  struct list @p = ralloc(tmp, struct list);\n\
+    \  int first = deleteregion(tmp);\n\
+    \  p = null;\n\
+    \  int second = deleteregion(tmp);\n\
+    \  return first * 10 + second;\n\
+     }"
+  in
+  check "blocked then allowed" 1 (exit_value src)
+
+let test_unsafe_mode_always_deletes () =
+  let src =
+    "struct list { int i; struct list @next; };\n\
+     int main() {\n\
+    \  region tmp = newregion();\n\
+    \  struct list @p = ralloc(tmp, struct list);\n\
+    \  int first = deleteregion(tmp);\n\
+    \  p = null;\n\
+    \  return first;\n\
+     }"
+  in
+  check "unsafe deletes despite live pointer" 1 (exit_value ~safe:false src)
+
+let test_global_region_pointer_blocks () =
+  let src =
+    "struct list { int i; struct list @next; };\n\
+     struct list @keep;\n\
+     int main() {\n\
+    \  region tmp = newregion();\n\
+    \  keep = ralloc(tmp, struct list);\n\
+    \  int first = deleteregion(tmp);\n\
+    \  keep = null;\n\
+    \  int second = deleteregion(tmp);\n\
+    \  return first * 10 + second;\n\
+     }"
+  in
+  check "global blocks until cleared" 1 (exit_value src)
+
+let test_cross_region_cleanup_at_language_level () =
+  (* Region A points into region B; deleting A must release B. *)
+  let src =
+    "struct list { int i; struct list @next; };\n\
+     int main() {\n\
+    \  region a = newregion();\n\
+    \  region b = newregion();\n\
+    \  struct list @x = ralloc(a, struct list);\n\
+    \  x->next = ralloc(b, struct list);\n\
+    \  x = null;\n\
+    \  int b_blocked = deleteregion(b);\n\
+    \  int a_ok = deleteregion(a);\n\
+    \  int b_ok = deleteregion(b);\n\
+    \  return b_blocked * 100 + a_ok * 10 + b_ok;\n\
+     }"
+  in
+  check "cleanup chain" 11 (exit_value src)
+
+let test_regionof_builtin () =
+  let src =
+    "struct list { int i; struct list @next; };\n\
+     int main() {\n\
+    \  region r = newregion();\n\
+    \  struct list @p = ralloc(r, struct list);\n\
+    \  region r2 = regionof(p);\n\
+    \  int same = (r2 == r);\n\
+    \  r2 = null;\n\
+    \  return same;\n\
+     }"
+  in
+  check "regionof returns the region" 1 (exit_value src)
+
+let test_deleteregion_nulls_handle () =
+  let src =
+    "int main() {\n\
+    \  region r = newregion();\n\
+    \  int ok = deleteregion(r);\n\
+    \  return ok * 10 + (r == null);\n\
+     }"
+  in
+  check "handle nulled after delete" 11 (exit_value src)
+
+let test_extra_region_handle_blocks_at_language_level () =
+  (* A second handle to the region (even a region-typed copy) is an
+     external reference. *)
+  let src =
+    "int main() {\n\
+    \  region r = newregion();\n\
+    \  region alias = r;\n\
+    \  int blocked = deleteregion(r);\n\
+    \  alias = null;\n\
+    \  int ok = deleteregion(r);\n\
+    \  return blocked * 10 + ok;\n\
+     }"
+  in
+  check "alias blocks" 1 (exit_value src)
+
+let test_runtime_faults () =
+  let null_deref =
+    "struct list { int i; struct list @next; };\n\
+     int main() { struct list @p = null; return p->i; }"
+  in
+  (match run null_deref with
+  | _ -> Alcotest.fail "expected fault"
+  | exception Creg.Vm.Fault _ -> ());
+  (match run "int main() { return 1 / 0; }" with
+  | _ -> Alcotest.fail "expected fault"
+  | exception Creg.Vm.Fault _ -> ());
+  match
+    Creg.Vm.run_source ~max_steps:1000 "int main() { while (1) { } return 0; }"
+  with
+  | _ -> Alcotest.fail "expected step-limit fault"
+  | exception Creg.Vm.Fault _ -> ()
+
+let test_rstralloc_builtin () =
+  let src =
+    "int main() {\n\
+    \  region r = newregion();\n\
+    \  int buf = rstralloc(r, 256);\n\
+    \  int ok = deleteregion(r);\n\
+    \  return (buf != 0) * 10 + ok;\n\
+     }"
+  in
+  check "rstralloc usable" 11 (exit_value src)
+
+let test_arrays_and_pointer_arithmetic () =
+  (* rallocarray + the paper's address arithmetic on region pointers *)
+  let src =
+    "struct cell { int v; struct cell @link; };\n\
+     int main() {\n\
+    \  region r = newregion();\n\
+    \  struct cell @a = rallocarray(r, 10, struct cell);\n\
+    \  int i; i = 0;\n\
+    \  while (i < 10) {\n\
+    \    struct cell @e = a + i;\n\
+    \    e->v = i * i;\n\
+    \    i = i + 1;\n\
+    \  }\n\
+    \  int s; s = 0; i = 0;\n\
+    \  while (i < 10) { s = s + (a + i)->v; i = i + 1; }\n\
+    \  a = null;\n\
+    \  int ok = deleteregion(r);\n\
+    \  return s * 10 + ok;\n\
+     }"
+  in
+  (* sum of squares 0..9 = 285 *)
+  check "array arithmetic" 2851 (exit_value src)
+
+let test_array_interior_pointer_blocks_delete () =
+  let src =
+    "struct cell { int v; struct cell @link; };\n\
+     int main() {\n\
+    \  region r = newregion();\n\
+    \  struct cell @a = rallocarray(r, 8, struct cell);\n\
+    \  struct cell @mid = a + 4;\n\
+    \  a = null;\n\
+    \  int blocked = deleteregion(r);\n\
+    \  mid = null;\n\
+    \  int ok = deleteregion(r);\n\
+    \  return blocked * 10 + ok;\n\
+     }"
+  in
+  check "interior pointer counts" 1 (exit_value src)
+
+let test_array_cleanup_releases_cross_region () =
+  (* elements of an array in region a point into region b; deleting a
+     must run the array cleanup and release b *)
+  let src =
+    "struct cell { int v; struct cell @link; };\n\
+     int main() {\n\
+    \  region a = newregion();\n\
+    \  region b = newregion();\n\
+    \  struct cell @arr = rallocarray(a, 4, struct cell);\n\
+    \  int i; i = 0;\n\
+    \  while (i < 4) { (arr + i)->link = ralloc(b, struct cell); i = i + 1; }\n\
+    \  arr = null;\n\
+    \  int b_blocked = deleteregion(b);\n\
+    \  int a_ok = deleteregion(a);\n\
+    \  int b_ok = deleteregion(b);\n\
+    \  return b_blocked * 100 + a_ok * 10 + b_ok;\n\
+     }"
+  in
+  check "array cleanup chain" 11 (exit_value src)
+
+let test_ptr_arith_type_rules () =
+  (* int + pointer is not address arithmetic; pointer + pointer neither *)
+  type_error
+    "struct s { int x; };\n\
+     int main() { region r = newregion(); struct s @p = ralloc(r, struct s);\n\
+     struct s @q = 1 + p; return 0; }";
+  type_error
+    "struct s { int x; };\n\
+     int main() { region r = newregion(); struct s @p = ralloc(r, struct s);\n\
+     struct s @q = p + p; return 0; }";
+  type_ok
+    "struct s { int x; };\n\
+     int main() { region r = newregion(); struct s @p = ralloc(r, struct s);\n\
+     struct s @q = p + 1; q = null; return 0; }"
+
+let test_rallocarray_type_rules () =
+  type_error "struct s { int x; };\nint main() { int a = rallocarray(3, 1, struct s); return 0; }";
+  type_error
+    "struct s { int x; };\n\
+     int main() { region r = newregion(); struct s @a = rallocarray(r, r, struct s);\n\
+     return 0; }"
+
+let test_vm_costs_flow_to_accounts () =
+  let _, lib = Creg.Vm.run_source figure3 in
+  let c = Sim.Memory.cost (Regions.Region.memory lib) in
+  check_bool "base instrs" true (Sim.Cost.base_instrs c > 0);
+  check_bool "alloc instrs" true (Sim.Cost.alloc_instrs c > 0);
+  check_bool "refcount instrs" true (Sim.Cost.refcount_instrs c > 0);
+  check_bool "stack scan instrs" true (Sim.Cost.stack_scan_instrs c > 0);
+  check_bool "cleanup instrs" true (Sim.Cost.cleanup_instrs c > 0)
+
+let test_deep_recursion_with_regions () =
+  (* Region pointers across many live frames: scan/unscan must stay
+     balanced under recursion with a failed delete at the bottom. *)
+  let src =
+    "struct list { int i; struct list @next; };\n\
+     struct list @g;\n\
+     int deep(region r, int n, struct list @l) {\n\
+    \  if (n == 0) {\n\
+    \    g = l;\n\
+    \    int blocked = deleteregion(r);\n\
+    \    return blocked;\n\
+    \  }\n\
+    \  struct list @p = ralloc(r, struct list);\n\
+    \  p->i = n;\n\
+    \  p->next = l;\n\
+    \  return deep(r, n - 1, p);\n\
+     }\n\
+     int main() {\n\
+    \  region r = newregion();\n\
+    \  int blocked = deep(r, 40, null);\n\
+    \  g = null;\n\
+    \  int ok = deleteregion(r);\n\
+    \  return blocked * 10 + ok;\n\
+     }"
+  in
+  check "deep recursion" 1 (exit_value src)
+
+let test_mutual_recursion_via_order () =
+  (* creg resolves all function names in a first pass, so mutual
+     recursion needs no prototypes. *)
+  check "even(10)" 1
+    (exit_value
+       "int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }\n\
+        int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }\n\
+        int main() { return is_even(10); }")
+
+let test_globals_pointer_default_null () =
+  (* global region pointers start null (the global area is cleared) *)
+  check "null global" 1
+    (exit_value
+       "struct s { int x; };\nstruct s @g;\n\
+        int main() { if (g == null) { return 1; } return 0; }")
+
+let test_void_functions () =
+  check "void call" 5
+    (exit_value
+       "int acc;\n\
+        void bump(int k) { acc = acc + k; }\n\
+        int main() { bump(2); bump(3); return acc; }")
+
+let test_nested_control_flow () =
+  check "nested" 26
+    (exit_value
+       "int main() {\n\
+        int total; total = 0;\n\
+        int i; i = 0;\n\
+        while (i < 5) {\n\
+        \  int j; j = 0;\n\
+        \  while (j < 5) {\n\
+        \    if ((i + j) % 2 == 0) { total = total + 2; } else { total = total + 0; }\n\
+        \    j = j + 1;\n\
+        \  }\n\
+        \  i = i + 1;\n\
+        }\n\
+        if (total > 20) { return total; } else { return 0; }\n\
+        }")
+
+let test_treesort_program () =
+  (* The examples/treesort.cq program: tree region + result region,
+     arrays, pointer arithmetic, wholesale tree deletion. *)
+  let src =
+    "struct node { int key; struct node @left; struct node @right; };\n\
+     struct cell { int v; };\n\
+     struct node @insert(region r, struct node @t, int key) {\n\
+    \  if (t == null) { struct node @n = ralloc(r, struct node); n->key = key; return n; }\n\
+    \  if (key < t->key) { t->left = insert(r, t->left, key); }\n\
+    \  else { t->right = insert(r, t->right, key); }\n\
+    \  return t;\n\
+     }\n\
+     int emit(struct node @t, struct cell @out, int pos) {\n\
+    \  if (t == null) { return pos; }\n\
+    \  pos = emit(t->left, out, pos);\n\
+    \  struct cell @slot = out + pos;\n\
+    \  slot->v = t->key;\n\
+    \  pos = pos + 1;\n\
+    \  return emit(t->right, out, pos);\n\
+     }\n\
+     int main() {\n\
+    \  int n; n = 120;\n\
+    \  region tree = newregion();\n\
+    \  struct node @root = null;\n\
+    \  int seed; seed = 12345;\n\
+    \  int i; i = 0;\n\
+    \  while (i < n) { seed = (seed * 1103 + 12721) % 65536; root = insert(tree, root, seed); i = i + 1; }\n\
+    \  region result = newregion();\n\
+    \  struct cell @sorted = rallocarray(result, n, struct cell);\n\
+    \  int filled = emit(root, sorted, 0);\n\
+    \  root = null;\n\
+    \  int tree_gone = deleteregion(tree);\n\
+    \  int ok; ok = 1; i = 1;\n\
+    \  while (i < n) { if ((sorted + (i - 1))->v > (sorted + i)->v) { ok = 0; } i = i + 1; }\n\
+    \  sorted = null;\n\
+    \  int res_gone = deleteregion(result);\n\
+    \  return (filled == n) * 1000 + tree_gone * 100 + ok * 10 + res_gone;\n\
+     }"
+  in
+  let outcome, lib = Creg.Vm.run_source src in
+  check "sorted, both regions freed" 1111 outcome.Creg.Vm.exit_value;
+  check "no pages leaked" 0 (Regions.Region.live_pages lib)
+
+let test_else_if_chains () =
+  let classify n =
+    exit_value
+      (Printf.sprintf
+         "int main() {\n\
+          int n; n = %d;\n\
+          if (n < 10) { return 1; }\n\
+          else if (n < 100) { return 2; }\n\
+          else if (n < 1000) { return 3; }\n\
+          else { return 4; }\n\
+          }" n)
+  in
+  check "small" 1 (classify 5);
+  check "medium" 2 (classify 50);
+  check "large" 3 (classify 500);
+  check "huge" 4 (classify 5000)
+
+let test_comment_handling () =
+  check "comments everywhere" 3
+    (exit_value
+       "// leading comment\n\
+        int main() { /* inline */ return /* mid */ 3; // trailing\n}")
+
+let test_regions_across_calls () =
+  (* a region created in a callee and returned survives *)
+  let src =
+    "struct s { int x; };\n\
+     region make() { region r = newregion(); return r; }\n\
+     int main() {\n\
+    \  region r = make();\n\
+    \  struct s @p = ralloc(r, struct s);\n\
+    \  p->x = 9;\n\
+    \  int v = p->x;\n\
+    \  p = null;\n\
+    \  int ok = deleteregion(r);\n\
+    \  return v * 10 + ok;\n\
+     }"
+  in
+  check "region returned from callee" 91 (exit_value src)
+
+let test_many_regions_in_creg () =
+  (* create and delete many regions in a loop: exercises the pool *)
+  let src =
+    "struct s { int x; struct s @n; };\n\
+     int main() {\n\
+    \  int i; i = 0;\n\
+    \  int ok; ok = 0;\n\
+    \  while (i < 100) {\n\
+    \    region r = newregion();\n\
+    \    struct s @p = ralloc(r, struct s);\n\
+    \    p->x = i;\n\
+    \    p = null;\n\
+    \    ok = ok + deleteregion(r);\n\
+    \    i = i + 1;\n\
+    \  }\n\
+    \  return ok;\n\
+     }"
+  in
+  let outcome, lib = Creg.Vm.run_source src in
+  check "all 100 deletions succeeded" 100 outcome.Creg.Vm.exit_value;
+  check "no live pages" 0 (Regions.Region.live_pages lib)
+
+(* ------------------------------------------------------------------ *)
+(* Compiler fuzzing: random arithmetic expressions must evaluate to
+   exactly what a reference evaluator (with the VM's 32-bit
+   semantics) computes. *)
+
+type fexpr =
+  | Lit of int
+  | Bin of string * fexpr * fexpr
+  | DivLit of fexpr * int  (* nonzero literal denominator *)
+  | Neg of fexpr
+  | Not of fexpr
+
+let rec render = function
+  | Lit n -> string_of_int n
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (render a) op (render b)
+  | DivLit (a, n) -> Printf.sprintf "(%s / %d)" (render a) n
+  | Neg a -> Printf.sprintf "(-%s)" (render a)
+  | Not a -> Printf.sprintf "(!%s)" (render a)
+
+let mask = 0xFFFFFFFF
+
+let rec feval = function
+  | Lit n -> n
+  | Bin (op, a, b) -> (
+      let x = feval a and y = feval b in
+      match op with
+      | "+" -> (x + y) land mask
+      | "-" -> (x - y) land mask
+      | "*" -> x * y land mask
+      | "%" -> if y = 0 then 0 (* avoided by the generator *) else x mod y
+      | "<" -> if x < y then 1 else 0
+      | "<=" -> if x <= y then 1 else 0
+      | ">" -> if x > y then 1 else 0
+      | ">=" -> if x >= y then 1 else 0
+      | "==" -> if x = y then 1 else 0
+      | "!=" -> if x <> y then 1 else 0
+      | "&&" -> if x <> 0 && y <> 0 then 1 else 0
+      | "||" -> if x <> 0 || y <> 0 then 1 else 0
+      | _ -> assert false)
+  | DivLit (a, n) -> feval a / n
+  | Neg a -> -feval a land mask
+  | Not a -> if feval a = 0 then 1 else 0
+
+let fexpr_gen =
+  let open QCheck.Gen in
+  let ops = [ "+"; "-"; "*"; "<"; "<="; ">"; ">="; "=="; "!="; "&&"; "||" ] in
+  sized (fun size ->
+      fix
+        (fun self n ->
+          if n = 0 then map (fun v -> Lit v) (int_bound 1000)
+          else
+            frequency
+              [
+                (1, map (fun v -> Lit v) (int_bound 1000));
+                ( 6,
+                  map3
+                    (fun op a b -> Bin (op, a, b))
+                    (oneofl ops) (self (n / 2)) (self (n / 2)) );
+                (1, map2 (fun a d -> DivLit (a, d + 1)) (self (n / 2)) (int_bound 99));
+                (1, map (fun a -> Neg a) (self (n / 2)));
+                (1, map (fun a -> Not a) (self (n / 2)));
+              ])
+        (min size 6))
+
+let qcheck_expression_fuzz =
+  QCheck.Test.make ~count:300 ~name:"compiled expressions match reference eval"
+    (QCheck.make ~print:render fexpr_gen)
+    (fun e ->
+      (* Modulo can still divide by a computed zero; the VM faults
+         there and the reference returns 0, so skip those cases. *)
+      let src = Printf.sprintf "int main() { return %s; }" (render e) in
+      match Creg.Vm.run_source src with
+      | outcome, _ -> outcome.Creg.Vm.exit_value = feval e
+      | exception Creg.Vm.Fault _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Statement-level fuzzing: random straight-line programs with
+   assignments and nested conditionals over four int variables,
+   compared against a reference interpreter. *)
+
+type fstmt =
+  | Assign of int * fexpr  (* variable index, expression *)
+  | FIf of fexpr * fstmt list * fstmt list
+  | FLoop of int * int * fstmt list
+      (* bounded loop with a generation-unique counter the body cannot
+         touch: int l<id>; while (l<id> < n) { body; l<id>++ } *)
+
+let var_expr v = Printf.sprintf "x%d" v
+
+let rec render_stmt = function
+  | Assign (v, e) -> Printf.sprintf "x%d = %s;" v (render_with_vars e)
+  | FIf (c, a, b) ->
+      Printf.sprintf "if (%s) { %s } else { %s }" (render_with_vars c)
+        (String.concat " " (List.map render_stmt a))
+        (String.concat " " (List.map render_stmt b))
+  | FLoop (id, n, body) ->
+      Printf.sprintf "int l%d; l%d = 0; while (l%d < %d) { %s l%d = l%d + 1; }"
+        id id id n
+        (String.concat " " (List.map render_stmt body))
+        id id
+
+(* Reuse the expression fuzzer but substitute variables for some
+   literals: encode variable reads as Lit (-1-v). *)
+and render_with_vars e =
+  match e with
+  | Lit n when n < 0 -> var_expr (-n - 1)
+  | Lit n -> string_of_int n
+  | Bin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (render_with_vars a) op (render_with_vars b)
+  | DivLit (a, n) -> Printf.sprintf "(%s / %d)" (render_with_vars a) n
+  | Neg a -> Printf.sprintf "(-%s)" (render_with_vars a)
+  | Not a -> Printf.sprintf "(!%s)" (render_with_vars a)
+
+let rec eval_with_vars env e =
+  match e with
+  | Lit n when n < 0 -> env.(-n - 1)
+  | Lit n -> n
+  | Bin (op, a, b) ->
+      feval (Bin (op, Lit (eval_with_vars env a), Lit (eval_with_vars env b)))
+  | DivLit (a, n) -> eval_with_vars env a / n
+  | Neg a -> -eval_with_vars env a land mask
+  | Not a -> if eval_with_vars env a = 0 then 1 else 0
+
+let rec eval_stmt env = function
+  | Assign (v, e) -> env.(v) <- eval_with_vars env e
+  | FIf (c, a, b) ->
+      if eval_with_vars env c <> 0 then List.iter (eval_stmt env) a
+      else List.iter (eval_stmt env) b
+  | FLoop (_, n, body) ->
+      for _ = 1 to n do
+        List.iter (eval_stmt env) body
+      done
+
+let fuzz_expr_gen =
+  let open QCheck.Gen in
+  sized (fun size ->
+      fix
+        (fun self n ->
+          if n = 0 then
+            frequency
+              [
+                (2, map (fun v -> Lit v) (int_bound 500));
+                (2, map (fun v -> Lit (-1 - v)) (int_bound 3));
+              ]
+          else
+            frequency
+              [
+                (1, map (fun v -> Lit (-1 - v)) (int_bound 3));
+                ( 5,
+                  map3
+                    (fun op a b -> Bin (op, a, b))
+                    (oneofl [ "+"; "-"; "*"; "<"; "=="; "!=" ])
+                    (self (n / 2)) (self (n / 2)) );
+                (1, map2 (fun a d -> DivLit (a, d + 1)) (self (n / 2)) (int_bound 30));
+              ])
+        (min size 4))
+
+let loop_counter = ref 0
+
+let fuzz_stmt_gen =
+  let open QCheck.Gen in
+  fix
+    (fun self depth ->
+      let assign = map2 (fun v e -> Assign (v, e)) (int_bound 3) fuzz_expr_gen in
+      if depth = 0 then assign
+      else
+        frequency
+          [
+            (3, assign);
+            ( 1,
+              map3
+                (fun c a b -> FIf (c, a, b))
+                fuzz_expr_gen
+                (list_size (int_bound 3) (self (depth - 1)))
+                (list_size (int_bound 3) (self (depth - 1))) );
+            ( 1,
+              map3
+                (fun () n body ->
+                  incr loop_counter;
+                  FLoop (!loop_counter, n, body))
+                (return ()) (int_range 1 6)
+                (list_size (int_bound 3) (self (depth - 1))) );
+          ])
+    2
+
+let fuzz_prog_gen = QCheck.Gen.(list_size (int_range 1 12) fuzz_stmt_gen)
+
+let render_program stmts =
+  Printf.sprintf
+    "int main() {\n\
+     int x0; int x1; int x2; int x3;\n\
+     x0 = 0; x1 = 1; x2 = 2; x3 = 3;\n\
+     %s\n\
+     return ((x0 + x1) + (x2 + x3));\n\
+     }"
+    (String.concat "\n" (List.map render_stmt stmts))
+
+let qcheck_statement_fuzz =
+  QCheck.Test.make ~count:200
+    ~name:"compiled programs match the reference interpreter"
+    (QCheck.make
+       ~print:(fun stmts -> render_program stmts)
+       fuzz_prog_gen)
+    (fun stmts ->
+      let env = [| 0; 1; 2; 3 |] in
+      (try List.iter (eval_stmt env) stmts with Division_by_zero -> ());
+      let expect =
+        feval
+          (Bin ("+", Bin ("+", Lit env.(0), Lit env.(1)),
+                Bin ("+", Lit env.(2), Lit env.(3))))
+      in
+      match Creg.Vm.run_source (render_program stmts) with
+      | outcome, _ -> outcome.Creg.Vm.exit_value = expect
+      | exception Creg.Vm.Fault _ -> true)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "creg"
+    [
+      ( "lexer",
+        [
+          tc "basics" `Quick test_lexer_basics;
+          tc "keywords vs idents" `Quick test_lexer_keywords_vs_idents;
+          tc "positions" `Quick test_lexer_positions;
+          tc "block comments" `Quick test_lexer_block_comment;
+          tc "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          tc "precedence" `Quick test_parser_precedence;
+          tc "syntax error" `Quick test_parser_syntax_error;
+          tc "program shapes" `Quick test_parser_program_shapes;
+        ] );
+      ( "typecheck",
+        [
+          tc "no implicit @/* conversion" `Quick test_ty_no_implicit_conversion;
+          tc "explicit casts allowed" `Quick test_ty_explicit_cast_allowed;
+          tc "region pointers must be initialised" `Quick
+            test_ty_region_ptr_must_be_initialised;
+          tc "unbound names" `Quick test_ty_unbound_and_unknown;
+          tc "field errors" `Quick test_ty_field_errors;
+          tc "call arity and types" `Quick test_ty_call_arity_and_types;
+          tc "deleteregion target" `Quick test_ty_deleteregion_needs_region_var;
+          tc "conditions and arithmetic" `Quick test_ty_condition_and_arith;
+          tc "pointer comparison" `Quick test_ty_pointer_comparison;
+          tc "main required" `Quick test_ty_main_required;
+          tc "return checks" `Quick test_ty_return_checks;
+          tc "duplicates and shadowing" `Quick test_ty_duplicates;
+        ] );
+      ( "vm",
+        [
+          tc "arithmetic and control" `Quick test_run_arith_and_control;
+          tc "recursion" `Quick test_run_recursion;
+          tc "print" `Quick test_run_print;
+          tc "globals" `Quick test_run_globals;
+          tc "structs" `Quick test_run_structs;
+          tc "figure 3 list copy" `Quick test_figure3_list_copy;
+          tc "deleteregion blocked, then ok" `Quick
+            test_deleteregion_blocked_at_language_level;
+          tc "unsafe mode deletes" `Quick test_unsafe_mode_always_deletes;
+          tc "global pointer blocks" `Quick test_global_region_pointer_blocks;
+          tc "cross-region cleanup" `Quick
+            test_cross_region_cleanup_at_language_level;
+          tc "regionof" `Quick test_regionof_builtin;
+          tc "handle nulled" `Quick test_deleteregion_nulls_handle;
+          tc "alias handle blocks" `Quick
+            test_extra_region_handle_blocks_at_language_level;
+          tc "runtime faults" `Quick test_runtime_faults;
+          tc "rstralloc" `Quick test_rstralloc_builtin;
+          tc "arrays + pointer arithmetic" `Quick
+            test_arrays_and_pointer_arithmetic;
+          tc "interior pointer blocks delete" `Quick
+            test_array_interior_pointer_blocks_delete;
+          tc "array cleanup cross-region" `Quick
+            test_array_cleanup_releases_cross_region;
+          tc "pointer arithmetic typing" `Quick test_ptr_arith_type_rules;
+          tc "rallocarray typing" `Quick test_rallocarray_type_rules;
+          tc "cost accounts" `Quick test_vm_costs_flow_to_accounts;
+          tc "deep recursion" `Quick test_deep_recursion_with_regions;
+          tc "mutual recursion" `Quick test_mutual_recursion_via_order;
+          tc "global pointers default to null" `Quick
+            test_globals_pointer_default_null;
+          tc "void functions" `Quick test_void_functions;
+          tc "nested control flow" `Quick test_nested_control_flow;
+          tc "comments" `Quick test_comment_handling;
+          tc "else-if chains" `Quick test_else_if_chains;
+          tc "treesort program" `Quick test_treesort_program;
+          tc "region returned from callee" `Quick test_regions_across_calls;
+          tc "many regions loop" `Quick test_many_regions_in_creg;
+          QCheck_alcotest.to_alcotest qcheck_expression_fuzz;
+          QCheck_alcotest.to_alcotest qcheck_statement_fuzz;
+        ] );
+    ]

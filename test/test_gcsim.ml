@@ -1,0 +1,294 @@
+(* Tests for the Boehm-Weiser-style conservative collector. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+type env = {
+  mem : Sim.Memory.t;
+  mut : Regions.Mutator.t;
+  alloc : Alloc.Allocator.t;
+  gc : Gcsim.Boehm.t;
+}
+
+let fresh ?trigger_min_bytes () =
+  let mem = Sim.Memory.create ~with_cache:false () in
+  let mut = Regions.Mutator.create mem in
+  let alloc, gc =
+    Gcsim.Boehm.create ?trigger_min_bytes
+      ~roots:(fun f -> Regions.Mutator.iter_roots mut f)
+      mem
+  in
+  { mem; mut; alloc; gc }
+
+let test_alloc_zeroed () =
+  let e = fresh () in
+  let p = e.alloc.Alloc.Allocator.malloc 40 in
+  for i = 0 to 9 do
+    check "zeroed" 0 (Sim.Memory.load e.mem (p + (i * 4)))
+  done;
+  check_bool "live" true (Gcsim.Boehm.is_live e.gc p);
+  check "usable covers class" 48 (e.alloc.usable_size p)
+
+let test_free_is_noop () =
+  let e = fresh () in
+  let p = e.alloc.Alloc.Allocator.malloc 16 in
+  e.alloc.free p;
+  check_bool "still live after free" true (Gcsim.Boehm.is_live e.gc p)
+
+let test_reachable_survive_garbage_collected () =
+  let e = fresh () in
+  Regions.Mutator.with_frame e.mut ~nslots:1 ~ptr_slots:[] (fun fr ->
+      (* A linked list rooted in a frame slot survives; unrooted
+         objects die. *)
+      let rec build n tail =
+        if n = 0 then tail
+        else begin
+          let p = e.alloc.Alloc.Allocator.malloc 16 in
+          Sim.Memory.store e.mem p n;
+          Sim.Memory.store e.mem (p + 4) tail;
+          build (n - 1) p
+        end
+      in
+      let list = build 50 0 in
+      Regions.Mutator.set_local e.mut fr 0 list;
+      let garbage = Array.init 100 (fun _ -> e.alloc.malloc 16) in
+      Gcsim.Boehm.collect e.gc;
+      (* Walk the list: all nodes alive with intact contents. *)
+      let rec walk p n =
+        if p <> 0 then begin
+          check_bool "node live" true (Gcsim.Boehm.is_live e.gc p);
+          check "node value" n (Sim.Memory.load e.mem p);
+          walk (Sim.Memory.load e.mem (p + 4)) (n + 1)
+        end
+        else check "walked all" 51 n
+      in
+      walk list 1;
+      let dead =
+        Array.to_list garbage
+        |> List.filter (fun p -> not (Gcsim.Boehm.is_live e.gc p))
+      in
+      (* Conservative collection may pin a few by accident, but the
+         bulk must be reclaimed. *)
+      check_bool "most garbage reclaimed" true (List.length dead >= 95))
+
+let test_heap_pointers_traced () =
+  let e = fresh () in
+  Regions.Mutator.with_frame e.mut ~nslots:1 ~ptr_slots:[] (fun fr ->
+      let a = e.alloc.Alloc.Allocator.malloc 16 in
+      let b = e.alloc.malloc 16 in
+      let c = e.alloc.malloc 16 in
+      Sim.Memory.store e.mem a b (* a -> b *);
+      Sim.Memory.store e.mem b c (* b -> c *);
+      Regions.Mutator.set_local e.mut fr 0 a;
+      Gcsim.Boehm.collect e.gc;
+      check_bool "transitively reachable c live" true (Gcsim.Boehm.is_live e.gc c))
+
+let test_global_roots () =
+  let e = fresh () in
+  let p = e.alloc.Alloc.Allocator.malloc 24 in
+  Sim.Memory.store e.mem (Regions.Mutator.global_addr e.mut 5) p;
+  Gcsim.Boehm.collect e.gc;
+  check_bool "global-rooted object live" true (Gcsim.Boehm.is_live e.gc p)
+
+let test_interior_pointers_pin () =
+  let e = fresh () in
+  Regions.Mutator.with_frame e.mut ~nslots:1 ~ptr_slots:[] (fun fr ->
+      let p = e.alloc.Alloc.Allocator.malloc 64 in
+      (* Only an interior pointer survives — conservative GC must pin. *)
+      Regions.Mutator.set_local e.mut fr 0 (p + 20);
+      Gcsim.Boehm.collect e.gc;
+      check_bool "interior pointer pins object" true (Gcsim.Boehm.is_live e.gc p))
+
+let test_memory_reused_after_collection () =
+  let e = fresh () in
+  Regions.Mutator.with_frame e.mut ~nslots:1 ~ptr_slots:[] (fun _fr ->
+      for _ = 1 to 200 do
+        ignore (e.alloc.Alloc.Allocator.malloc 32)
+      done;
+      let os = Alloc.Stats.os_bytes e.alloc.stats in
+      Gcsim.Boehm.collect e.gc;
+      (* Everything was garbage; new allocations must reuse the heap. *)
+      for _ = 1 to 200 do
+        ignore (e.alloc.Alloc.Allocator.malloc 32)
+      done;
+      check "heap not grown" os (Alloc.Stats.os_bytes e.alloc.stats))
+
+let test_automatic_trigger () =
+  let e = fresh ~trigger_min_bytes:8192 () in
+  Regions.Mutator.with_frame e.mut ~nslots:1 ~ptr_slots:[] (fun _fr ->
+      for _ = 1 to 3000 do
+        ignore (e.alloc.Alloc.Allocator.malloc 48)
+      done;
+      check_bool "collections happened" true (Gcsim.Boehm.collections e.gc > 1);
+      (* Dead-on-arrival allocations: the heap stays far below the
+         144 KB total allocated. *)
+      check_bool "heap bounded" true (Gcsim.Boehm.heap_bytes e.gc < 100_000))
+
+let test_large_objects () =
+  let e = fresh () in
+  Regions.Mutator.with_frame e.mut ~nslots:2 ~ptr_slots:[] (fun fr ->
+      let big = e.alloc.Alloc.Allocator.malloc 10_000 in
+      Regions.Mutator.set_local e.mut fr 0 big;
+      Sim.Memory.store e.mem (big + 9996) 3;
+      Gcsim.Boehm.collect e.gc;
+      check_bool "rooted large object live" true (Gcsim.Boehm.is_live e.gc big);
+      check "contents survive" 3 (Sim.Memory.load e.mem (big + 9996));
+      Regions.Mutator.set_local e.mut fr 0 0;
+      Gcsim.Boehm.collect e.gc;
+      check_bool "unrooted large object dies" false (Gcsim.Boehm.is_live e.gc big);
+      (* Its pages are reused for the next same-size allocation. *)
+      let os = Alloc.Stats.os_bytes e.alloc.stats in
+      let big2 = e.alloc.malloc 10_000 in
+      check "pages reused" big big2;
+      check "no growth" os (Alloc.Stats.os_bytes e.alloc.stats))
+
+let test_gc_cost_charged () =
+  let e = fresh () in
+  let c = Sim.Memory.cost e.mem in
+  Regions.Mutator.with_frame e.mut ~nslots:1 ~ptr_slots:[] (fun fr ->
+      let p = e.alloc.Alloc.Allocator.malloc 100 in
+      Regions.Mutator.set_local e.mut fr 0 p;
+      let before = Sim.Cost.alloc_instrs c in
+      let base_before = Sim.Cost.base_instrs c in
+      Gcsim.Boehm.collect e.gc;
+      check_bool "gc work charged to alloc account" true
+        (Sim.Cost.alloc_instrs c > before + 50);
+      check "no base charge" base_before (Sim.Cost.base_instrs c))
+
+let test_no_collection_below_threshold () =
+  let e = fresh ~trigger_min_bytes:1_000_000 () in
+  for _ = 1 to 500 do
+    ignore (e.alloc.Alloc.Allocator.malloc 32)
+  done;
+  check "no automatic collection yet" 0 (Gcsim.Boehm.collections e.gc)
+
+let test_usable_size_classes () =
+  let e = fresh () in
+  let p = e.alloc.Alloc.Allocator.malloc 1 in
+  check "1 byte -> 16-byte class" 16 (e.alloc.usable_size p);
+  let q = e.alloc.malloc 17 in
+  check "17 bytes -> 32-byte class" 32 (e.alloc.usable_size q);
+  let r = e.alloc.malloc 512 in
+  check "512 bytes -> 512 class" 512 (e.alloc.usable_size r);
+  let big = e.alloc.malloc 600 in
+  check "large rounded to words" 600 (e.alloc.usable_size big)
+
+let test_large_interior_pointer_pins () =
+  let e = fresh () in
+  Regions.Mutator.with_frame e.mut ~nslots:1 ~ptr_slots:[] (fun fr ->
+      let big = e.alloc.Alloc.Allocator.malloc 9000 in
+      (* only a pointer into the middle of the second page survives *)
+      Regions.Mutator.set_local e.mut fr 0 (big + 5000);
+      Gcsim.Boehm.collect e.gc;
+      check_bool "interior pointer pins the large object" true
+        (Gcsim.Boehm.is_live e.gc big))
+
+let test_sweep_updates_stats () =
+  let e = fresh () in
+  Regions.Mutator.with_frame e.mut ~nslots:1 ~ptr_slots:[] (fun _fr ->
+      for _ = 1 to 100 do
+        ignore (e.alloc.Alloc.Allocator.malloc 24)
+      done;
+      let live_before = Alloc.Stats.live_bytes e.alloc.stats in
+      check_bool "live tracked" true (live_before >= 2400);
+      Gcsim.Boehm.collect e.gc;
+      check "sweep logically frees the garbage" 0
+        (Alloc.Stats.live_bytes e.alloc.stats))
+
+let test_self_referential_cycle_collected () =
+  (* Tracing collects cycles — the very thing plain reference counting
+     cannot do (and which regions handle by making cycles
+     intra-region). *)
+  let e = fresh () in
+  Regions.Mutator.with_frame e.mut ~nslots:1 ~ptr_slots:[] (fun fr ->
+      let a = e.alloc.Alloc.Allocator.malloc 16 in
+      let b = e.alloc.malloc 16 in
+      Sim.Memory.store e.mem a b;
+      Sim.Memory.store e.mem b a;
+      Regions.Mutator.set_local e.mut fr 0 a;
+      Gcsim.Boehm.collect e.gc;
+      check_bool "cycle kept while rooted" true
+        (Gcsim.Boehm.is_live e.gc a && Gcsim.Boehm.is_live e.gc b);
+      Regions.Mutator.set_local e.mut fr 0 0;
+      Gcsim.Boehm.collect e.gc;
+      check_bool "cycle collected when unrooted" true
+        ((not (Gcsim.Boehm.is_live e.gc a)) && not (Gcsim.Boehm.is_live e.gc b)))
+
+let qcheck_gc_soundness =
+  (* Random object graphs: after collection, everything reachable from
+     the roots is live and has intact contents. *)
+  let gen = QCheck.(pair (int_bound 1000) (list (pair (int_bound 49) (int_bound 49)))) in
+  QCheck.Test.make ~count:40 ~name:"reachability soundness on random graphs" gen
+    (fun (seed, edges) ->
+      let e = fresh ~trigger_min_bytes:4096 () in
+      Regions.Mutator.with_frame e.mut ~nslots:2 ~ptr_slots:[] (fun fr ->
+          let rng = Sim.Rng.create seed in
+          let objs = Array.init 50 (fun i ->
+              let p = e.alloc.Alloc.Allocator.malloc 24 in
+              Sim.Memory.store e.mem (p + 20) (i lxor 0x77);
+              p)
+          in
+          (* Random edges in the first two words. *)
+          List.iter
+            (fun (i, j) ->
+              let slot = Sim.Rng.int rng 2 in
+              Sim.Memory.store e.mem (objs.(i) + (slot * 4)) objs.(j))
+            edges;
+          (* Root object 0 only. *)
+          Regions.Mutator.set_local e.mut fr 0 objs.(0);
+          (* Compute reachability in the model. *)
+          let reachable = Array.make 50 false in
+          let index_of p =
+            let rec go i = if i = 50 then None else if objs.(i) = p then Some i else go (i + 1) in
+            go 0
+          in
+          let rec reach i =
+            if not reachable.(i) then begin
+              reachable.(i) <- true;
+              for s = 0 to 1 do
+                match index_of (Sim.Memory.peek e.mem (objs.(i) + (s * 4))) with
+                | Some j -> reach j
+                | None -> ()
+              done
+            end
+          in
+          reach 0;
+          Gcsim.Boehm.collect e.gc;
+          let sound = ref true in
+          Array.iteri
+            (fun i p ->
+              if reachable.(i) then begin
+                if not (Gcsim.Boehm.is_live e.gc p) then sound := false;
+                if Sim.Memory.peek e.mem (p + 20) <> i lxor 0x77 then sound := false
+              end)
+            objs;
+          !sound))
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "gcsim"
+    [
+      ( "boehm",
+        [
+          tc "alloc zeroed" `Quick test_alloc_zeroed;
+          tc "free is noop" `Quick test_free_is_noop;
+          tc "reachable survive, garbage collected" `Quick
+            test_reachable_survive_garbage_collected;
+          tc "heap pointers traced" `Quick test_heap_pointers_traced;
+          tc "global roots" `Quick test_global_roots;
+          tc "interior pointers pin" `Quick test_interior_pointers_pin;
+          tc "memory reused after collection" `Quick
+            test_memory_reused_after_collection;
+          tc "automatic trigger" `Quick test_automatic_trigger;
+          tc "large objects" `Quick test_large_objects;
+          tc "gc cost charged" `Quick test_gc_cost_charged;
+          tc "no collection below threshold" `Quick
+            test_no_collection_below_threshold;
+          tc "usable size classes" `Quick test_usable_size_classes;
+          tc "large interior pointer pins" `Quick
+            test_large_interior_pointer_pins;
+          tc "sweep updates stats" `Quick test_sweep_updates_stats;
+          tc "cycles collected" `Quick test_self_referential_cycle_collected;
+          QCheck_alcotest.to_alcotest qcheck_gc_soundness;
+        ] );
+    ]

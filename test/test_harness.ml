@@ -1,0 +1,258 @@
+(* Integration tests for the experiment harness: the full
+   workload x allocator matrix runs, the renderers produce the paper's
+   rows, and the headline claims of the paper hold in this
+   reproduction. *)
+
+let check_bool = Alcotest.(check bool)
+let check = Alcotest.(check int)
+
+(* One shared matrix for the whole suite (results are memoised). *)
+let matrix = lazy (Harness.Matrix.create Workloads.Workload.Quick)
+
+let get spec mode = Harness.Matrix.get (Lazy.force matrix) spec mode
+let workloads = Harness.Matrix.workloads
+
+let test_matrix_caches () =
+  let m = Lazy.force matrix in
+  let spec = List.hd workloads in
+  let r1 = Harness.Matrix.get m spec Harness.Matrix.region_safe in
+  let r2 = Harness.Matrix.get m spec Harness.Matrix.region_safe in
+  check_bool "same physical result" true (r1 == r2)
+
+let test_renders_contain_benchmarks () =
+  let m = Lazy.force matrix in
+  let contains hay needle =
+    let n = String.length hay and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun render ->
+      let s = render m in
+      check_bool "mentions every benchmark" true
+        (List.for_all
+           (fun spec -> contains s spec.Workloads.Workload.name)
+           workloads))
+    [
+      Harness.Table23.render_table2;
+      Harness.Table23.render_table3;
+      Harness.Fig8.render;
+      Harness.Fig9.render;
+      Harness.Fig10.render;
+      Harness.Fig11.render;
+    ]
+
+let test_render_table_alignment () =
+  let s =
+    Harness.Render.table ~header:[ "name"; "value" ]
+      [ [ "a"; "1" ]; [ "long-name"; "12345" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  check "four lines (header, separator, two rows)" 4 (List.length lines);
+  (* all rows share a width *)
+  match lines with
+  | h :: _sep :: rows ->
+      List.iter
+        (fun r ->
+          check_bool "row not shorter than header" true
+            (String.length r >= String.length h - 5))
+        rows
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_render_helpers () =
+  Alcotest.(check string) "kb" "1.5" (Harness.Render.kb 1536);
+  Alcotest.(check string) "mega small" "123" (Harness.Render.mega 123);
+  Alcotest.(check string) "mega k" "123k" (Harness.Render.mega 123_000);
+  Alcotest.(check string) "mega M" "123.0M" (Harness.Render.mega 123_000_000);
+  Alcotest.(check string) "pct" "42.0%" (Harness.Render.pct 0.42);
+  let b = Harness.Render.bar ~width:10 0.5 0.3 in
+  Alcotest.(check string) "bar" "#####===" b
+
+let test_claims_all_pass () =
+  let s = Harness.Claims.render (Lazy.force matrix) in
+  let contains needle =
+    let n = String.length s and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub s i m = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "no deviations in the claims report" false (contains "DEVIATION");
+  check_bool "six claims" true (contains "PASS")
+
+let test_limitation_renders () =
+  let s = Harness.Limitation.render () in
+  check_bool "mentions the problem case" true
+    (let needle = "problem case" in
+     let n = String.length s and m = String.length needle in
+     let rec go i = i + m <= n && (String.sub s i m = needle || go (i + 1)) in
+     go 0)
+
+let test_table1_renders () =
+  let s = Harness.Table1.render () in
+  check_bool "has cfrac row with the paper's 4203" true
+    (let rec go i =
+       i + 4 <= String.length s && (String.sub s i 4 = "4203" || go (i + 1))
+     in
+     go 0)
+
+(* ------------------------------------------------------------------ *)
+(* Headline claims (paper section 5.5 / 5.6 / 5.4) *)
+
+let cycles spec mode = (get spec mode).Workloads.Results.cycles
+
+let test_unsafe_regions_never_slower () =
+  (* "unsafe regions are faster than all the other allocators" — allow
+     5% slack for moss, where cache luck dominates. *)
+  List.iter
+    (fun spec ->
+      let unsafe = cycles spec Harness.Matrix.region_unsafe in
+      List.iter
+        (fun mode ->
+          let other = cycles spec mode in
+          check_bool
+            (Printf.sprintf "%s: unsafe (%d) not slower than %s (%d)"
+               spec.Workloads.Workload.name unsafe
+               (Harness.Matrix.mode_label mode) other)
+            true
+            (float_of_int unsafe <= 1.25 *. float_of_int other))
+        (Harness.Matrix.malloc_modes spec))
+    workloads
+
+let test_cost_of_safety_bounded () =
+  (* Paper: negligible to 17%; we allow a slightly wider envelope. *)
+  List.iter
+    (fun spec ->
+      let safe = cycles spec Harness.Matrix.region_safe in
+      let unsafe = cycles spec Harness.Matrix.region_unsafe in
+      let overhead = float_of_int safe /. float_of_int unsafe -. 1. in
+      check_bool
+        (Printf.sprintf "%s: safety overhead %.1f%% bounded"
+           spec.Workloads.Workload.name (100. *. overhead))
+        true
+        (overhead >= -0.01 && overhead < 0.30))
+    workloads
+
+let test_regions_memory_competitive () =
+  (* Paper: regions rank first or second in memory on every benchmark. *)
+  List.iter
+    (fun spec ->
+      let reg = (get spec Harness.Matrix.region_safe).Workloads.Results.os_bytes in
+      let others =
+        List.map
+          (fun mode -> (get spec mode).Workloads.Results.os_bytes)
+          (Harness.Matrix.malloc_modes spec)
+      in
+      let better = List.length (List.filter (fun o -> o < reg) others) in
+      check_bool
+        (Printf.sprintf "%s: regions rank 1st or 2nd in memory"
+           spec.Workloads.Workload.name)
+        true (better <= 1))
+    workloads
+
+let test_gc_uses_most_memory_somewhere () =
+  (* "The BSD allocator and the Boehm-Weiser garbage collector use a
+     lot of memory": GC must be the worst on most benchmarks. *)
+  let gc_worst =
+    List.filter
+      (fun spec ->
+        let modes = Harness.Matrix.malloc_modes spec in
+        let os mode = (get spec mode).Workloads.Results.os_bytes in
+        let gc_mode =
+          List.find
+            (fun m -> Harness.Matrix.mode_label m = "GC")
+            modes
+        in
+        List.for_all (fun m -> os m <= os gc_mode) modes)
+      workloads
+  in
+  check_bool "GC worst on at least half the benchmarks" true
+    (List.length gc_worst * 2 >= List.length workloads)
+
+let test_moss_locality_effect () =
+  let opt = get (Workloads.Workload.find "moss") Harness.Matrix.region_safe in
+  let slow = Harness.Matrix.moss_slow_result (Lazy.force matrix) in
+  let speedup =
+    1.
+    -. float_of_int opt.Workloads.Results.cycles
+       /. float_of_int slow.Workloads.Results.cycles
+  in
+  (* Paper: 24% faster.  Accept 10-40%. *)
+  check_bool
+    (Printf.sprintf "two-region moss %.0f%% faster" (100. *. speedup))
+    true
+    (speedup > 0.10 && speedup < 0.45);
+  let stalls r =
+    r.Workloads.Results.read_stall_cycles + r.Workloads.Results.write_stall_cycles
+  in
+  check_bool "roughly half the stalls" true
+    (float_of_int (stalls opt) < 0.8 *. float_of_int (stalls slow))
+
+let test_bsd_fewer_stalls_than_other_mallocs_on_moss () =
+  (* Paper: "the BSD memory allocator tends to have fewer stalls than
+     the other explicit allocators; most visible with moss". *)
+  let spec = Workloads.Workload.find "moss" in
+  let stalls label =
+    let mode =
+      List.find
+        (fun m -> Harness.Matrix.mode_label m = label)
+        (Harness.Matrix.malloc_modes spec)
+    in
+    let r = get spec mode in
+    r.Workloads.Results.read_stall_cycles + r.Workloads.Results.write_stall_cycles
+  in
+  check_bool "BSD < Sun" true (stalls "BSD" < stalls "Sun");
+  check_bool "BSD < Lea" true (stalls "BSD" < stalls "Lea")
+
+let test_emulation_overhead_only_for_region_only () =
+  List.iter
+    (fun spec ->
+      let mode =
+        if spec.Workloads.Workload.region_only then
+          Workloads.Api.Emulated Workloads.Api.Lea
+        else Workloads.Api.Direct Workloads.Api.Lea
+      in
+      let r = get spec mode in
+      if spec.Workloads.Workload.region_only then
+        check_bool (spec.Workloads.Workload.name ^ " has emu overhead") true
+          (r.Workloads.Results.emu_overhead_bytes > 0)
+      else
+        check (spec.Workloads.Workload.name ^ " has no emu overhead") 0
+          r.Workloads.Results.emu_overhead_bytes)
+    workloads
+
+let test_region_stats_present_only_for_region_mode () =
+  let spec = Workloads.Workload.find "cfrac" in
+  check_bool "region mode has region stats" true
+    ((get spec Harness.Matrix.region_safe).Workloads.Results.regions <> None);
+  check_bool "malloc mode has none" true
+    ((get spec (Workloads.Api.Direct Workloads.Api.Sun)).Workloads.Results.regions
+    = None)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "harness"
+    [
+      ( "plumbing",
+        [
+          tc "matrix caches" `Quick test_matrix_caches;
+          tc "renders mention benchmarks" `Slow test_renders_contain_benchmarks;
+          tc "table 1" `Quick test_table1_renders;
+          tc "render table alignment" `Quick test_render_table_alignment;
+          tc "render helpers" `Quick test_render_helpers;
+          tc "emulation overhead bookkeeping" `Quick
+            test_emulation_overhead_only_for_region_only;
+          tc "region stats presence" `Quick
+            test_region_stats_present_only_for_region_mode;
+        ] );
+      ( "paper claims",
+        [
+          tc "unsafe regions never slower" `Slow test_unsafe_regions_never_slower;
+          tc "cost of safety bounded" `Slow test_cost_of_safety_bounded;
+          tc "regions memory-competitive" `Slow test_regions_memory_competitive;
+          tc "GC memory-hungry" `Slow test_gc_uses_most_memory_somewhere;
+          tc "moss locality effect" `Slow test_moss_locality_effect;
+          tc "BSD fewest malloc stalls on moss" `Slow
+            test_bsd_fewer_stalls_than_other_mallocs_on_moss;
+          tc "claims report all PASS" `Slow test_claims_all_pass;
+          tc "limitation report" `Slow test_limitation_renders;
+        ] );
+    ]

@@ -1,0 +1,302 @@
+(* Tests for the simulated machine: memory, cost accounting, cache. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh ?(with_cache = false) () = Sim.Memory.create ~with_cache ()
+
+(* ------------------------------------------------------------------ *)
+(* Machine *)
+
+let test_machine_rounding () =
+  let m = Sim.Machine.ultrasparc_i in
+  check "round_word 0" 0 (Sim.Machine.round_word m 0);
+  check "round_word 1" 4 (Sim.Machine.round_word m 1);
+  check "round_word 4" 4 (Sim.Machine.round_word m 4);
+  check "round_word 5" 8 (Sim.Machine.round_word m 5);
+  check "words 9" 3 (Sim.Machine.words m 9);
+  check "round_page 1" 4096 (Sim.Machine.round_page m 1);
+  check "round_page 4096" 4096 (Sim.Machine.round_page m 4096);
+  check "round_page 4097" 8192 (Sim.Machine.round_page m 4097)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 42 and b = Sim.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.next a) (Sim.Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let r = Sim.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 100 do
+    let f = Sim.Rng.float r 3.0 in
+    check_bool "float range" true (f >= 0.0 && f < 3.0)
+  done
+
+let test_rng_spread () =
+  let r = Sim.Rng.create 3 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int r 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i n -> check_bool (Printf.sprintf "bucket %d populated" i) true (n > 500))
+    buckets
+
+(* ------------------------------------------------------------------ *)
+(* Cost *)
+
+let test_cost_contexts () =
+  let c = Sim.Cost.create () in
+  Sim.Cost.instr c 3;
+  Sim.Cost.with_context c Sim.Cost.Alloc (fun () -> Sim.Cost.instr c 5);
+  Sim.Cost.with_context c Sim.Cost.Refcount (fun () -> Sim.Cost.instr c 7);
+  Sim.Cost.with_context c Sim.Cost.Stack_scan (fun () -> Sim.Cost.instr c 11);
+  Sim.Cost.with_context c Sim.Cost.Cleanup (fun () -> Sim.Cost.instr c 13);
+  check "base" 3 (Sim.Cost.base_instrs c);
+  check "alloc" 5 (Sim.Cost.alloc_instrs c);
+  check "refcount" 7 (Sim.Cost.refcount_instrs c);
+  check "stack_scan" 11 (Sim.Cost.stack_scan_instrs c);
+  check "cleanup" 13 (Sim.Cost.cleanup_instrs c);
+  check "memory" 36 (Sim.Cost.memory_instrs c);
+  check "total" 39 (Sim.Cost.total_instrs c)
+
+let test_cost_context_restored_on_exception () =
+  let c = Sim.Cost.create () in
+  (try Sim.Cost.with_context c Sim.Cost.Alloc (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check_bool "context restored" true (Sim.Cost.context c = Sim.Cost.Base)
+
+let test_cost_nesting () =
+  let c = Sim.Cost.create () in
+  Sim.Cost.with_context c Sim.Cost.Alloc (fun () ->
+      Sim.Cost.instr c 1;
+      Sim.Cost.with_context c Sim.Cost.Cleanup (fun () -> Sim.Cost.instr c 2);
+      Sim.Cost.instr c 4);
+  check "alloc gets outer" 5 (Sim.Cost.alloc_instrs c);
+  check "cleanup gets inner" 2 (Sim.Cost.cleanup_instrs c)
+
+let test_cost_cycles () =
+  let c = Sim.Cost.create () in
+  Sim.Cost.instr c 10;
+  Sim.Cost.add_read_stall c 4;
+  Sim.Cost.add_write_stall c 6;
+  check "cycles" 20 (Sim.Cost.cycles c);
+  Sim.Cost.reset c;
+  check "reset" 0 (Sim.Cost.cycles c)
+
+(* ------------------------------------------------------------------ *)
+(* Memory *)
+
+let test_memory_map_pages () =
+  let m = fresh () in
+  let p1 = Sim.Memory.map_pages m 1 in
+  let p2 = Sim.Memory.map_pages m 2 in
+  check "first page skips NULL page" 4096 p1;
+  check "pages contiguous" (p1 + 4096) p2;
+  check "os bytes" (3 * 4096) (Sim.Memory.os_bytes m);
+  check_bool "mapped" true (Sim.Memory.is_mapped m p1);
+  check_bool "null unmapped" false (Sim.Memory.is_mapped m 0)
+
+let test_memory_roundtrip () =
+  let m = fresh () in
+  let p = Sim.Memory.map_pages m 1 in
+  Sim.Memory.store m p 0xDEADBEEF;
+  check "word roundtrip" 0xDEADBEEF (Sim.Memory.load m p);
+  Sim.Memory.store m (p + 4) (-1);
+  check "truncated to 32 bits" 0xFFFFFFFF (Sim.Memory.load m (p + 4));
+  check "sign extension" (-1) (Sim.Memory.load_signed m (p + 4));
+  Sim.Memory.store_byte m (p + 8) 0x41;
+  check "byte roundtrip" 0x41 (Sim.Memory.load_byte m (p + 8))
+
+let test_memory_faults () =
+  let m = fresh () in
+  let p = Sim.Memory.map_pages m 1 in
+  let expect_fault f =
+    match f () with
+    | _ -> Alcotest.fail "expected Fault"
+    | exception Sim.Memory.Fault _ -> ()
+  in
+  expect_fault (fun () -> Sim.Memory.load m (p + 1));
+  expect_fault (fun () -> Sim.Memory.load m 0);
+  expect_fault (fun () -> Sim.Memory.load m (p + 4096));
+  expect_fault (fun () -> Sim.Memory.store m 0 1);
+  expect_fault (fun () -> Sim.Memory.load_byte m (p + 4096))
+
+let test_memory_clear () =
+  let m = fresh () in
+  let p = Sim.Memory.map_pages m 1 in
+  for i = 0 to 9 do
+    Sim.Memory.store m (p + (i * 4)) 7
+  done;
+  Sim.Memory.clear m p 17;
+  (* 17 bytes -> 5 words cleared *)
+  for i = 0 to 4 do
+    check "cleared word" 0 (Sim.Memory.peek m (p + (i * 4)))
+  done;
+  check "word beyond clear untouched" 7 (Sim.Memory.peek m (p + 20))
+
+let test_memory_costs_charged () =
+  let m = fresh () in
+  let p = Sim.Memory.map_pages m 1 in
+  let c = Sim.Memory.cost m in
+  let before = Sim.Cost.total_instrs c in
+  Sim.Memory.store m p 1;
+  ignore (Sim.Memory.load m p);
+  ignore (Sim.Memory.load_byte m p);
+  check "three instructions" (before + 3) (Sim.Cost.total_instrs c);
+  Sim.Memory.poke m p 9;
+  ignore (Sim.Memory.peek m p);
+  check "peek/poke free" (before + 3) (Sim.Cost.total_instrs c)
+
+let test_memory_growth () =
+  let m = fresh () in
+  (* Force backing-store growth past the initial 1 MB. *)
+  let p = Sim.Memory.map_pages m 600 in
+  let last = p + (600 * 4096) - 4 in
+  Sim.Memory.store m last 123;
+  check "write after growth" 123 (Sim.Memory.load m last)
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_read_hit_miss () =
+  let m = fresh ~with_cache:true () in
+  let cache = Option.get (Sim.Memory.cache m) in
+  let p = Sim.Memory.map_pages m 4 in
+  ignore (Sim.Memory.load m p);
+  check "first access misses" 1 (Sim.Cache.l1_misses cache);
+  ignore (Sim.Memory.load m p);
+  ignore (Sim.Memory.load m (p + 4));
+  (* same 32-byte line *)
+  check "subsequent hits" 2 (Sim.Cache.l1_hits cache);
+  check "no new misses" 1 (Sim.Cache.l1_misses cache)
+
+let test_cache_conflict () =
+  let m = fresh ~with_cache:true () in
+  let cache = Option.get (Sim.Memory.cache m) in
+  (* L1 is 16 KB direct mapped: addresses 16 KB apart conflict. *)
+  let p = Sim.Memory.map_pages m 16 in
+  ignore (Sim.Memory.load m p);
+  ignore (Sim.Memory.load m (p + 16384));
+  ignore (Sim.Memory.load m p);
+  check "conflict misses" 3 (Sim.Cache.l1_misses cache)
+
+let test_cache_read_stalls_charged () =
+  let m = fresh ~with_cache:true () in
+  let c = Sim.Memory.cost m in
+  let p = Sim.Memory.map_pages m 1 in
+  ignore (Sim.Memory.load m p);
+  let stalls = Sim.Cost.read_stall_cycles c in
+  (* Cold miss in both levels: l1 penalty + l2 penalty. *)
+  check "cold miss stall" (6 + 40) stalls;
+  ignore (Sim.Memory.load m p);
+  check "hit adds no stall" stalls (Sim.Cost.read_stall_cycles c)
+
+let test_cache_write_stalls () =
+  let m = fresh ~with_cache:true () in
+  let c = Sim.Memory.cost m in
+  let p = Sim.Memory.map_pages m 16 in
+  (* Back-to-back stores (1 instr each) to distinct L2 lines overwhelm
+     an 8-deep store buffer draining at >=3 cycles per store. *)
+  for i = 0 to 63 do
+    Sim.Memory.store m (p + (i * 64)) i
+  done;
+  check_bool "write stalls occurred" true (Sim.Cost.write_stall_cycles c > 0)
+
+let test_cache_sequential_vs_strided () =
+  (* Sequential access has far fewer misses than 16 KB-strided access:
+     the locality property the paper exploits with regions. *)
+  let run stride n =
+    let m = fresh ~with_cache:true () in
+    let cache = Option.get (Sim.Memory.cache m) in
+    let p = Sim.Memory.map_pages m 256 in
+    for i = 0 to n - 1 do
+      ignore (Sim.Memory.load m (p + (i * stride mod (256 * 4096))))
+    done;
+    Sim.Cache.l1_misses cache
+  in
+  let seq = run 4 4096 and strided = run 16384 4096 in
+  check_bool "sequential misses fewer" true (seq < strided / 4)
+
+let test_cache_associativity_absorbs_conflicts () =
+  (* Two addresses one L1-capacity apart conflict when direct mapped
+     but coexist in a 2-way set. *)
+  let run ways =
+    let machine = Sim.Machine.with_associativity Sim.Machine.ultrasparc_i ~ways in
+    let m = Sim.Memory.create ~machine ~with_cache:true () in
+    let cache = Option.get (Sim.Memory.cache m) in
+    let p = Sim.Memory.map_pages m 16 in
+    for _ = 1 to 100 do
+      ignore (Sim.Memory.load m p);
+      ignore (Sim.Memory.load m (p + 16384))
+    done;
+    Sim.Cache.l1_misses cache
+  in
+  check_bool "direct mapped thrashes" true (run 1 > 150);
+  check "2-way holds both lines" 2 (run 2)
+
+let test_cache_lru_within_set () =
+  (* With 2 ways, three conflicting lines evict in LRU order. *)
+  let machine = Sim.Machine.with_associativity Sim.Machine.ultrasparc_i ~ways:2 in
+  let m = Sim.Memory.create ~machine ~with_cache:true () in
+  let cache = Option.get (Sim.Memory.cache m) in
+  let p = Sim.Memory.map_pages m 16 in
+  let a = p and b = p + 8192 and c = p + 16384 in
+  (* 2-way L1: sets = 256, lines 8 KB apart share a set *)
+  ignore (Sim.Memory.load m a);
+  ignore (Sim.Memory.load m b);
+  ignore (Sim.Memory.load m c) (* evicts a (LRU) *);
+  let misses = Sim.Cache.l1_misses cache in
+  ignore (Sim.Memory.load m b) (* hit: b was MRU before c *);
+  check "b still resident" misses (Sim.Cache.l1_misses cache);
+  ignore (Sim.Memory.load m a) (* miss: a was evicted *);
+  check "a was evicted" (misses + 1) (Sim.Cache.l1_misses cache)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "sim"
+    [
+      ("machine", [ tc "rounding" `Quick test_machine_rounding ]);
+      ( "rng",
+        [
+          tc "deterministic" `Quick test_rng_deterministic;
+          tc "bounds" `Quick test_rng_bounds;
+          tc "spread" `Quick test_rng_spread;
+        ] );
+      ( "cost",
+        [
+          tc "contexts" `Quick test_cost_contexts;
+          tc "context restored on exception" `Quick
+            test_cost_context_restored_on_exception;
+          tc "nesting" `Quick test_cost_nesting;
+          tc "cycles" `Quick test_cost_cycles;
+        ] );
+      ( "memory",
+        [
+          tc "map pages" `Quick test_memory_map_pages;
+          tc "roundtrip" `Quick test_memory_roundtrip;
+          tc "faults" `Quick test_memory_faults;
+          tc "clear" `Quick test_memory_clear;
+          tc "costs charged" `Quick test_memory_costs_charged;
+          tc "growth" `Quick test_memory_growth;
+        ] );
+      ( "cache",
+        [
+          tc "read hit/miss" `Quick test_cache_read_hit_miss;
+          tc "conflict" `Quick test_cache_conflict;
+          tc "read stalls charged" `Quick test_cache_read_stalls_charged;
+          tc "write stalls" `Quick test_cache_write_stalls;
+          tc "sequential vs strided" `Quick test_cache_sequential_vs_strided;
+          tc "associativity absorbs conflicts" `Quick
+            test_cache_associativity_absorbs_conflicts;
+          tc "LRU within a set" `Quick test_cache_lru_within_set;
+        ] );
+    ]
