@@ -8,33 +8,120 @@
    Bechamel numbers measure this implementation's own wall-clock speed
    on the host. *)
 
-let full = Array.exists (fun a -> a = "--full") Sys.argv
-let skip_micro = Array.exists (fun a -> a = "--skip-micro") Sys.argv
+(* --- command line ------------------------------------------------- *)
+
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+let full = (not smoke) && Array.exists (fun a -> a = "--full") Sys.argv
+let skip_micro = smoke || Array.exists (fun a -> a = "--skip-micro") Sys.argv
+
+let opt_value name =
+  let r = ref None in
+  Array.iteri
+    (fun i a -> if a = name && i + 1 < Array.length Sys.argv then r := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !r
+
+let jobs =
+  if smoke then 2
+  else
+    match opt_value "-j" with
+    | Some v -> (try max 1 (int_of_string v) with _ -> 1)
+    | None -> (
+        match opt_value "--jobs" with
+        | Some v -> (try max 1 (int_of_string v) with _ -> 1)
+        | None ->
+            (* also accept the attached form -jN *)
+            let r = ref (Domain.recommended_domain_count ()) in
+            Array.iter
+              (fun a ->
+                if String.length a > 2 && String.sub a 0 2 = "-j" then
+                  match int_of_string_opt (String.sub a 2 (String.length a - 2)) with
+                  | Some n -> r := max 1 n
+                  | None -> ())
+              Sys.argv;
+            !r)
+
+let json_dest =
+  match opt_value "--json" with
+  | Some f -> Some f
+  | None -> if smoke then Some "-" else None
+
+(* Fail fast on an unwritable --json destination instead of crashing
+   after the (multi-minute) report has already run.  Append mode so an
+   existing baseline is not truncated by the check. *)
+let () =
+  match json_dest with
+  | Some f when f <> "-" -> (
+      match open_out_gen [ Open_append; Open_creat ] 0o644 f with
+      | oc -> close_out oc
+      | exception Sys_error msg ->
+          Printf.eprintf "bench: cannot write --json file: %s\n" msg;
+          exit 2)
+  | _ -> ()
+
+(* When the JSON goes to stdout, the human-readable report moves out
+   of the way so the output stays machine-parseable. *)
+let quiet = json_dest = Some "-"
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's tables and figures *)
 
-let run_report () =
-  let size = if full then Workloads.Workload.Full else Workloads.Workload.Quick in
-  let m = Harness.Matrix.create ~progress:(fun s -> Printf.eprintf "  %s\n%!" s) size in
-  print_endline "=====================================================================";
-  print_endline " Reproduction of Gay & Aiken, 'Memory Management with Explicit";
-  print_endline " Regions' (PLDI 1998) - all tables and figures";
-  print_endline "=====================================================================\n";
-  print_endline (Harness.Table1.render ());
-  print_newline ();
-  print_endline (Harness.Table23.render_table2 m);
-  print_newline ();
-  print_endline (Harness.Table23.render_table3 m);
-  print_newline ();
-  print_endline (Harness.Fig8.render m);
-  print_endline (Harness.Fig9.render m);
-  print_endline (Harness.Fig10.render m);
-  print_endline (Harness.Fig11.render m);
-  print_endline (Harness.Claims.render m);
-  print_endline (Harness.Ablations.render ());
-  print_newline ();
-  print_endline (Harness.Limitation.render ())
+let size = if full then Workloads.Workload.Full else Workloads.Workload.Quick
+
+type report_timing = {
+  cells : Harness.Matrix.cell_timing list;  (* from the jobs-wide run *)
+  fill_wall_s : float;  (* wall clock of the parallel matrix fill *)
+  seq_wall_s : float option;  (* wall clock of a 1-domain fill, when measured *)
+  render_wall_s : float;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let run_report ~measure_seq () =
+  let progress s = Printf.eprintf "  %s\n%!" s in
+  (* Optional sequential reference fill, for the recorded speedup. *)
+  let seq_wall_s =
+    if measure_seq then begin
+      progress "timing sequential (-j1) matrix fill ...";
+      let m = Harness.Matrix.create size in
+      let _, w = timed (fun () -> ignore (Harness.Matrix.run_all ~domains:1 m)) in
+      Some w
+    end
+    else None
+  in
+  let m = Harness.Matrix.create ~progress size in
+  let cells, fill_wall_s =
+    timed (fun () -> Harness.Matrix.run_all ~domains:jobs m)
+  in
+  let report, render_wall_s =
+    timed (fun () ->
+        let b = Buffer.create 65536 in
+        let line s = Buffer.add_string b s; Buffer.add_char b '\n' in
+        line "=====================================================================";
+        line " Reproduction of Gay & Aiken, 'Memory Management with Explicit";
+        line " Regions' (PLDI 1998) - all tables and figures";
+        line "=====================================================================\n";
+        line (Harness.Table1.render ());
+        line "";
+        line (Harness.Table23.render_table2 m);
+        line "";
+        line (Harness.Table23.render_table3 m);
+        line "";
+        line (Harness.Fig8.render m);
+        line (Harness.Fig9.render m);
+        line (Harness.Fig10.render m);
+        line (Harness.Fig11.render m);
+        line (Harness.Claims.render m);
+        line (Harness.Ablations.render ());
+        line "";
+        line (Harness.Limitation.render ());
+        Buffer.contents b)
+  in
+  if not quiet then print_string report;
+  { cells; fill_wall_s; seq_wall_s; render_wall_s }
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks (host wall-clock) *)
@@ -160,9 +247,11 @@ let tests =
   ]
 
 let run_micro () =
-  print_endline "=====================================================================";
-  print_endline " Bechamel micro-benchmarks (host wall-clock, ns per run)";
-  print_endline "=====================================================================";
+  if not quiet then begin
+    print_endline "=====================================================================";
+    print_endline " Bechamel micro-benchmarks (host wall-clock, ns per run)";
+    print_endline "====================================================================="
+  end;
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -176,16 +265,109 @@ let run_micro () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  List.iter
-    (fun (name, ols) ->
-      let est =
-        match Analyze.OLS.estimates ols with
-        | Some (t :: _) -> Printf.sprintf "%12.1f ns/run" t
-        | Some [] | None -> "           n/a"
-      in
-      Printf.printf "  %-45s %s\n" name est)
-    (List.sort compare rows)
+  let rows =
+    List.map
+      (fun (name, ols) ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> Some t
+          | Some [] | None -> None
+        in
+        (name, est))
+      (List.sort compare rows)
+  in
+  if not quiet then
+    List.iter
+      (fun (name, est) ->
+        let s =
+          match est with
+          | Some t -> Printf.sprintf "%12.1f ns/run" t
+          | None -> "           n/a"
+        in
+        Printf.printf "  %-45s %s\n" name s)
+      rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: machine-readable trajectory (--json FILE, "-" = stdout) *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_json dest (rt : report_timing) micro =
+  let b = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let now = Unix.gettimeofday () in
+  let tm = Unix.gmtime now in
+  add "{\n";
+  add "  \"schema\": \"regions-repro/bench/v1\",\n";
+  add "  \"generated_utc\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
+    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
+  add "  \"host\": {\n";
+  add "    \"hostname\": \"%s\",\n" (json_escape (Unix.gethostname ()));
+  add "    \"os_type\": \"%s\",\n" (json_escape Sys.os_type);
+  add "    \"ocaml_version\": \"%s\",\n" (json_escape Sys.ocaml_version);
+  add "    \"word_size\": %d,\n" Sys.word_size;
+  add "    \"recommended_domains\": %d\n" (Domain.recommended_domain_count ());
+  add "  },\n";
+  add "  \"config\": { \"size\": \"%s\", \"jobs\": %d, \"smoke\": %b },\n"
+    (if full then "full" else "quick")
+    jobs smoke;
+  add "  \"report\": {\n";
+  add "    \"fill_wall_s\": %.6f,\n" rt.fill_wall_s;
+  (match rt.seq_wall_s with
+  | Some w ->
+      add "    \"sequential_fill_wall_s\": %.6f,\n" w;
+      add "    \"parallel_speedup\": %.3f,\n"
+        (if rt.fill_wall_s > 0. then w /. rt.fill_wall_s else 0.)
+  | None -> ());
+  add "    \"render_wall_s\": %.6f,\n" rt.render_wall_s;
+  add "    \"total_wall_s\": %.6f,\n"
+    (rt.fill_wall_s +. rt.render_wall_s
+    +. match rt.seq_wall_s with Some w -> w | None -> 0.);
+  add "    \"cells\": [\n";
+  let ncells = List.length rt.cells in
+  List.iteri
+    (fun i (c : Harness.Matrix.cell_timing) ->
+      add "      { \"workload\": \"%s\", \"mode\": \"%s\", \"wall_s\": %.6f }%s\n"
+        (json_escape c.Harness.Matrix.workload)
+        (json_escape c.Harness.Matrix.mode)
+        c.Harness.Matrix.wall_s
+        (if i = ncells - 1 then "" else ","))
+    rt.cells;
+  add "    ]\n";
+  add "  },\n";
+  add "  \"micro\": [\n";
+  let nmicro = List.length micro in
+  List.iteri
+    (fun i (name, est) ->
+      add "    { \"name\": \"%s\", \"ns_per_run\": %s }%s\n" (json_escape name)
+        (match est with Some t -> Printf.sprintf "%.1f" t | None -> "null")
+        (if i = nmicro - 1 then "" else ","))
+    micro;
+  add "  ]\n";
+  add "}\n";
+  match dest with
+  | "-" -> print_string (Buffer.contents b)
+  | file ->
+      let oc = open_out file in
+      output_string oc (Buffer.contents b);
+      close_out oc;
+      Printf.eprintf "  wrote %s\n%!" file
 
 let () =
-  run_report ();
-  if not skip_micro then run_micro ()
+  let measure_seq = json_dest <> None && jobs > 1 in
+  let rt = run_report ~measure_seq () in
+  let micro = if skip_micro then [] else run_micro () in
+  match json_dest with Some dest -> emit_json dest rt micro | None -> ()

@@ -11,6 +11,16 @@ let size_of_full full = if full then Workloads.Workload.Full else Workloads.Work
 let full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"Run the full-size benchmark inputs.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run independent matrix cells on $(docv) OCaml domains \
+           (default: the runtime's recommended domain count; 1 = the \
+           old sequential path).  Output is byte-identical either way.")
+
 let matrix full = Harness.Matrix.create ~progress (size_of_full full)
 
 let experiments =
@@ -36,8 +46,9 @@ let run_experiment name full =
   | Some (`Static f) -> print_endline (f ())
   | Some (`Matrix f) -> print_endline (f (matrix full))
 
-let run_all full =
+let run_all full jobs =
   let m = matrix full in
+  if jobs > 1 then ignore (Harness.Matrix.run_all ~domains:jobs m);
   print_endline (Harness.Table1.render ());
   print_newline ();
   print_endline (Harness.Table23.render_table2 m);
@@ -63,10 +74,12 @@ let exp_cmd =
             "table1, table2, table3, fig8, fig9, fig10, fig11, ablations, \
              limitation, claims, or all")
   in
-  let run name full = if name = "all" then run_all full else run_experiment name full in
+  let run name full jobs =
+    if name = "all" then run_all full jobs else run_experiment name full
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
-    Term.(const run $ name_arg $ full_arg)
+    Term.(const run $ name_arg $ full_arg $ jobs_arg)
 
 let run_cmd =
   let workload_arg =

@@ -21,6 +21,98 @@ let get t (spec : Workloads.Workload.spec) mode =
 
 let workloads = Workloads.Workload.all
 
+(* ------------------------------------------------------------------ *)
+(* Parallel prefill.  Every cell of the evaluation matrix is fully
+   independent — its own simulated memory, cost accounting, cache and
+   deterministic RNG — so the cells can run on separate OCaml domains.
+   Results land in the same memo cache; because each cell's simulation
+   is deterministic and rendering happens sequentially afterwards from
+   the cache, report output is byte-identical to a sequential run. *)
+
+type cell_timing = { workload : string; mode : string; wall_s : float }
+
+let report_cells () =
+  List.concat_map
+    (fun (spec : Workloads.Workload.spec) ->
+      List.map
+        (fun mode -> (spec, mode))
+        (Workloads.Workload.modes_for spec))
+    workloads
+  @ [ (Workloads.Workload.moss_slow, Workloads.Api.Region { safe = true }) ]
+
+let run_all ?domains t =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let cells =
+    List.filter
+      (fun ((spec : Workloads.Workload.spec), mode) ->
+        not (Hashtbl.mem t.cache (spec.Workloads.Workload.name, Workloads.Api.mode_name mode)))
+      (report_cells ())
+  in
+  let cells = Array.of_list cells in
+  let n = Array.length cells in
+  let results = Array.make n None in
+  let run_cell i =
+    let spec, mode = cells.(i) in
+    let t0 = Unix.gettimeofday () in
+    let r = Workloads.Workload.run_collect spec mode t.size in
+    let wall = Unix.gettimeofday () -. t0 in
+    results.(i) <-
+      Some
+        ( r,
+          {
+            workload = spec.Workloads.Workload.name;
+            mode = Workloads.Api.mode_name mode;
+            wall_s = wall;
+          } )
+  in
+  if n > 0 then begin
+    let nd = min domains n in
+    if nd <= 1 then begin
+      for i = 0 to n - 1 do
+        let spec, mode = cells.(i) in
+        t.progress
+          (Fmt.str "running %s under %s ..." spec.Workloads.Workload.name
+             (Workloads.Api.mode_name mode));
+        run_cell i
+      done
+    end
+    else begin
+      t.progress
+        (Fmt.str "running %d matrix cells on %d domains ..." n nd);
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            run_cell i;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let helpers = Array.init (nd - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join helpers
+    end;
+    Array.iteri
+      (fun i (spec, mode) ->
+        match results.(i) with
+        | Some (r, _) ->
+            Hashtbl.replace t.cache
+              (spec.Workloads.Workload.name, Workloads.Api.mode_name mode)
+              r
+        | None -> ())
+      cells
+  end;
+  Array.to_list
+    (Array.map
+       (function Some (_, timing) -> timing | None -> assert false)
+       results)
+
 let malloc_modes spec =
   List.filter
     (fun m -> match m with Workloads.Api.Region _ -> false | _ -> true)

@@ -10,6 +10,18 @@ val size : t -> Workloads.Workload.size
 
 val get : t -> Workloads.Workload.spec -> Workloads.Api.mode -> Workloads.Results.t
 
+type cell_timing = { workload : string; mode : string; wall_s : float }
+
+val run_all : ?domains:int -> t -> cell_timing list
+(** [run_all ?domains t] computes every (workload, mode) cell the full
+    report needs and memoises the results, fanning the independent
+    cells across [domains] OCaml domains ([1] = in this domain, the
+    plain sequential path; default {!Domain.recommended_domain_count}).
+    Every cell owns its simulated machine and deterministic RNG, so
+    the memoised results — and any report rendered from them — are
+    byte-identical to a sequential run.  Returns host wall-clock per
+    cell actually run (cells already cached are skipped). *)
+
 val workloads : Workloads.Workload.spec list
 (** The six benchmarks, in the paper's order. *)
 

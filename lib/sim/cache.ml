@@ -2,6 +2,8 @@ type level = {
   line_bytes : int;
   sets : int;
   ways : int;
+  line_shift : int;  (* log2 line_bytes when a power of two, else -1 *)
+  set_mask : int;  (* sets - 1 when sets is a power of two, else -1 *)
   tags : int array;  (* [set * ways + way] = line id; -1 = invalid;
                         way order is LRU (most recent first) *)
 }
@@ -12,9 +14,7 @@ type t = {
   l2 : level;
   l1_miss_penalty : int;
   l2_miss_penalty : int;
-  sb_depth : int;
-  sb : int Queue.t;  (* completion cycle of outstanding stores *)
-  mutable sb_last_completion : int;
+  sb : Store_buffer.t;  (* completion cycles of outstanding stores *)
   drain_hit : int;
   drain_miss : int;
   mutable l1_hits : int;
@@ -22,6 +22,10 @@ type t = {
   mutable l2_misses : int;
   mutable stores : int;
 }
+
+let log2_exact n =
+  let rec go s = if 1 lsl s = n then s else if 1 lsl s > n then -1 else go (s + 1) in
+  if n <= 0 then -1 else go 0
 
 let make_level (g : Machine.cache_geometry) =
   let lines = g.size_bytes / g.line_bytes in
@@ -31,6 +35,8 @@ let make_level (g : Machine.cache_geometry) =
     line_bytes = g.line_bytes;
     sets;
     ways = g.ways;
+    line_shift = log2_exact g.line_bytes;
+    set_mask = (if log2_exact sets >= 0 then sets - 1 else -1);
     tags = Array.make lines (-1);
   }
 
@@ -41,9 +47,7 @@ let create (m : Machine.t) cost =
     l2 = make_level m.l2;
     l1_miss_penalty = m.l1_miss_penalty;
     l2_miss_penalty = m.l2_miss_penalty;
-    sb_depth = m.store_buffer_depth;
-    sb = Queue.create ();
-    sb_last_completion = 0;
+    sb = Store_buffer.create ~depth:m.store_buffer_depth;
     drain_hit = m.store_drain_hit;
     drain_miss = m.store_drain_miss;
     l1_hits = 0;
@@ -52,31 +56,52 @@ let create (m : Machine.t) cost =
     stores = 0;
   }
 
-let line_id level addr = addr / level.line_bytes
-let set_of level line = line mod level.sets
+(* Line and set arithmetic: both counts are powers of two on every
+   machine we model, so the hot path is a shift and a mask; the
+   division fallback only runs for exotic hand-built geometries. *)
 
-(* Probe an LRU set; on a hit, promote the way to most-recently-used. *)
+let[@inline] line_id level addr =
+  if level.line_shift >= 0 then addr lsr level.line_shift
+  else addr / level.line_bytes
+
+let[@inline] set_of level line =
+  if level.set_mask >= 0 then line land level.set_mask else line mod level.sets
+
+(* Probe an LRU set; on a hit, promote the way to most-recently-used.
+   Both UltraSparc levels are direct-mapped ([ways = 1]): a probe is
+   then a single load and compare, with no LRU loop and no promotion
+   writes. *)
 let probe level addr =
   let line = line_id level addr in
-  let base = set_of level line * level.ways in
-  let rec find w = if w = level.ways then -1 else if level.tags.(base + w) = line then w else find (w + 1) in
-  match find 0 with
-  | -1 -> false
-  | w ->
-      for k = w downto 1 do
-        level.tags.(base + k) <- level.tags.(base + k - 1)
-      done;
-      level.tags.(base) <- line;
-      true
+  if level.ways = 1 then level.tags.(set_of level line) = line
+  else begin
+    let base = set_of level line * level.ways in
+    let rec find w =
+      if w = level.ways then -1
+      else if level.tags.(base + w) = line then w
+      else find (w + 1)
+    in
+    match find 0 with
+    | -1 -> false
+    | w ->
+        for k = w downto 1 do
+          level.tags.(base + k) <- level.tags.(base + k - 1)
+        done;
+        level.tags.(base) <- line;
+        true
+  end
 
 (* Insert as most-recently-used, evicting the LRU way. *)
 let fill level addr =
   let line = line_id level addr in
-  let base = set_of level line * level.ways in
-  for k = level.ways - 1 downto 1 do
-    level.tags.(base + k) <- level.tags.(base + k - 1)
-  done;
-  level.tags.(base) <- line
+  if level.ways = 1 then level.tags.(set_of level line) <- line
+  else begin
+    let base = set_of level line * level.ways in
+    for k = level.ways - 1 downto 1 do
+      level.tags.(base + k) <- level.tags.(base + k - 1)
+    done;
+    level.tags.(base) <- line
+  end
 
 let read t addr =
   if probe t.l1 addr then t.l1_hits <- t.l1_hits + 1
@@ -94,27 +119,14 @@ let read t addr =
 let write t addr =
   t.stores <- t.stores + 1;
   let now = Cost.cycles t.cost in
-  (* Retire completed stores. *)
-  let rec drain () =
-    match Queue.peek_opt t.sb with
-    | Some c when c <= now -> ignore (Queue.pop t.sb); drain ()
-    | Some _ | None -> ()
-  in
-  drain ();
-  if Queue.length t.sb >= t.sb_depth then begin
-    (* Buffer full: stall until the oldest entry retires. *)
-    let oldest = Queue.pop t.sb in
-    Cost.add_write_stall t.cost (oldest - now)
-  end;
   (* L1 is write-through no-allocate: a store only updates an already
      present line.  Drain latency depends on whether the line is in
      L2 (the write-through target). *)
-  let latency = if probe t.l2 addr then t.drain_hit else t.drain_miss in
-  if not (probe t.l2 addr) then fill t.l2 addr;
-  let start = max (Cost.cycles t.cost) t.sb_last_completion in
-  let completion = start + latency in
-  t.sb_last_completion <- completion;
-  Queue.push completion t.sb
+  let hit = probe t.l2 addr in
+  if not hit then fill t.l2 addr;
+  let latency = if hit then t.drain_hit else t.drain_miss in
+  let stall = Store_buffer.push t.sb ~now ~latency in
+  if stall > 0 then Cost.add_write_stall t.cost stall
 
 let l1_hits t = t.l1_hits
 let l1_misses t = t.l1_misses

@@ -95,13 +95,84 @@ let store_byte t addr v =
   touch_write t addr;
   Bytes.set t.data addr (Char.chr (v land 0xFF))
 
+(* Bulk operations.  A contiguous word range is valid iff its first
+   and last words are: mapping is a single [page_bytes, limit) span,
+   so the per-word checks of the naive loops hoist to two.  Simulated
+   costs are charged exactly as the word-by-word loops would: one
+   instruction plus one cache access per word, interleaved in address
+   order (stores must interleave because store-buffer stalls depend on
+   the current cycle count). *)
+
+let check_word_range t addr words what =
+  if addr land 3 <> 0 then fault "unaligned %s at %#x" what addr;
+  if words > 0 then begin
+    check_word t addr;
+    check_word t (addr + ((words - 1) * 4))
+  end
+
 let clear t addr bytes =
   if bytes < 0 then invalid_arg "Memory.clear: negative length";
   if addr land 3 <> 0 then fault "unaligned clear at %#x" addr;
   let words = (bytes + 3) / 4 in
-  for i = 0 to words - 1 do
-    store t (addr + (i * 4)) 0
-  done
+  if words > 0 then begin
+    check_word_range t addr words "clear";
+    (match t.cache with
+    | Some c ->
+        for i = 0 to words - 1 do
+          Cost.instr t.cost 1;
+          Cache.write c (addr + (i * 4))
+        done
+    | None -> Cost.instr t.cost words);
+    Bytes.fill t.data addr (words * 4) '\000'
+  end
+
+let load_block t addr n =
+  if n < 0 then invalid_arg "Memory.load_block: negative length";
+  if n = 0 then [||]
+  else begin
+    check_word_range t addr n "block load";
+    Cost.instr t.cost n;
+    (match t.cache with
+    | Some c ->
+        for i = 0 to n - 1 do
+          Cache.read c (addr + (i * 4))
+        done
+    | None -> ());
+    Array.init n (fun i -> raw_load t (addr + (i * 4)))
+  end
+
+let store_block t addr words =
+  let n = Array.length words in
+  if n > 0 then begin
+    check_word_range t addr n "block store";
+    match t.cache with
+    | Some c ->
+        for i = 0 to n - 1 do
+          Cost.instr t.cost 1;
+          Cache.write c (addr + (i * 4));
+          Bytes.set_int32_le t.data (addr + (i * 4)) (Int32.of_int words.(i))
+        done
+    | None ->
+        Cost.instr t.cost n;
+        for i = 0 to n - 1 do
+          Bytes.set_int32_le t.data (addr + (i * 4)) (Int32.of_int words.(i))
+        done
+  end
+
+let store_bytes t addr s =
+  let n = String.length s in
+  if n > 0 then begin
+    check_byte t addr;
+    check_byte t (addr + n - 1);
+    (match t.cache with
+    | Some c ->
+        for i = 0 to n - 1 do
+          Cost.instr t.cost 1;
+          Cache.write c (addr + i)
+        done
+    | None -> Cost.instr t.cost n);
+    Bytes.blit_string s 0 t.data addr n
+  end
 
 let peek t addr =
   check_word t addr;

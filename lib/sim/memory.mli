@@ -52,7 +52,24 @@ val store_byte : t -> int -> int -> unit
 val clear : t -> int -> int -> unit
 (** [clear t addr bytes] zeroes [bytes] bytes starting at word-aligned
     [addr], charging one instruction per word (the paper's region
-    allocator clears every [ralloc]ed object). *)
+    allocator clears every [ralloc]ed object).  Bounds are validated
+    once for the whole range; the backing store is filled in one blit,
+    but simulated costs are identical to a word-by-word store loop. *)
+
+val load_block : t -> int -> int -> int array
+(** [load_block t addr n] reads [n] consecutive words starting at
+    word-aligned [addr], zero-extended.  Costs are identical to [n]
+    calls to {!load} (one instruction and one cache read per word);
+    bounds are validated once. *)
+
+val store_block : t -> int -> int array -> unit
+(** [store_block t addr words] writes [words] consecutively starting
+    at word-aligned [addr].  Costs are identical to a {!store} loop. *)
+
+val store_bytes : t -> int -> string -> unit
+(** [store_bytes t addr s] copies [s] into memory at byte address
+    [addr].  Costs are identical to a {!store_byte} loop; the data
+    moves in one blit. *)
 
 val peek : t -> int -> int
 (** Cost-free word read for tests and debugging; not for simulation

@@ -111,6 +111,9 @@ let load_signed t = Sim.Memory.load_signed t.mem
 let store t = Sim.Memory.store t.mem
 let load_byte t = Sim.Memory.load_byte t.mem
 let store_byte t = Sim.Memory.store_byte t.mem
+let load_block t = Sim.Memory.load_block t.mem
+let store_block t = Sim.Memory.store_block t.mem
+let store_bytes t = Sim.Memory.store_bytes t.mem
 
 let store_ptr t ~addr v =
   match t.reg with

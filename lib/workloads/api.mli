@@ -59,6 +59,16 @@ val store : t -> int -> int -> unit
 val load_byte : t -> int -> int
 val store_byte : t -> int -> int -> unit
 
+val load_block : t -> int -> int -> int array
+(** Bulk word load; same simulated cost as a {!load} loop. *)
+
+val store_block : t -> int -> int array -> unit
+(** Bulk word store; same simulated cost as a {!store} loop. *)
+
+val store_bytes : t -> int -> string -> unit
+(** Bulk byte copy of a host string into simulated memory; same
+    simulated cost as a {!store_byte} loop. *)
+
 val store_ptr : t -> addr:int -> int -> unit
 (** Pointer store: the write barrier of Figure 5 under safe regions, a
     plain store everywhere else. *)

@@ -10,7 +10,7 @@ let words_needed n = n + 1
 
 let read ctx a =
   let n = Api.load ctx.api a in
-  Array.init n (fun i -> Api.load ctx.api (a + 4 + (i * 4)))
+  Api.load_block ctx.api (a + 4) n
 
 (* Normalised length of a limb array (drop leading zeros). *)
 let norm_len limbs =
@@ -21,9 +21,7 @@ let write ctx limbs =
   let n = norm_len limbs in
   let a = ctx.alloc (words_needed n) in
   Api.store ctx.api a n;
-  for i = 0 to n - 1 do
-    Api.store ctx.api (a + 4 + (i * 4)) limbs.(i)
-  done;
+  Api.store_block ctx.api (a + 4) (Array.sub limbs 0 n);
   a
 
 (* ------------------------------------------------------------------ *)

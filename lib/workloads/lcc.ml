@@ -128,7 +128,7 @@ let intern st name =
       let n = String.length name in
       let nm = Api.rstralloc st.api (perm st) (4 + n) in
       Api.store st.api nm n;
-      String.iteri (fun i c -> Api.store_byte st.api (nm + 4 + i) (Char.code c)) name;
+      Api.store_bytes st.api (nm + 4) name;
       let s = Api.ralloc st.api (perm st) sym_layout in
       Api.store_ptr st.api ~addr:s nm;
       Api.store_ptr st.api ~addr:(s + 4) (Api.load st.api bucket);

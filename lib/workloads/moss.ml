@@ -190,9 +190,7 @@ let run api (params : params) =
           let len = String.length text in
           (* The large, infrequently accessed object... *)
           let buf = st.large_raw len in
-          String.iteri
-            (fun i c -> Api.store_byte api (buf + i) (Char.code c))
-            text;
+          Api.store_bytes api buf text;
           (* ...interleaved with small, frequently accessed ones. *)
           let fps = ref [] in
           let nfp = ref 0 in
@@ -214,7 +212,7 @@ let run api (params : params) =
              accessed objects, away from the big text buffers. *)
           let vec = st.small_raw (4 + (4 * !nfp)) in
           Api.store api vec !nfp;
-          List.iteri (fun i h -> Api.store api (vec + 4 + (i * 4)) h) (List.rev !fps);
+          Api.store_block api (vec + 4) (Array.of_list (List.rev !fps));
           doc_fps.(d) <- vec)
         docs;
       (* Query phase: repeatedly match every document against the

@@ -81,7 +81,7 @@ let intern env name =
       let n = String.length name in
       let addr = Api.rstralloc env.api env.file_region (4 + n) in
       Api.store env.api addr n;
-      String.iteri (fun i c -> Api.store_byte env.api (addr + 4 + i) (Char.code c)) name;
+      Api.store_bytes env.api (addr + 4) name;
       let v = sym_v addr in
       Hashtbl.replace env.interned name v;
       Hashtbl.replace env.sym_names v name;

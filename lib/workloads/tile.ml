@@ -189,7 +189,7 @@ let vocab_intern (v : vocab) (st : storage) name =
       let n = String.length name in
       let nm = st.doc_raw (4 + n) in
       Api.store v.api nm n;
-      String.iteri (fun i c -> Api.store_byte v.api (nm + 4 + i) (Char.code c)) name;
+      Api.store_bytes v.api (nm + 4) name;
       let w = st.doc_obj word_layout in
       st.ptr ~addr:w nm;
       let head = Api.load v.api bucket in

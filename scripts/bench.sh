@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_<n>.json (default BENCH_1.json) so the performance
+# trajectory stays comparable across PRs:
+#
+#   scripts/bench.sh [n]
+#
+# Environment:
+#   JOBS=N   domains for the parallel matrix fill (default 4)
+#   FULL=1   use the full-size benchmark inputs
+#
+# The run also times a sequential (-j1) matrix fill, so the JSON
+# records the parallel speedup on this host alongside per-cell wall
+# clock and the Bechamel micro-benchmarks.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+n=${1:-1}
+jobs=${JOBS:-4}
+dune build bench/main.exe
+exec dune exec --no-build bench/main.exe -- \
+  --json "BENCH_${n}.json" -j "$jobs" ${FULL:+--full}

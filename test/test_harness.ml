@@ -78,6 +78,27 @@ let test_claims_all_pass () =
   check_bool "no deviations in the claims report" false (contains "DEVIATION");
   check_bool "six claims" true (contains "PASS")
 
+(* The parallel matrix must render byte-identical tables and figures
+   to the sequential run: every cell owns its simulated machine and
+   deterministic RNG, so fanning cells across domains may not change a
+   single simulated count. *)
+let test_parallel_matrix_byte_identical () =
+  let seq = Lazy.force matrix in
+  let par = Harness.Matrix.create Workloads.Workload.Quick in
+  let timings = Harness.Matrix.run_all ~domains:4 par in
+  check "all 37 report cells ran" 37 (List.length timings);
+  List.iter
+    (fun (name, render) ->
+      Alcotest.(check string) (name ^ " byte-identical") (render seq) (render par))
+    [
+      ("table2", Harness.Table23.render_table2);
+      ("table3", Harness.Table23.render_table3);
+      ("fig8", Harness.Fig8.render);
+      ("fig9", Harness.Fig9.render);
+      ("fig10", Harness.Fig10.render);
+      ("fig11", Harness.Fig11.render);
+    ]
+
 let test_limitation_renders () =
   let s = Harness.Limitation.render () in
   check_bool "mentions the problem case" true
@@ -255,4 +276,6 @@ let () =
           tc "claims report all PASS" `Slow test_claims_all_pass;
           tc "limitation report" `Slow test_limitation_renders;
         ] );
+      ( "parallel matrix",
+        [ tc "4-domain run byte-identical" `Slow test_parallel_matrix_byte_identical ] );
     ]

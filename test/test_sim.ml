@@ -260,6 +260,196 @@ let test_cache_lru_within_set () =
   ignore (Sim.Memory.load m a) (* miss: a was evicted *);
   check "a was evicted" (misses + 1) (Sim.Cache.l1_misses cache)
 
+(* ------------------------------------------------------------------ *)
+(* Bulk memory operations *)
+
+let test_memory_store_bytes () =
+  let m = fresh () in
+  let p = Sim.Memory.map_pages m 1 in
+  Sim.Memory.store_bytes m (p + 3) "hello";
+  String.iteri
+    (fun i c -> check "byte copied" (Char.code c) (Sim.Memory.load_byte m (p + 3 + i)))
+    "hello";
+  Sim.Memory.store_bytes m p "" (* empty copy is a no-op *)
+
+let test_memory_block_roundtrip () =
+  let m = fresh () in
+  let p = Sim.Memory.map_pages m 1 in
+  let words = [| 1; 0xFFFFFFFF; 0; 42; 0xDEADBEEF |] in
+  Sim.Memory.store_block m p words;
+  Alcotest.(check (array int)) "block roundtrip" words (Sim.Memory.load_block m p 5);
+  Alcotest.(check (array int)) "empty block" [||] (Sim.Memory.load_block m p 0)
+
+let test_memory_block_faults () =
+  let m = fresh () in
+  let p = Sim.Memory.map_pages m 1 in
+  let expect_fault f =
+    match f () with
+    | _ -> Alcotest.fail "expected Fault"
+    | exception Sim.Memory.Fault _ -> ()
+  in
+  expect_fault (fun () -> Sim.Memory.load_block m (p + 1) 2);
+  expect_fault (fun () -> Sim.Memory.load_block m (p + 4092) 2);
+  expect_fault (fun () -> Sim.Memory.store_block m (p + 4092) [| 1; 2 |]);
+  expect_fault (fun () -> Sim.Memory.store_bytes m (p + 4095) "ab")
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties: the optimised hot paths are observationally
+   identical to the naive word-by-word / Queue-based implementations. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Traces of (is_read, word slot) over four mapped pages. *)
+let trace_arb = QCheck.(list (pair bool (int_bound 4095)))
+
+let counters m =
+  let c = Sim.Memory.cost m in
+  let cache = Option.get (Sim.Memory.cache m) in
+  ( Sim.Cache.l1_hits cache,
+    Sim.Cache.l1_misses cache,
+    Sim.Cache.l2_misses cache,
+    Sim.Cache.stores cache,
+    Sim.Cost.total_instrs c,
+    Sim.Cost.read_stall_cycles c,
+    Sim.Cost.write_stall_cycles c,
+    Sim.Cost.cycles c )
+
+let prop_cache_deterministic =
+  QCheck.Test.make ~name:"identical traces give identical counts" ~count:50
+    trace_arb (fun trace ->
+      let run () =
+        let m = Sim.Memory.create ~with_cache:true () in
+        ignore (Sim.Memory.map_pages m 4);
+        List.iter
+          (fun (is_read, slot) ->
+            let addr = 4096 + (slot * 4) in
+            if is_read then ignore (Sim.Memory.load m addr)
+            else Sim.Memory.store m addr slot)
+          trace;
+        counters m
+      in
+      run () = run ())
+
+(* The ring-buffer store buffer vs the old Queue-based implementation,
+   on random traces of (work between stores, drain latency). *)
+let sb_trace_arb =
+  QCheck.(pair (1 -- 8) (list (pair (int_bound 8) (int_bound 14))))
+
+let queue_reference depth ops =
+  let q = Queue.create () in
+  let last = ref 0 and now = ref 0 and stalls = ref [] in
+  List.iter
+    (fun (work, lat0) ->
+      let lat = lat0 + 1 in
+      now := !now + work + 1;
+      let rec drain () =
+        match Queue.peek_opt q with
+        | Some c when c <= !now ->
+            ignore (Queue.pop q);
+            drain ()
+        | Some _ | None -> ()
+      in
+      drain ();
+      let stall =
+        if Queue.length q >= depth then begin
+          let oldest = Queue.pop q in
+          let s = oldest - !now in
+          now := !now + s;
+          s
+        end
+        else 0
+      in
+      let start = max !now !last in
+      let completion = start + lat in
+      last := completion;
+      Queue.push completion q;
+      stalls := stall :: !stalls)
+    ops;
+  List.rev !stalls
+
+let ring_run depth ops =
+  let sb = Sim.Store_buffer.create ~depth in
+  let now = ref 0 and stalls = ref [] in
+  List.iter
+    (fun (work, lat0) ->
+      let lat = lat0 + 1 in
+      now := !now + work + 1;
+      let s = Sim.Store_buffer.push sb ~now:!now ~latency:lat in
+      now := !now + s;
+      stalls := s :: !stalls)
+    ops;
+  List.rev !stalls
+
+let prop_ring_matches_queue =
+  QCheck.Test.make ~name:"ring buffer matches Queue reference" ~count:200
+    sb_trace_arb (fun (depth, ops) ->
+      queue_reference depth ops = ring_run depth ops)
+
+(* Bulk word ops vs naive load/store loops: same data, same costs. *)
+let block_arb =
+  QCheck.(
+    pair (int_bound 200)
+      (list_of_size Gen.(int_bound 120) (int_bound 0xFFFFFF)))
+
+let prop_block_ops_match_loops =
+  QCheck.Test.make ~name:"load/store_block cost-identical to word loops"
+    ~count:50 block_arb (fun (off, ws) ->
+      let words = Array.of_list ws in
+      let n = Array.length words in
+      let setup () =
+        let m = Sim.Memory.create ~with_cache:true () in
+        (m, Sim.Memory.map_pages m 8 + (off * 4))
+      in
+      let m1, base1 = setup () in
+      Array.iteri (fun i v -> Sim.Memory.store m1 (base1 + (i * 4)) v) words;
+      let out1 = Array.init n (fun i -> Sim.Memory.load m1 (base1 + (i * 4))) in
+      let m2, base2 = setup () in
+      Sim.Memory.store_block m2 base2 words;
+      let out2 = Sim.Memory.load_block m2 base2 n in
+      out1 = out2 && out2 = words && counters m1 = counters m2)
+
+let prop_store_bytes_matches_loop =
+  QCheck.Test.make ~name:"store_bytes cost-identical to byte loop" ~count:50
+    QCheck.(pair (int_bound 100) printable_string)
+    (fun (off, s) ->
+      let setup () =
+        let m = Sim.Memory.create ~with_cache:true () in
+        (m, Sim.Memory.map_pages m 2 + off)
+      in
+      let m1, base1 = setup () in
+      String.iteri (fun i c -> Sim.Memory.store_byte m1 (base1 + i) (Char.code c)) s;
+      let m2, base2 = setup () in
+      Sim.Memory.store_bytes m2 base2 s;
+      counters m1 = counters m2
+      && Array.for_all Fun.id
+           (Array.init (String.length s) (fun i ->
+                Sim.Memory.load_byte m1 (base1 + i)
+                = Sim.Memory.load_byte m2 (base2 + i))))
+
+let prop_clear_matches_store_loop =
+  QCheck.Test.make ~name:"clear cost-identical to store-zero loop" ~count:50
+    QCheck.(pair (int_bound 200) (int_bound 900))
+    (fun (off, bytes) ->
+      let setup () =
+        let m = Sim.Memory.create ~with_cache:true () in
+        let base = Sim.Memory.map_pages m 2 + (off * 4) in
+        (* dirty the range so clearing is observable *)
+        for i = 0 to ((bytes + 3) / 4) - 1 do
+          Sim.Memory.poke m (base + (i * 4)) 0x55AA55AA
+        done;
+        (m, base)
+      in
+      let m1, base1 = setup () in
+      for i = 0 to ((bytes + 3) / 4) - 1 do
+        Sim.Memory.store m1 (base1 + (i * 4)) 0
+      done;
+      let m2, base2 = setup () in
+      Sim.Memory.clear m2 base2 bytes;
+      counters m1 = counters m2
+      && Array.for_all Fun.id
+           (Array.init ((bytes + 3) / 4) (fun i ->
+                Sim.Memory.peek m2 (base2 + (i * 4)) = 0)))
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "sim"
@@ -287,6 +477,17 @@ let () =
           tc "clear" `Quick test_memory_clear;
           tc "costs charged" `Quick test_memory_costs_charged;
           tc "growth" `Quick test_memory_growth;
+          tc "store_bytes" `Quick test_memory_store_bytes;
+          tc "block roundtrip" `Quick test_memory_block_roundtrip;
+          tc "block faults" `Quick test_memory_block_faults;
+        ] );
+      ( "properties",
+        [
+          qtest prop_cache_deterministic;
+          qtest prop_ring_matches_queue;
+          qtest prop_block_ops_match_loops;
+          qtest prop_store_bytes_matches_loop;
+          qtest prop_clear_matches_store_loop;
         ] );
       ( "cache",
         [
