@@ -187,12 +187,50 @@ let creg_cmd =
     (Cmd.info "creg" ~doc:"Compile and run a creg (C@-like) program on the safe region runtime")
     Term.(const run $ file_arg $ unsafe_arg $ dump_arg)
 
+let check_cmd =
+  let traces_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "traces" ] ~docv:"N"
+          ~doc:"Differential traces to replay per allocator.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Base RNG seed; trace $(i,k) uses SEED+$(i,k), so any failure \
+             report can be replayed exactly.")
+  in
+  let run traces seed =
+    if Check.Fuzz.main ~progress ~traces ~seed () then
+      print_endline "check: all allocators clean"
+    else begin
+      print_endline "check: FAILED";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Sanitized differential fuzz of all five allocators"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Replays fixed-seed malloc/free/realloc traces against the Sun, \
+              BSD, Lea, collector and region allocators, each wrapped in the \
+              redzone/poison sanitizer, cross-checking contents, sizes, \
+              overlap and statistics against a reference model; then injects \
+              out-of-memory faults at the page-map level, and finally checks \
+              that a deliberately broken allocator is caught.";
+         ])
+    Term.(const run $ traces_arg $ seed_arg)
+
 let main =
   Cmd.group
     (Cmd.info "repro" ~version:"1.0"
        ~doc:
          "Reproduction of Gay & Aiken, 'Memory Management with Explicit \
           Regions' (PLDI 1998)")
-    [ exp_cmd; run_cmd; list_cmd; creg_cmd ]
+    [ exp_cmd; run_cmd; list_cmd; creg_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

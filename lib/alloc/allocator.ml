@@ -4,6 +4,7 @@ type t = {
   malloc : int -> int;
   free : int -> unit;
   usable_size : int -> int;
+  check_heap : unit -> unit;
   stats : Stats.t;
 }
 

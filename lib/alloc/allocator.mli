@@ -12,13 +12,22 @@ type t = {
   malloc : int -> int;
       (** [malloc size] returns the address of a fresh block of at
           least [size] bytes, word-aligned.  [size] must be
-          positive. *)
+          positive.  Raises {!Sim.Memory.Fault} when the simulated OS
+          refuses to map more pages (address-space exhaustion, or
+          fault injection via {!Sim.Memory.set_oom_hook}); the heap is
+          left consistent in that case. *)
   free : int -> unit;
       (** [free addr] releases a block previously returned by
           [malloc].  For the conservative collector this is a no-op
           (the paper disables frees when measuring the GC). *)
   usable_size : int -> int;
       (** Bytes usable in the block at [addr]. *)
+  check_heap : unit -> unit;
+      (** Walk the allocator's internal structures (free lists, chunk
+          headers, mark/alloc bitmaps) verifying their invariants.
+          Reads go through cost-free peeks only, so simulated counts
+          are untouched.  Raises [Failure] describing the first
+          violation found. *)
   stats : Stats.t;
 }
 

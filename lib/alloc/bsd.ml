@@ -75,6 +75,34 @@ let usable_size t user =
   let b = Sim.Memory.load t.mem (user - 4) land lnot in_use_tag in
   (1 lsl b) - 4
 
+(* Invariant checking (cost-free peeks): every chunk on a bucket's
+   free list must be word-aligned, mapped, carry exactly that bucket's
+   index in its header (no in-use tag), and appear on one list once —
+   a shared or cyclic list is how a corrupted header manifests. *)
+let check_heap t () =
+  let peek = Sim.Memory.peek t.mem in
+  let fail fmt = Fmt.kstr failwith fmt in
+  let seen = Hashtbl.create 256 in
+  for b = min_bucket to max_bucket do
+    let rec walk c =
+      if c <> 0 then begin
+        if c land 3 <> 0 then fail "bucket %d: misaligned free chunk %#x" b c;
+        if not (Sim.Memory.is_mapped t.mem c) then
+          fail "bucket %d: unmapped free chunk %#x" b c;
+        (match Hashtbl.find_opt seen c with
+        | Some b' ->
+            fail "free chunk %#x on bucket %d is already on bucket %d \
+                  (duplicate or cycle)" c b b'
+        | None -> Hashtbl.add seen c b);
+        let h = peek c in
+        if h <> b then
+          fail "free chunk %#x in bucket %d has header %#x (expected %d)" c b h b;
+        walk (peek (c + 4))
+      end
+    in
+    walk (peek (head_addr t b))
+  done
+
 let create mem =
   let stats = Stats.create () in
   let heads = Sim.Memory.map_pages mem 1 in
@@ -86,5 +114,6 @@ let create mem =
     malloc = malloc t;
     free = free t;
     usable_size = usable_size t;
+    check_heap = check_heap t;
     stats;
   }

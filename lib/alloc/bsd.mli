@@ -4,6 +4,10 @@
     class has a LIFO free list carved from whole pages, and freed
     chunks are never coalesced or returned.  Very fast allocation and
     deallocation, very large memory overhead — exactly its profile in
-    the paper. *)
+    the paper.
+
+    [check_heap] walks every bucket's free list with cost-free peeks,
+    verifying alignment, mapping, header/bucket agreement and the
+    absence of duplicates or cycles. *)
 
 val create : Sim.Memory.t -> Allocator.t

@@ -181,7 +181,9 @@ let free t user =
 let usable_size t user = chunk_size t (user - 4) - 4
 
 (* ------------------------------------------------------------------ *)
-(* Invariant checking (tests only; uses cost-free peeks) *)
+(* Invariant checking: the [check_heap] of every chunk-heap allocator
+   (and of the sanitizer / differential fuzzer in [Check]).  Uses
+   cost-free peeks only, so simulated counts are untouched. *)
 
 let check_invariants t =
   let peek = Sim.Memory.peek t.mem in

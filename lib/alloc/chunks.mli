@@ -67,5 +67,7 @@ val free : t -> int -> unit
 val usable_size : t -> int -> int
 
 val check_invariants : t -> unit
-(** Walk every segment verifying header/footer/flag consistency; for
-    tests.  @raise Failure on violation. *)
+(** Walk every segment verifying header/footer/flag consistency: this
+    is the [Allocator.check_heap] of the Sun and Lea allocators, also
+    used by the heap sanitizer.  Reads are cost-free peeks.
+    @raise Failure on violation. *)

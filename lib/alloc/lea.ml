@@ -65,6 +65,7 @@ let create_with_heap mem =
       malloc = Chunks.malloc heap;
       free = Chunks.free heap;
       usable_size = Chunks.usable_size heap;
+      check_heap = (fun () -> Chunks.check_invariants heap);
       stats;
     },
     heap )

@@ -1,0 +1,44 @@
+type block = { size : int; words : (int, int) Hashtbl.t }
+
+type t = {
+  blocks : (int, block) Hashtbl.t;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+let create () = { blocks = Hashtbl.create 64; allocs = 0; frees = 0 }
+
+let find t id =
+  match Hashtbl.find_opt t.blocks id with
+  | Some b -> b
+  | None -> Fmt.invalid_arg "Model: block #%d is not live" id
+
+let alloc t ~id ~size =
+  if Hashtbl.mem t.blocks id then Fmt.invalid_arg "Model: duplicate id #%d" id;
+  Hashtbl.replace t.blocks id { size; words = Hashtbl.create 8 };
+  t.allocs <- t.allocs + 1
+
+let free t ~id =
+  ignore (find t id);
+  Hashtbl.remove t.blocks id;
+  t.frees <- t.frees + 1
+
+let realloc t ~id ~size =
+  let old = find t id in
+  let words = Hashtbl.create 8 in
+  let keep = min (Trace.size_words old.size) (Trace.size_words size) in
+  Hashtbl.iter (fun w v -> if w < keep then Hashtbl.replace words w v) old.words;
+  Hashtbl.remove t.blocks id;
+  Hashtbl.replace t.blocks id { size; words };
+  t.allocs <- t.allocs + 1;
+  t.frees <- t.frees + 1
+
+let write t ~id ~word ~value = Hashtbl.replace (find t id).words word value
+let size t ~id = (find t id).size
+let allocs t = t.allocs
+let frees t = t.frees
+
+let iter_live t f = Hashtbl.iter (fun id b -> f ~id ~size:b.size) t.blocks
+
+let iter_words t ~id f =
+  Hashtbl.iter (fun word value -> f ~word ~value) (find t id).words

@@ -1,0 +1,30 @@
+(** Trivial reference model for the differential fuzzer.
+
+    Tracks, entirely in OCaml, what a correct allocator must preserve:
+    which block ids are live, their requested sizes, and every word
+    the trace wrote into them.  Replaying a trace against a real
+    allocator and against this model, any divergence — a written word
+    that reads back differently, a block shorter than requested,
+    overlapping blocks, stats that disagree with the op counts — is an
+    allocator (or harness) bug. *)
+
+type t
+
+val create : unit -> t
+val alloc : t -> id:int -> size:int -> unit
+
+val free : t -> id:int -> unit
+
+val realloc : t -> id:int -> size:int -> unit
+(** Keeps the written words of the overlapping prefix, as the replay's
+    copy loop does. *)
+
+val write : t -> id:int -> word:int -> value:int -> unit
+val size : t -> id:int -> int
+val allocs : t -> int
+val frees : t -> int
+
+val iter_live : t -> (id:int -> size:int -> unit) -> unit
+
+val iter_words : t -> id:int -> (word:int -> value:int -> unit) -> unit
+(** Every word the trace wrote into the live block [id]. *)

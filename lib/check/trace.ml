@@ -1,0 +1,79 @@
+type op =
+  | Alloc of { id : int; size : int }
+  | Free of { id : int }
+  | Realloc of { id : int; size : int }
+  | Poke of { id : int; word : int }
+
+type t = { seed : int; ops : op array }
+
+let max_live = 256
+let size_words size = ((size + 3) land lnot 3) / 4
+
+(* Size distribution fitted to Table 2: mean object size across the
+   benchmarks is 15–90 bytes (total kB / allocs), with cfrac and
+   grobner at the small end and lcc/moss adding a tail of kilobyte
+   buffers. *)
+let gen_size rng =
+  let p = Sim.Rng.int rng 100 in
+  if p < 50 then 4 + Sim.Rng.int rng 60
+  else if p < 80 then 64 + Sim.Rng.int rng 192
+  else if p < 95 then 256 + Sim.Rng.int rng 768
+  else if p < 99 then 1024 + Sim.Rng.int rng 3072
+  else 4096 + Sim.Rng.int rng 16384
+
+let generate ~seed ~len =
+  let rng = Sim.Rng.create seed in
+  let live = ref [] in
+  let nlive = ref 0 in
+  let next_id = ref 0 in
+  let pick_live () =
+    let i = Sim.Rng.int rng !nlive in
+    List.nth !live i
+  in
+  let remove id =
+    live := List.filter (fun (id', _) -> id' <> id) !live;
+    decr nlive
+  in
+  let fresh size =
+    let id = !next_id in
+    incr next_id;
+    live := (id, size) :: !live;
+    incr nlive;
+    id
+  in
+  let ops =
+    Array.init len (fun _ ->
+        let p = Sim.Rng.int rng 100 in
+        if !nlive = 0 || (p < 55 && !nlive < max_live) then begin
+          let size = gen_size rng in
+          Alloc { id = fresh size; size }
+        end
+        else if p < 80 then begin
+          let id, size = pick_live () in
+          Poke { id; word = Sim.Rng.int rng (size_words size) }
+        end
+        else if p < 92 then begin
+          let id, _ = pick_live () in
+          remove id;
+          Free { id }
+        end
+        else begin
+          let id, _ = pick_live () in
+          let size = gen_size rng in
+          remove id;
+          live := (id, size) :: !live;
+          incr nlive;
+          Realloc { id; size }
+        end)
+  in
+  { seed; ops }
+
+let pp_op ppf = function
+  | Alloc { id; size } -> Fmt.pf ppf "alloc   #%d %d bytes" id size
+  | Free { id } -> Fmt.pf ppf "free    #%d" id
+  | Realloc { id; size } -> Fmt.pf ppf "realloc #%d -> %d bytes" id size
+  | Poke { id; word } -> Fmt.pf ppf "poke    #%d word %d" id word
+
+let pp ppf t =
+  Fmt.pf ppf "seed=%d, %d ops:@." t.seed (Array.length t.ops);
+  Array.iteri (fun i op -> Fmt.pf ppf "  %3d: %a@." i pp_op op) t.ops

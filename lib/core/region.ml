@@ -640,6 +640,30 @@ let check_invariants t =
         fail "pooled page %#x still mapped to region %#x" p (regionof0 t p))
     t.pool
 
+(* Malloc-shaped view of one region, for the cross-allocator
+   differential fuzzer in [Check].  Regions have no per-object free
+   (section 2 of the paper), so [free] releases nothing: storage is
+   reclaimed wholesale by [deleteregion], which also records the frees
+   in [stats].  [usable_size] comes from an OCaml-side table because a
+   region object carries no size header to read back. *)
+let region_allocator t r =
+  check_region t r;
+  let sizes = Hashtbl.create 64 in
+  {
+    Alloc.Allocator.name = "region";
+    memory = t.mem;
+    malloc =
+      (fun size ->
+        let p = rstralloc t r size in
+        Hashtbl.replace sizes p (round4 size);
+        p);
+    free = (fun _ -> ());
+    usable_size =
+      (fun p -> match Hashtbl.find_opt sizes p with Some s -> s | None -> 0);
+    check_heap = (fun () -> check_invariants t);
+    stats = t.stats;
+  }
+
 let exact_refcount t r =
   let base = refcount t r in
   if t.eager_locals then base

@@ -157,3 +157,11 @@ val check_invariants : t -> unit
     consistency, object headers parse and stay in bounds, allocation
     offsets in range, no negative reference count).
     @raise Failure on violation; for tests. *)
+
+val region_allocator : t -> region -> Alloc.Allocator.t
+(** [region_allocator t r] is a malloc-shaped view of region [r], used
+    by the cross-allocator differential fuzzer ([Check.Fuzz]): [malloc]
+    is {!rstralloc} into [r]; [free] releases nothing (regions have no
+    per-object free — storage returns when [r] is deleted, which also
+    records the frees in [stats]); [usable_size] reports the word-rounded
+    requested size; [check_heap] runs {!check_invariants}. *)

@@ -246,6 +246,47 @@ let collections t = t.collections
 let heap_bytes t = t.heap_bytes
 let live_bytes_last_gc t = t.live_last
 
+(* Invariant checking (cost-free peeks): every class free list must
+   thread through unallocated, correctly aligned slots of blocks of
+   that exact class, without cycles; large blocks on the free list
+   must not be marked allocated. *)
+let check_heap t () =
+  let fail fmt = Fmt.kstr failwith fmt in
+  let peek = Sim.Memory.peek t.mem in
+  Array.iteri
+    (fun cls head ->
+      let csize = class_bytes cls in
+      let seen = Hashtbl.create 16 in
+      let rec walk o =
+        if o <> 0 then begin
+          if Hashtbl.mem seen o then
+            fail "gc: class-%d free list cycles at %#x" csize o;
+          Hashtbl.add seen o ();
+          (match Hashtbl.find_opt t.blocks (o lsr 12) with
+          | Some (Small b) ->
+              if b.s_class <> csize then
+                fail "gc: free object %#x of class %d on the class-%d list"
+                  o b.s_class csize;
+              let off = o - b.s_addr in
+              if off < 0 || off >= b.s_nobj * csize || off mod csize <> 0 then
+                fail "gc: free object %#x misaligned in its block" o;
+              if bit_get b.s_alloc (off / csize) then
+                fail "gc: object %#x is both allocated and free-listed" o
+          | Some (Large _) | None ->
+              fail "gc: class-%d free list entry %#x outside a small block"
+                csize o);
+          walk (peek o)
+        end
+      in
+      walk head)
+    t.freelists;
+  List.iter
+    (fun (_, b) ->
+      if b.l_allocated then
+        fail "gc: large block %#x on the free list but marked allocated"
+          b.l_addr)
+    t.free_large
+
 let create ?(trigger_min_bytes = 128 * 1024) ?(heap_fraction = 0.5) ~roots mem =
   let t =
     {
@@ -270,6 +311,7 @@ let create ?(trigger_min_bytes = 128 * 1024) ?(heap_fraction = 0.5) ~roots mem =
       malloc = malloc t;
       free = (fun _ -> () (* frees disabled under the collector *));
       usable_size = usable_size t;
+      check_heap = check_heap t;
       stats = t.stats;
     }
   in

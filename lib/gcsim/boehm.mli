@@ -18,7 +18,10 @@
       object), scans live objects word by word, and sweeps dead
       objects back onto free lists;
     - [free] is a no-op: the paper "disables all frees when compiling
-      with this collector, thus guaranteeing safe memory management".
+      with this collector, thus guaranteeing safe memory management";
+    - the allocator's [check_heap] verifies the free lists (alignment,
+      class agreement, alloc bits clear, no cycles) and the large-block
+      free list, reading through cost-free peeks.
 
     All collector work is charged to the [Alloc] cost context and its
     heap traffic goes through the simulated cache, so GC time and

@@ -31,6 +31,45 @@ let workloads = Workloads.Workload.all
 
 type cell_timing = { workload : string; mode : string; wall_s : float }
 
+(* Work-stealing loop shared by [run_all] and the tests.  Exceptions
+   are hardened: a failing body sets an abort flag (so the other
+   workers stop picking up new indices), every domain is joined, and
+   only then is the lowest-index failure re-raised with its original
+   backtrace — a crash in one cell can neither hang the pool nor leak
+   running domains. *)
+let parallel_for ~domains n f =
+  let domains = max 1 (min domains n) in
+  if domains <= 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let errors = Array.make n None in
+    let failed = Atomic.make false in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && not (Atomic.get failed) then begin
+          (try f i
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             errors.(i) <- Some (e, bt);
+             Atomic.set failed true);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      errors
+  end
+
 let report_cells () =
   List.concat_map
     (fun (spec : Workloads.Workload.spec) ->
@@ -81,22 +120,8 @@ let run_all ?domains t =
       done
     end
     else begin
-      t.progress
-        (Fmt.str "running %d matrix cells on %d domains ..." n nd);
-      let next = Atomic.make 0 in
-      let worker () =
-        let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            run_cell i;
-            loop ()
-          end
-        in
-        loop ()
-      in
-      let helpers = Array.init (nd - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
-      Array.iter Domain.join helpers
+      t.progress (Fmt.str "running %d matrix cells on %d domains ..." n nd);
+      parallel_for ~domains:nd n run_cell
     end;
     Array.iteri
       (fun i (spec, mode) ->

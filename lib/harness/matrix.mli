@@ -12,6 +12,14 @@ val get : t -> Workloads.Workload.spec -> Workloads.Api.mode -> Workloads.Result
 
 type cell_timing = { workload : string; mode : string; wall_s : float }
 
+val parallel_for : domains:int -> int -> (int -> unit) -> unit
+(** [parallel_for ~domains n f] runs [f 0 .. f (n-1)] across at most
+    [domains] OCaml domains with work stealing.  If some [f i] raises,
+    the remaining indices are abandoned, every domain is joined, and
+    the lowest-index exception is re-raised with its backtrace — the
+    pool never hangs or leaks a domain on failure.  [domains <= 1]
+    degenerates to a plain sequential loop. *)
+
 val run_all : ?domains:int -> t -> cell_timing list
 (** [run_all ?domains t] computes every (workload, mode) cell the full
     report needs and memoises the results, fanning the independent

@@ -5,6 +5,7 @@ type t = {
   mutable data : Bytes.t;
   mutable limit : int;  (* one past highest mapped byte *)
   mutable os_bytes : int;
+  mutable oom_hook : (int -> bool) option;
 }
 
 exception Fault of string
@@ -23,7 +24,10 @@ let create ?(machine = Machine.ultrasparc_i) ?(with_cache = true) () =
     (* Page 0 is never mapped so that 0 can act as NULL. *)
     limit = machine.Machine.page_bytes;
     os_bytes = 0;
+    oom_hook = None;
   }
+
+let set_oom_hook t hook = t.oom_hook <- hook
 
 let machine t = t.machine
 let cost t = t.cost
@@ -44,6 +48,10 @@ let ensure_capacity t bytes =
 
 let map_pages t n =
   if n <= 0 then invalid_arg "Memory.map_pages: n must be positive";
+  (match t.oom_hook with
+  | Some allow when not (allow n) ->
+      fault "simulated OS denied a request for %d pages" n
+  | Some _ | None -> ());
   let bytes = n * t.machine.Machine.page_bytes in
   let addr = t.limit in
   ensure_capacity t (addr + bytes);

@@ -25,7 +25,19 @@ val cache : t -> Cache.t option
 
 val map_pages : t -> int -> int
 (** [map_pages t n] maps [n] fresh contiguous pages and returns the
-    address of the first.  Models an [sbrk]/[mmap] request. *)
+    address of the first.  Models an [sbrk]/[mmap] request.
+    @raise Fault when the 512 MB simulated address space is exhausted
+    or an installed {!set_oom_hook} denies the request. *)
+
+val set_oom_hook : t -> (int -> bool) option -> unit
+(** [set_oom_hook t (Some allow)] installs a fault-injection hook at
+    the page-map level: before mutating any state, {!map_pages}
+    consults [allow n] and raises {!Fault} when it returns [false],
+    exactly as if the simulated OS were out of memory.  Because the
+    hook runs before any state change, a denied request leaves both
+    the memory and the caller's heap structures consistent.  [None]
+    (the default) removes the hook; with no hook installed the check
+    is a single pattern match and simulated costs are untouched. *)
 
 val os_bytes : t -> int
 (** Total bytes ever mapped from the simulated OS. *)

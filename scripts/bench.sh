@@ -11,6 +11,9 @@
 # The run also times a sequential (-j1) matrix fill, so the JSON
 # records the parallel speedup on this host alongside per-cell wall
 # clock and the Bechamel micro-benchmarks.
+#
+# Benchmarks measure; they do not verify.  Run scripts/check.sh (the
+# sanitizer + differential fuzz gate) before trusting new numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 n=${1:-1}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Correctness gate: build, run the unit/property suites, then the
+# sanitized cross-allocator differential fuzzer (fixed-seed traces
+# against every allocator, OOM fault injection, and the off-by-one
+# self-test).
+#
+#   scripts/check.sh                      # 200 traces per allocator
+#   scripts/check.sh --traces 1000        # heavier fuzz
+#   scripts/check.sh --seed 7 --traces 1  # replay a reported failure
+#
+# Any failure prints a shrunk minimal trace together with its seed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+dune build
+dune runtest
+if [ "$#" -eq 0 ]; then
+  set -- --traces 200
+fi
+exec dune exec --no-build bin/main.exe -- check "$@"

@@ -4,33 +4,13 @@
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
-type impl = {
-  label : string;
-  make : Sim.Memory.t -> Alloc.Allocator.t;
-  check_heap : (Sim.Memory.t -> Alloc.Allocator.t * (unit -> unit)) option;
-}
+type impl = { label : string; make : Sim.Memory.t -> Alloc.Allocator.t }
 
 let impls =
   [
-    {
-      label = "sun";
-      make = Alloc.Sun.create;
-      check_heap =
-        Some
-          (fun mem ->
-            let a, h = Alloc.Sun.create_with_heap mem in
-            (a, fun () -> Alloc.Chunks.check_invariants h));
-    };
-    {
-      label = "lea";
-      make = Alloc.Lea.create;
-      check_heap =
-        Some
-          (fun mem ->
-            let a, h = Alloc.Lea.create_with_heap mem in
-            (a, fun () -> Alloc.Chunks.check_invariants h));
-    };
-    { label = "bsd"; make = Alloc.Bsd.create; check_heap = None };
+    { label = "sun"; make = Alloc.Sun.create };
+    { label = "lea"; make = Alloc.Lea.create };
+    { label = "bsd"; make = Alloc.Bsd.create };
   ]
 
 let fresh () = Sim.Memory.create ~with_cache:false ()
@@ -140,6 +120,58 @@ let test_cost_charged_to_alloc impl () =
   check_bool "alloc instrs charged" true (Sim.Cost.alloc_instrs c > before);
   check "no base instrs" base_before (Sim.Cost.base_instrs c)
 
+let test_check_heap_clean impl () =
+  let mem = fresh () in
+  let a = impl.make mem in
+  a.Alloc.Allocator.check_heap ();
+  let ps = Array.init 40 (fun i -> a.malloc (8 + (i * 13 mod 200))) in
+  a.check_heap ();
+  Array.iteri (fun i p -> if i mod 2 = 0 then a.free p) ps;
+  a.check_heap ()
+
+let test_check_heap_detects_corruption impl () =
+  let mem = fresh () in
+  let a = impl.make mem in
+  let p = a.Alloc.Allocator.malloc 32 in
+  let _guard = a.malloc 32 in
+  a.free p;
+  (* Smash the freed chunk's header word (cost-free, as a stray store
+     through a dangling pointer would).  The walk must notice. *)
+  Sim.Memory.poke mem (p - 4) 0x7FFF0003;
+  match a.check_heap () with
+  | () -> Alcotest.fail "corrupted header not detected"
+  | exception Failure _ -> ()
+
+let test_oom_leaves_heap_consistent impl () =
+  let mem = fresh () in
+  let a = impl.make mem in
+  let keep = a.Alloc.Allocator.malloc 40 in
+  Sim.Memory.store mem keep 0x1234;
+  let budget = ref 32 in
+  Sim.Memory.set_oom_hook mem
+    (Some
+       (fun n ->
+         budget := !budget - n;
+         !budget >= 0));
+  let faulted = ref false in
+  (try
+     for _ = 1 to 1_000 do
+       ignore (a.malloc 4000)
+     done
+   with Sim.Memory.Fault _ -> faulted := true);
+  check_bool "allocation faulted under page budget" true !faulted;
+  (* The denied request must not have corrupted anything: the heap
+     walks clean, earlier blocks are intact, and once the hook is
+     lifted the allocator works again. *)
+  a.check_heap ();
+  check "earlier block intact" 0x1234 (Sim.Memory.load mem keep);
+  Sim.Memory.set_oom_hook mem None;
+  let p = a.malloc 4000 in
+  check_bool "allocation succeeds after hook removed" true (p <> 0);
+  a.free p;
+  a.free keep;
+  a.check_heap ()
+
 (* ------------------------------------------------------------------ *)
 (* Random traces (qcheck) *)
 
@@ -150,11 +182,8 @@ let trace_gen =
 
 let run_trace impl trace =
   let mem = fresh () in
-  let a, check_heap =
-    match impl.check_heap with
-    | Some f -> f mem
-    | None -> (impl.make mem, fun () -> ())
-  in
+  let a = impl.make mem in
+  let check_heap = a.Alloc.Allocator.check_heap in
   let live = ref [] in
   let nlive = ref 0 in
   List.iter
@@ -376,6 +405,11 @@ let () =
         tc "large allocation" `Quick (test_large_allocation impl);
         tc "malloc 0 rejected" `Quick (test_malloc_zero_rejected impl);
         tc "cost context" `Quick (test_cost_charged_to_alloc impl);
+        tc "check_heap clean on valid heaps" `Quick (test_check_heap_clean impl);
+        tc "check_heap detects corruption" `Quick
+          (test_check_heap_detects_corruption impl);
+        tc "OOM leaves heap consistent" `Quick
+          (test_oom_leaves_heap_consistent impl);
         qcheck_trace impl;
       ] )
   in

@@ -808,6 +808,58 @@ let test_check_invariants_detects_corruption () =
       | () -> Alcotest.fail "expected corruption to be detected"
       | exception Failure _ -> ())
 
+let test_region_allocator_view () =
+  (* The malloc-shaped view the differential fuzzer drives. *)
+  let e = fresh ~safe:false () in
+  let r = Regions.Region.newregion e.lib in
+  let a = Regions.Region.region_allocator e.lib r in
+  let s = a.Alloc.Allocator.stats in
+  let allocs0 = Alloc.Stats.allocs s in
+  let p = a.malloc 10 in
+  let q = a.malloc 30 in
+  Alcotest.(check int) "usable is the rounded request" 12 (a.usable_size p);
+  Alcotest.(check int) "usable q" 32 (a.usable_size q);
+  Alcotest.(check bool) "same region" true
+    (Regions.Region.regionof e.lib p = r && Regions.Region.regionof e.lib q = r);
+  a.free p (* no per-object free: storage returns with the region *);
+  Alcotest.(check int) "free released nothing" 0 (Alloc.Stats.frees s);
+  a.check_heap ();
+  let slot = Regions.Mutator.global_addr e.mut 0 in
+  Sim.Memory.poke e.mem slot r;
+  Alcotest.(check bool) "deleteregion succeeds" true
+    (Regions.Region.deleteregion e.lib (Regions.Region.In_memory slot));
+  Alcotest.(check int) "all frees land at deleteregion"
+    (Alloc.Stats.allocs s - allocs0)
+    (Alloc.Stats.frees s);
+  Alcotest.(check int) "nothing live" 0 (Alloc.Stats.live_bytes s)
+
+let test_region_oom_leaves_invariants () =
+  let e = fresh ~safe:false () in
+  let r = Regions.Region.newregion e.lib in
+  let p = Regions.Region.rstralloc e.lib r 16 in
+  Sim.Memory.store e.mem p 0xBEE5;
+  let budget = ref 8 in
+  Sim.Memory.set_oom_hook e.mem
+    (Some
+       (fun n ->
+         budget := !budget - n;
+         !budget >= 0));
+  let faulted = ref false in
+  (try
+     for _ = 1 to 10_000 do
+       ignore (Regions.Region.rstralloc e.lib r 512)
+     done
+   with Sim.Memory.Fault _ -> faulted := true);
+  Alcotest.(check bool) "allocation faulted under page budget" true !faulted;
+  (* The denied page must leave every region walkable and earlier
+     objects untouched. *)
+  Regions.Region.check_invariants e.lib;
+  Alcotest.(check int) "object intact" 0xBEE5 (Sim.Memory.load e.mem p);
+  Sim.Memory.set_oom_hook e.mem None;
+  Alcotest.(check bool) "allocation recovers" true
+    (Regions.Region.rstralloc e.lib r 512 <> 0);
+  Regions.Region.check_invariants e.lib
+
 (* ------------------------------------------------------------------ *)
 (* Emulation *)
 
@@ -1017,6 +1069,8 @@ let () =
           tc "large rstralloc" `Quick test_large_rstralloc;
           tc "oversized rejected" `Quick test_object_too_large_rejected;
           tc "statistics" `Quick test_region_stats;
+          tc "region_allocator view" `Quick test_region_allocator_view;
+          tc "OOM leaves invariants" `Quick test_region_oom_leaves_invariants;
         ] );
       ( "safety",
         [

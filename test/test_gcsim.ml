@@ -214,6 +214,59 @@ let test_self_referential_cycle_collected () =
       check_bool "cycle collected when unrooted" true
         ((not (Gcsim.Boehm.is_live e.gc a)) && not (Gcsim.Boehm.is_live e.gc b)))
 
+let test_check_heap_clean_across_collections () =
+  let e = fresh ~trigger_min_bytes:4096 () in
+  e.alloc.Alloc.Allocator.check_heap ();
+  Regions.Mutator.with_frame e.mut ~nslots:1 ~ptr_slots:[] (fun fr ->
+      let keep = e.alloc.malloc 64 in
+      Regions.Mutator.set_local e.mut fr 0 keep;
+      for i = 1 to 300 do
+        ignore (e.alloc.Alloc.Allocator.malloc (8 + (i mod 480)))
+      done;
+      e.alloc.check_heap ();
+      Gcsim.Boehm.collect e.gc;
+      (* After a sweep the free lists are at their fullest. *)
+      e.alloc.check_heap ())
+
+let test_check_heap_detects_freelist_corruption () =
+  let e = fresh () in
+  let p = e.alloc.Alloc.Allocator.malloc 16 in
+  let q = e.alloc.malloc 16 in
+  ignore q;
+  Gcsim.Boehm.collect e.gc;
+  (* Nothing is rooted, so [p]'s class free list is populated; plant a
+     misaligned link in the swept object. *)
+  check_bool "object swept" true (not (Gcsim.Boehm.is_live e.gc p));
+  Sim.Memory.poke e.mem p (p + 2);
+  match e.alloc.check_heap () with
+  | () -> Alcotest.fail "corrupted free list not detected"
+  | exception Failure _ -> ()
+
+let test_oom_leaves_heap_consistent () =
+  let e = fresh () in
+  let keep = e.alloc.Alloc.Allocator.malloc 40 in
+  Sim.Memory.store e.mem (keep + 36) 0x5151;
+  Regions.Mutator.with_frame e.mut ~nslots:1 ~ptr_slots:[] (fun fr ->
+      Regions.Mutator.set_local e.mut fr 0 keep;
+      let budget = ref 16 in
+      Sim.Memory.set_oom_hook e.mem
+        (Some
+           (fun n ->
+             budget := !budget - n;
+             !budget >= 0));
+      let faulted = ref false in
+      (try
+         for _ = 1 to 10_000 do
+           ignore (e.alloc.malloc 4000)
+         done
+       with Sim.Memory.Fault _ -> faulted := true);
+      check_bool "allocation faulted under page budget" true !faulted;
+      e.alloc.check_heap ();
+      check "rooted block intact" 0x5151 (Sim.Memory.load e.mem (keep + 36));
+      Sim.Memory.set_oom_hook e.mem None;
+      check_bool "allocation recovers" true (e.alloc.malloc 4000 <> 0);
+      e.alloc.check_heap ())
+
 let qcheck_gc_soundness =
   (* Random object graphs: after collection, everything reachable from
      the roots is live and has intact contents. *)
@@ -289,6 +342,11 @@ let () =
             test_large_interior_pointer_pins;
           tc "sweep updates stats" `Quick test_sweep_updates_stats;
           tc "cycles collected" `Quick test_self_referential_cycle_collected;
+          tc "check_heap clean across collections" `Quick
+            test_check_heap_clean_across_collections;
+          tc "check_heap detects free-list corruption" `Quick
+            test_check_heap_detects_freelist_corruption;
+          tc "OOM leaves heap consistent" `Quick test_oom_leaves_heap_consistent;
           QCheck_alcotest.to_alcotest qcheck_gc_soundness;
         ] );
     ]

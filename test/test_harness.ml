@@ -84,6 +84,10 @@ let test_claims_all_pass () =
    single simulated count. *)
 let test_parallel_matrix_byte_identical () =
   let seq = Lazy.force matrix in
+  (* Fill the remaining cells of the shared matrix through run_all's
+     sequential path, and a fresh matrix through the 4-domain pool;
+     the rendered reports must not differ in a single byte. *)
+  ignore (Harness.Matrix.run_all ~domains:1 seq);
   let par = Harness.Matrix.create Workloads.Workload.Quick in
   let timings = Harness.Matrix.run_all ~domains:4 par in
   check "all 37 report cells ran" 37 (List.length timings);
@@ -98,6 +102,34 @@ let test_parallel_matrix_byte_identical () =
       ("fig10", Harness.Fig10.render);
       ("fig11", Harness.Fig11.render);
     ]
+
+let test_parallel_for_covers_all_indices () =
+  let n = 100 in
+  let hits = Array.make n 0 in
+  Harness.Matrix.parallel_for ~domains:4 n (fun i -> hits.(i) <- hits.(i) + 1);
+  check_bool "every index ran exactly once" true
+    (Array.for_all (fun c -> c = 1) hits)
+
+(* An exception in one cell must neither hang the worker pool nor get
+   swallowed: every domain is joined and the original exception
+   resurfaces from parallel_for. *)
+let test_parallel_for_exception_propagates () =
+  let ran7 = ref false in
+  (match
+     Harness.Matrix.parallel_for ~domains:4 64 (fun i ->
+         if i = 7 then begin
+           ran7 := true;
+           failwith "cell 7 exploded"
+         end)
+   with
+  | () -> Alcotest.fail "expected the cell failure to propagate"
+  | exception Failure msg ->
+      Alcotest.(check string) "original exception" "cell 7 exploded" msg;
+      check_bool "failing cell ran" true !ran7);
+  (* Same on the sequential path. *)
+  match Harness.Matrix.parallel_for ~domains:1 4 (fun i -> if i = 2 then failwith "boom") with
+  | () -> Alcotest.fail "expected failure on sequential path"
+  | exception Failure msg -> Alcotest.(check string) "sequential exception" "boom" msg
 
 let test_limitation_renders () =
   let s = Harness.Limitation.render () in
@@ -277,5 +309,12 @@ let () =
           tc "limitation report" `Slow test_limitation_renders;
         ] );
       ( "parallel matrix",
-        [ tc "4-domain run byte-identical" `Slow test_parallel_matrix_byte_identical ] );
+        [
+          tc "parallel_for covers all indices" `Quick
+            test_parallel_for_covers_all_indices;
+          tc "parallel_for propagates exceptions" `Quick
+            test_parallel_for_exception_propagates;
+          tc "4-domain run byte-identical" `Slow
+            test_parallel_matrix_byte_identical;
+        ] );
     ]

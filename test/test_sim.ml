@@ -385,6 +385,45 @@ let prop_ring_matches_queue =
     sb_trace_arb (fun (depth, ops) ->
       queue_reference depth ops = ring_run depth ops)
 
+(* Shallow rings under long traces: every push past the first [depth]
+   wraps the ring, so index arithmetic bugs surface immediately. *)
+let sb_wrap_arb =
+  QCheck.(
+    pair (1 -- 3) (list_of_size Gen.(50 -- 150) (pair (int_bound 3) (int_bound 14))))
+
+let prop_ring_wraparound_matches_queue =
+  QCheck.Test.make ~name:"ring wraparound matches Queue reference" ~count:100
+    sb_wrap_arb (fun (depth, ops) ->
+      queue_reference depth ops = ring_run depth ops)
+
+(* Stores drain strictly in order: each push's completion cycle is
+   later than its predecessor's, and the buffer never holds more than
+   [depth] stores. *)
+let prop_ring_drain_order =
+  QCheck.Test.make ~name:"ring drains in order within its depth" ~count:200
+    sb_trace_arb (fun (depth, ops) ->
+      let sb = Sim.Store_buffer.create ~depth in
+      let now = ref 0 and last = ref 0 and ok = ref true in
+      List.iter
+        (fun (work, lat0) ->
+          now := !now + work + 1;
+          now := !now + Sim.Store_buffer.push sb ~now:!now ~latency:(lat0 + 1);
+          let c = Sim.Store_buffer.last_completion sb in
+          if c <= !last then ok := false;
+          if Sim.Store_buffer.length sb > depth then ok := false;
+          last := c)
+        ops;
+      !ok)
+
+(* Hand-computed wraparound: depth 2, four dependent 10-cycle stores
+   (no work between pushes).  Pushes 1-2 fill the ring for free; push
+   3 arrives at cycle 3 with the ring full and waits for store 1
+   (completes at 11): 8 stall cycles; push 4 arrives at 12 and waits
+   for store 2 (completes at 21): 9 stall cycles. *)
+let test_store_buffer_wraparound () =
+  let stalls = ring_run 2 [ (0, 9); (0, 9); (0, 9); (0, 9) ] in
+  Alcotest.(check (list int)) "stalls" [ 0; 0; 8; 9 ] stalls
+
 (* Bulk word ops vs naive load/store loops: same data, same costs. *)
 let block_arb =
   QCheck.(
@@ -450,6 +489,32 @@ let prop_clear_matches_store_loop =
            (Array.init ((bytes + 3) / 4) (fun i ->
                 Sim.Memory.peek m2 (base2 + (i * 4)) = 0)))
 
+(* Fault injection at the page-map level: a denied request raises and
+   mutates nothing — the next granted mapping lands exactly where it
+   would have without the denial. *)
+let test_memory_oom_hook () =
+  let m = fresh () in
+  let a1 = Sim.Memory.map_pages m 1 in
+  Sim.Memory.set_oom_hook m (Some (fun _ -> false));
+  (match Sim.Memory.map_pages m 1 with
+  | _ -> Alcotest.fail "expected Fault from denied mapping"
+  | exception Sim.Memory.Fault _ -> ());
+  Sim.Memory.set_oom_hook m None;
+  let a2 = Sim.Memory.map_pages m 1 in
+  check "denied mapping consumed no address space" (a1 + 4096) a2;
+  (* A budgeted hook grants until the budget runs out. *)
+  let budget = ref 2 in
+  Sim.Memory.set_oom_hook m
+    (Some
+       (fun n ->
+         budget := !budget - n;
+         !budget >= 0));
+  ignore (Sim.Memory.map_pages m 1);
+  ignore (Sim.Memory.map_pages m 1);
+  match Sim.Memory.map_pages m 1 with
+  | _ -> Alcotest.fail "expected Fault once budget exhausted"
+  | exception Sim.Memory.Fault _ -> ()
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "sim"
@@ -480,11 +545,15 @@ let () =
           tc "store_bytes" `Quick test_memory_store_bytes;
           tc "block roundtrip" `Quick test_memory_block_roundtrip;
           tc "block faults" `Quick test_memory_block_faults;
+          tc "oom hook" `Quick test_memory_oom_hook;
+          tc "store buffer wraparound" `Quick test_store_buffer_wraparound;
         ] );
       ( "properties",
         [
           qtest prop_cache_deterministic;
           qtest prop_ring_matches_queue;
+          qtest prop_ring_wraparound_matches_queue;
+          qtest prop_ring_drain_order;
           qtest prop_block_ops_match_loops;
           qtest prop_store_bytes_matches_loop;
           qtest prop_clear_matches_store_loop;
