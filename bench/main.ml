@@ -13,6 +13,7 @@
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 let full = (not smoke) && Array.exists (fun a -> a = "--full") Sys.argv
 let skip_micro = smoke || Array.exists (fun a -> a = "--skip-micro") Sys.argv
+let show_progress = Array.exists (fun a -> a = "--progress") Sys.argv
 
 let opt_value name =
   let r = ref None in
@@ -40,6 +41,8 @@ let jobs =
                   | None -> ())
               Sys.argv;
             !r)
+
+let trace_dir = opt_value "--trace"
 
 let json_dest =
   match opt_value "--json" with
@@ -75,6 +78,18 @@ type report_timing = {
   render_wall_s : float;
 }
 
+(* Host wall-clock cost of the observability layer on one cell:
+   the same (workload, mode) run with tracing compiled in but off,
+   then with a full tracer attached.  Simulated counts are identical
+   either way (the test suite proves it); only host time differs. *)
+type trace_overhead = {
+  oh_workload : string;
+  oh_mode : string;
+  off_wall_s : float;
+  on_wall_s : float;
+  events : int;
+}
+
 let timed f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
@@ -82,6 +97,15 @@ let timed f =
 
 let run_report ~measure_seq () =
   let progress s = Printf.eprintf "  %s\n%!" s in
+  let on_cell =
+    if show_progress then
+      Some
+        (fun (c : Harness.Matrix.cell_timing) ~cycles ->
+          Printf.eprintf "  done %-16s %-8s %12d cycles %8.1f ms\n%!"
+            c.Harness.Matrix.workload c.Harness.Matrix.mode cycles
+            (c.Harness.Matrix.wall_s *. 1000.))
+    else None
+  in
   (* Optional sequential reference fill, for the recorded speedup. *)
   let seq_wall_s =
     if measure_seq then begin
@@ -92,9 +116,9 @@ let run_report ~measure_seq () =
     end
     else None
   in
-  let m = Harness.Matrix.create ~progress size in
+  let m = Harness.Matrix.create ~progress ?trace_dir size in
   let cells, fill_wall_s =
-    timed (fun () -> Harness.Matrix.run_all ~domains:jobs m)
+    timed (fun () -> Harness.Matrix.run_all ~domains:jobs ?on_cell m)
   in
   let report, render_wall_s =
     timed (fun () ->
@@ -122,6 +146,40 @@ let run_report ~measure_seq () =
   in
   if not quiet then print_string report;
   { cells; fill_wall_s; seq_wall_s; render_wall_s }
+
+let trace_overhead_cells =
+  [
+    ("grobner", Workloads.Api.Region { safe = true });
+    ("moss", Workloads.Api.Direct Workloads.Api.Lea);
+  ]
+
+let measure_trace_overhead () =
+  List.map
+    (fun (name, mode) ->
+      let spec = Workloads.Workload.find name in
+      (* Warm-up run, then tracing compiled in but disabled (the
+         production configuration), then a full tracer. *)
+      ignore (Workloads.Workload.run_collect spec mode Workloads.Workload.Quick);
+      let _, off =
+        timed (fun () ->
+            ignore
+              (Workloads.Workload.run_collect spec mode Workloads.Workload.Quick))
+      in
+      let tr = Obs.Tracer.create () in
+      let _, on_w =
+        timed (fun () ->
+            ignore
+              (Workloads.Workload.run_collect ~tracer:tr spec mode
+                 Workloads.Workload.Quick))
+      in
+      {
+        oh_workload = name;
+        oh_mode = Workloads.Api.mode_name mode;
+        off_wall_s = off;
+        on_wall_s = on_w;
+        events = Obs.Ring.total (Obs.Tracer.ring tr);
+      })
+    trace_overhead_cells
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks (host wall-clock) *)
@@ -304,13 +362,13 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let emit_json dest (rt : report_timing) micro =
+let emit_json dest (rt : report_timing) overheads micro =
   let b = Buffer.create 8192 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   let now = Unix.gettimeofday () in
   let tm = Unix.gmtime now in
   add "{\n";
-  add "  \"schema\": \"regions-repro/bench/v1\",\n";
+  add "  \"schema\": \"regions-repro/bench/v2\",\n";
   add "  \"generated_utc\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
     (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
     tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
@@ -348,6 +406,20 @@ let emit_json dest (rt : report_timing) micro =
     rt.cells;
   add "    ]\n";
   add "  },\n";
+  add "  \"trace_overhead\": [\n";
+  let noh = List.length overheads in
+  List.iteri
+    (fun i oh ->
+      add
+        "    { \"workload\": \"%s\", \"mode\": \"%s\", \"off_wall_s\": %.6f, \
+         \"on_wall_s\": %.6f, \"overhead_ratio\": %.3f, \"events\": %d }%s\n"
+        (json_escape oh.oh_workload) (json_escape oh.oh_mode) oh.off_wall_s
+        oh.on_wall_s
+        (if oh.off_wall_s > 0. then oh.on_wall_s /. oh.off_wall_s else 0.)
+        oh.events
+        (if i = noh - 1 then "" else ","))
+    overheads;
+  add "  ],\n";
   add "  \"micro\": [\n";
   let nmicro = List.length micro in
   List.iteri
@@ -369,5 +441,19 @@ let emit_json dest (rt : report_timing) micro =
 let () =
   let measure_seq = json_dest <> None && jobs > 1 in
   let rt = run_report ~measure_seq () in
+  let overheads = measure_trace_overhead () in
+  if not quiet then
+    List.iter
+      (fun oh ->
+        Printf.printf
+          "  trace overhead %-10s %-8s off %7.1f ms  on %7.1f ms  (x%.2f, %d \
+           events)\n"
+          oh.oh_workload oh.oh_mode (oh.off_wall_s *. 1000.)
+          (oh.on_wall_s *. 1000.)
+          (if oh.off_wall_s > 0. then oh.on_wall_s /. oh.off_wall_s else 0.)
+          oh.events)
+      overheads;
   let micro = if skip_micro then [] else run_micro () in
-  match json_dest with Some dest -> emit_json dest rt micro | None -> ()
+  match json_dest with
+  | Some dest -> emit_json dest rt overheads micro
+  | None -> ()

@@ -21,7 +21,31 @@ let jobs_arg =
            (default: the runtime's recommended domain count; 1 = the \
            old sequential path).  Output is byte-identical either way.")
 
-let matrix full = Harness.Matrix.create ~progress (size_of_full full)
+let matrix ?trace_dir full =
+  Harness.Matrix.create ~progress ?trace_dir (size_of_full full)
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Print one line to stderr per completed matrix cell (workload, \
+           mode, simulated cycles, host wall ms).  Stdout is unchanged.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"DIR"
+        ~doc:
+          "Also write per-cell trace artefacts (Chrome JSON, heap \
+           time-series CSV, site tables, folded stacks, binary event \
+           stream) under $(docv).  Tracing is pure observation: report \
+           output is byte-identical.")
+
+let cell_progress (t : Harness.Matrix.cell_timing) ~cycles =
+  Printf.eprintf "  done %-16s %-8s %12d cycles %8.1f ms\n%!" t.workload
+    t.mode cycles (t.wall_s *. 1000.)
 
 let experiments =
   [
@@ -37,18 +61,20 @@ let experiments =
     ("claims", `Matrix Harness.Claims.render);
   ]
 
-let run_experiment name full =
+let run_experiment name full ?trace_dir () =
   match List.assoc_opt name experiments with
   | None ->
       Printf.eprintf "unknown experiment %s (have: %s, all)\n" name
         (String.concat ", " (List.map fst experiments));
       exit 1
   | Some (`Static f) -> print_endline (f ())
-  | Some (`Matrix f) -> print_endline (f (matrix full))
+  | Some (`Matrix f) -> print_endline (f (matrix ?trace_dir full))
 
-let run_all full jobs =
-  let m = matrix full in
-  if jobs > 1 then ignore (Harness.Matrix.run_all ~domains:jobs m);
+let run_all full jobs ~show_progress ?trace_dir () =
+  let m = matrix ?trace_dir full in
+  let on_cell = if show_progress then Some cell_progress else None in
+  if jobs > 1 || show_progress || trace_dir <> None then
+    ignore (Harness.Matrix.run_all ~domains:jobs ?on_cell m);
   print_endline (Harness.Table1.render ());
   print_newline ();
   print_endline (Harness.Table23.render_table2 m);
@@ -74,39 +100,44 @@ let exp_cmd =
             "table1, table2, table3, fig8, fig9, fig10, fig11, ablations, \
              limitation, claims, or all")
   in
-  let run name full jobs =
-    if name = "all" then run_all full jobs else run_experiment name full
+  let run name full jobs show_progress trace_dir =
+    if name = "all" then run_all full jobs ~show_progress ?trace_dir ()
+    else run_experiment name full ?trace_dir ()
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
-    Term.(const run $ name_arg $ full_arg $ jobs_arg)
+    Term.(
+      const run $ name_arg $ full_arg $ jobs_arg $ progress_arg $ trace_arg)
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:"cfrac, grobner, mudlle, lcc, tile, moss, moss-slow, game, game-correlated")
+
+let mode_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun m -> Workloads.Api.mode_name m = s)
+        Workloads.Api.all_modes
+    with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown mode %s (have: %s)" s
+                (String.concat ", "
+                   (List.map Workloads.Api.mode_name Workloads.Api.all_modes))))
+  in
+  let print ppf m = Fmt.string ppf (Workloads.Api.mode_name m) in
+  Arg.conv (parse, print)
 
 let run_cmd =
-  let workload_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"WORKLOAD" ~doc:"cfrac, grobner, mudlle, lcc, tile, moss, moss-slow, game, game-correlated")
-  in
   let mode_arg =
-    let parse s =
-      match
-        List.find_opt
-          (fun m -> Workloads.Api.mode_name m = s)
-          Workloads.Api.all_modes
-      with
-      | Some m -> Ok m
-      | None ->
-          Error
-            (`Msg
-               (Printf.sprintf "unknown mode %s (have: %s)" s
-                  (String.concat ", "
-                     (List.map Workloads.Api.mode_name Workloads.Api.all_modes))))
-    in
-    let print ppf m = Fmt.string ppf (Workloads.Api.mode_name m) in
     Arg.(
       value
-      & opt (conv (parse, print)) (Workloads.Api.Region { safe = true })
+      & opt mode_conv (Workloads.Api.Region { safe = true })
       & info [ "mode" ] ~doc:"Memory manager: sun, bsd, lea, gc, emu-*, region, unsafe.")
   in
   let run name mode full =
@@ -117,6 +148,69 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one memory manager")
     Term.(const run $ workload_arg $ mode_arg $ full_arg)
+
+let trace_cmd =
+  let mode_pos_arg =
+    Arg.(
+      value
+      & pos 1 mode_conv (Workloads.Api.Region { safe = true })
+      & info [] ~docv:"MODE"
+          ~doc:"Memory manager: sun, bsd, lea, gc, emu-*, region, unsafe.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "traces"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Output directory for the artefacts.")
+  in
+  let sample_arg =
+    Arg.(
+      value
+      & opt int Harness.Tracefiles.default_sample_cycles
+      & info [ "sample-cycles" ] ~docv:"N"
+          ~doc:"Time-series sampling period in simulated cycles.")
+  in
+  let run name mode out sample_cycles full =
+    let spec = Workloads.Workload.find name in
+    let r, tracer, files =
+      Harness.Tracefiles.run_traced ~sample_cycles ~out spec mode
+        (size_of_full full)
+    in
+    Fmt.pr "%a@.@." Workloads.Results.pp r;
+    print_string (Obs.Export.site_table ~top:10 tracer);
+    let ring = Obs.Tracer.ring tracer in
+    Printf.printf
+      "\n%d events (%d sampled intervals) -> %s\n\
+      \  timeline : %s  (load in Perfetto / chrome://tracing)\n\
+      \  heap     : %s\n\
+      \  sites    : %s\n\
+      \  flame    : %s  (flamegraph.pl / inferno-flamegraph)\n\
+      \  raw      : %s\n"
+      (Obs.Ring.total ring)
+      (Obs.Sampler.length (Obs.Tracer.sampler tracer))
+      files.Harness.Tracefiles.dir files.Harness.Tracefiles.trace_json
+      files.Harness.Tracefiles.heap_csv files.Harness.Tracefiles.sites_txt
+      files.Harness.Tracefiles.folded files.Harness.Tracefiles.events_bin
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one workload with the observability layer enabled and write \
+          its event timeline, heap time-series and per-site profile"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs a single (workload, mode) cell with tracing on and \
+              leaves five artefacts under --out: a Chrome trace_event JSON \
+              timeline (phases, allocations, region and GC events, counter \
+              tracks), a heap/stall time-series CSV, the per-site \
+              attribution table, a folded-stack file for flame graphs, and \
+              the raw binary event stream.  Simulated counts are identical \
+              to an untraced run: observation never perturbs measurement.";
+         ])
+    Term.(
+      const run $ workload_arg $ mode_pos_arg $ out_arg $ sample_arg
+      $ full_arg)
 
 let list_cmd =
   let run () =
@@ -231,6 +325,6 @@ let main =
        ~doc:
          "Reproduction of Gay & Aiken, 'Memory Management with Explicit \
           Regions' (PLDI 1998)")
-    [ exp_cmd; run_cmd; list_cmd; creg_cmd; check_cmd ]
+    [ exp_cmd; run_cmd; trace_cmd; list_cmd; creg_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -237,6 +237,7 @@ let newregion t =
       set_page_region t p r;
       Rstats.on_new t.rstats r;
       Hashtbl.replace t.objects r (ref []);
+      Obs.Tracer.region_create (Sim.Memory.tracer t.mem) r;
       r)
 
 let check_region t r =
@@ -398,7 +399,9 @@ let write_ptr t ?(same_region_hint = false) ~addr value =
           in
           let used = Sim.Cost.refcount_instrs c - before in
           if used < target then Sim.Cost.instr c (target - used)
-        end)
+        end);
+    Obs.Tracer.barrier (Sim.Memory.tracer t.mem) ~addr
+      ~hinted:same_region_hint
   end;
   if t.safe then Sim.Memory.store t.mem addr value
 
@@ -516,6 +519,7 @@ let deleteregion t ptr =
        always succeeds and runs no cleanups. *)
     release_region t r;
     clear_rptr t ptr;
+    Obs.Tracer.region_delete (Sim.Memory.tracer t.mem) ~deleted:true r;
     true
   end
   else begin
@@ -532,6 +536,7 @@ let deleteregion t ptr =
       clear_rptr t ptr
     end;
     if not t.eager_locals then unscan_top t;
+    Obs.Tracer.region_delete (Sim.Memory.tracer t.mem) ~deleted:deletable r;
     deletable
   end
 

@@ -105,6 +105,7 @@ let alloc_large t size =
 
 let collect_into t =
   t.collections <- t.collections + 1;
+  Obs.Tracer.gc_begin (Sim.Memory.tracer t.mem) ~ordinal:t.collections;
   (* Clear marks. *)
   Hashtbl.iter
     (fun pageno blk ->
@@ -183,7 +184,8 @@ let collect_into t =
       | Large _ -> ())
     t.blocks;
   t.live_last <- !live;
-  t.since_gc <- 0
+  t.since_gc <- 0;
+  Obs.Tracer.gc_end (Sim.Memory.tracer t.mem) ~live_bytes:!live
 
 let collect t =
   Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () -> collect_into t)

@@ -2,10 +2,28 @@ type t = {
   size : Workloads.Workload.size;
   progress : string -> unit;
   cache : (string * string, Workloads.Results.t) Hashtbl.t;
+  trace_dir : string option;
+  sample_cycles : int;
 }
 
-let create ?(progress = ignore) size = { size; progress; cache = Hashtbl.create 64 }
+let create ?(progress = ignore) ?trace_dir
+    ?(sample_cycles = Tracefiles.default_sample_cycles) size =
+  { size; progress; cache = Hashtbl.create 64; trace_dir; sample_cycles }
+
 let size t = t.size
+
+(* Tracing is pure observation (the test suite proves simulated counts
+   are identical with it on), so traced cells still yield the same
+   memoised results — and byte-identical reports. *)
+let run_cell_collect t spec mode =
+  match t.trace_dir with
+  | None -> Workloads.Workload.run_collect spec mode t.size
+  | Some dir ->
+      let r, _, _ =
+        Tracefiles.run_traced ~sample_cycles:t.sample_cycles ~out:dir spec
+          mode t.size
+      in
+      r
 
 let get t (spec : Workloads.Workload.spec) mode =
   let key = (spec.Workloads.Workload.name, Workloads.Api.mode_name mode) in
@@ -15,7 +33,7 @@ let get t (spec : Workloads.Workload.spec) mode =
       t.progress
         (Fmt.str "running %s under %s ..." spec.Workloads.Workload.name
            (Workloads.Api.mode_name mode));
-      let r = Workloads.Workload.run_collect spec mode t.size in
+      let r = run_cell_collect t spec mode in
       Hashtbl.replace t.cache key r;
       r
 
@@ -79,7 +97,7 @@ let report_cells () =
     workloads
   @ [ (Workloads.Workload.moss_slow, Workloads.Api.Region { safe = true }) ]
 
-let run_all ?domains t =
+let run_all ?domains ?on_cell t =
   let domains =
     match domains with
     | Some d -> max 1 d
@@ -94,19 +112,32 @@ let run_all ?domains t =
   let cells = Array.of_list cells in
   let n = Array.length cells in
   let results = Array.make n None in
+  (* Completion callbacks run inside worker domains; serialise them so
+     a per-cell progress line is never interleaved mid-write. *)
+  let cell_mutex = Mutex.create () in
+  let notify timing cycles =
+    match on_cell with
+    | None -> ()
+    | Some f ->
+        Mutex.lock cell_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock cell_mutex)
+          (fun () -> f timing ~cycles)
+  in
   let run_cell i =
     let spec, mode = cells.(i) in
     let t0 = Unix.gettimeofday () in
-    let r = Workloads.Workload.run_collect spec mode t.size in
+    let r = run_cell_collect t spec mode in
     let wall = Unix.gettimeofday () -. t0 in
-    results.(i) <-
-      Some
-        ( r,
-          {
-            workload = spec.Workloads.Workload.name;
-            mode = Workloads.Api.mode_name mode;
-            wall_s = wall;
-          } )
+    let timing =
+      {
+        workload = spec.Workloads.Workload.name;
+        mode = Workloads.Api.mode_name mode;
+        wall_s = wall;
+      }
+    in
+    results.(i) <- Some (r, timing);
+    notify timing r.Workloads.Results.cycles
   in
   if n > 0 then begin
     let nd = min domains n in

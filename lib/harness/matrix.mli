@@ -5,7 +5,19 @@
 
 type t
 
-val create : ?progress:(string -> unit) -> Workloads.Workload.size -> t
+val create :
+  ?progress:(string -> unit) ->
+  ?trace_dir:string ->
+  ?sample_cycles:int ->
+  Workloads.Workload.size ->
+  t
+(** [trace_dir] turns on per-cell tracing: every cell executed by this
+    matrix also writes a {!Tracefiles} artefact family under that
+    directory.  Tracing is pure observation, so the memoised results —
+    and any report rendered from them — are byte-identical to an
+    untraced run.  [sample_cycles] is the time-series period
+    (default {!Tracefiles.default_sample_cycles}). *)
+
 val size : t -> Workloads.Workload.size
 
 val get : t -> Workloads.Workload.spec -> Workloads.Api.mode -> Workloads.Results.t
@@ -20,8 +32,17 @@ val parallel_for : domains:int -> int -> (int -> unit) -> unit
     pool never hangs or leaks a domain on failure.  [domains <= 1]
     degenerates to a plain sequential loop. *)
 
-val run_all : ?domains:int -> t -> cell_timing list
-(** [run_all ?domains t] computes every (workload, mode) cell the full
+val run_all :
+  ?domains:int ->
+  ?on_cell:(cell_timing -> cycles:int -> unit) ->
+  t ->
+  cell_timing list
+(** [on_cell] fires once per completed cell (from whichever domain ran
+    it, under a mutex so callbacks never interleave) with the cell's
+    timing and simulated cycle count — the hook behind [--progress].
+    It only observes; cached results and report bytes are unchanged.
+
+    [run_all ?domains t] computes every (workload, mode) cell the full
     report needs and memoises the results, fanning the independent
     cells across [domains] OCaml domains ([1] = in this domain, the
     plain sequential path; default {!Domain.recommended_domain_count}).

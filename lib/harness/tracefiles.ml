@@ -1,0 +1,73 @@
+type files = {
+  dir : string;
+  events_bin : string;
+  trace_json : string;
+  heap_csv : string;
+  sites_txt : string;
+  folded : string;
+}
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let default_sample_cycles = 50_000
+
+let stem (spec : Workloads.Workload.spec) mode =
+  spec.Workloads.Workload.name ^ "-" ^ Workloads.Api.mode_name mode
+
+let run_traced ?(sample_cycles = default_sample_cycles) ?capacity ~out spec
+    mode size =
+  mkdir_p out;
+  let base = Filename.concat out (stem spec mode) in
+  let files =
+    {
+      dir = out;
+      events_bin = base ^ ".events.bin";
+      trace_json = base ^ ".trace.json";
+      heap_csv = base ^ ".heap.csv";
+      sites_txt = base ^ ".sites.txt";
+      folded = base ^ ".folded";
+    }
+  in
+  let tracer = Obs.Tracer.create ?capacity ~sample_interval:sample_cycles () in
+  (* Spill from the start: evictions plus the final drain leave the
+     complete ordered event stream on disk even when the run exceeds
+     the ring. *)
+  let oc = open_out_bin files.events_bin in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Obs.Ring.set_sink (Obs.Tracer.ring tracer) (Some (Obs.Spill.sink oc));
+        let r = Workloads.Workload.run_collect ~tracer spec mode size in
+        Obs.Ring.drain (Obs.Tracer.ring tracer);
+        r)
+  in
+  write_file files.trace_json
+    (Obs.Export.chrome_json_of tracer (fun f ->
+         Obs.Spill.read_file files.events_bin f));
+  write_file files.heap_csv (Obs.Export.heap_csv tracer);
+  write_file files.sites_txt
+    (Obs.Export.sites_txt tracer ^ "\n" ^ Obs.Export.site_table tracer);
+  write_file files.folded (Obs.Export.folded tracer);
+  (result, tracer, files)
+
+let write_index ~out entries =
+  mkdir_p out;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "workload,mode,cycles,wall_s\n";
+  List.iter
+    (fun (workload, mode, cycles, wall_s) ->
+      Buffer.add_string buf
+        (Fmt.str "%s,%s,%d,%.3f\n" workload mode cycles wall_s))
+    entries;
+  write_file (Filename.concat out "index.csv") (Buffer.contents buf)

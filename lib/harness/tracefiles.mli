@@ -1,0 +1,47 @@
+(** Traced runs that leave their artefacts on disk.
+
+    One traced (workload, mode) cell produces, under the output
+    directory, a [<workload>-<mode>] family of files:
+
+    - [.events.bin] — the complete binary event stream ({!Obs.Spill}
+      format; the ring spills evictions here, so it is whole even for
+      runs far larger than the ring);
+    - [.trace.json] — Chrome [trace_event] JSON built by replaying the
+      spill file, viewable in Perfetto or [chrome://tracing];
+    - [.heap.csv] — the time-series sampler rows (live bytes, mapped
+      bytes, instruction/stall/cache counters per interval);
+    - [.sites.txt] — the interned site ids plus the top-sites table;
+    - [.folded] — folded stacks for [flamegraph.pl] / [inferno]. *)
+
+type files = {
+  dir : string;
+  events_bin : string;
+  trace_json : string;
+  heap_csv : string;
+  sites_txt : string;
+  folded : string;
+}
+
+val default_sample_cycles : int
+
+val stem : Workloads.Workload.spec -> Workloads.Api.mode -> string
+(** ["<workload>-<mode>"], the artefact basename for one cell. *)
+
+val run_traced :
+  ?sample_cycles:int ->
+  ?capacity:int ->
+  out:string ->
+  Workloads.Workload.spec ->
+  Workloads.Api.mode ->
+  Workloads.Workload.size ->
+  Workloads.Results.t * Obs.Tracer.t * files
+(** Run one cell with tracing enabled, writing the artefact family
+    under [out] (created if missing).  The returned results carry the
+    same simulated counts as an untraced run — observation never
+    perturbs the simulation (proved by the test suite). *)
+
+val write_index :
+  out:string -> (string * string * int * float) list -> unit
+(** [write_index ~out entries] writes [index.csv] summarising traced
+    cells as [(workload, mode, simulated cycles, host wall seconds)]
+    rows. *)

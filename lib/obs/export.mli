@@ -1,0 +1,31 @@
+(** Renderers for recorded traces: Chrome [trace_event] JSON (loads in
+    Perfetto / chrome://tracing), heap time-series CSV, per-site
+    attribution tables and folded stacks for [flamegraph.pl] /
+    [inferno-flamegraph].  All pure readers — safe to run after the
+    simulation. *)
+
+val chrome_json : Tracer.t -> string
+(** Export the tracer's buffered events plus its time-series samples
+    as Chrome JSON Array Format.  One simulated cycle maps to one
+    trace microsecond. *)
+
+val chrome_json_of :
+  Tracer.t ->
+  ((kind:int -> time:int -> site:int -> a:int -> b:int -> unit) -> unit) ->
+  string
+(** Like {!chrome_json} but over an explicit event iterator — e.g.
+    replaying a {!Spill} file for runs larger than the ring. *)
+
+val heap_csv : Tracer.t -> string
+(** The sampler's cumulative rows, one per line. *)
+
+val site_table : ?top:int -> Tracer.t -> string
+(** Top-[top] (default 20) sites by self cycles. *)
+
+val folded : Tracer.t -> string
+(** Folded-stack lines ["phase;site value"]. *)
+
+val sites_txt : Tracer.t -> string
+(** The interned site table, ["id name"] per line. *)
+
+val json_escape : string -> string

@@ -1,0 +1,77 @@
+type sink = kind:int -> time:int -> site:int -> a:int -> b:int -> unit
+
+type t = {
+  kind : int array;
+  time : int array;
+  site : int array;
+  a : int array;
+  b : int array;
+  mask : int;  (* capacity - 1; capacity is a power of two *)
+  mutable start : int;  (* index of the oldest buffered event *)
+  mutable len : int;
+  mutable total : int;
+  mutable dropped : int;
+  mutable sink : sink option;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(capacity = 1 lsl 16) () =
+  if capacity <= 0 then invalid_arg "Obs.Ring.create: capacity must be positive";
+  let cap = pow2_at_least capacity 1 in
+  {
+    kind = Array.make cap 0;
+    time = Array.make cap 0;
+    site = Array.make cap 0;
+    a = Array.make cap 0;
+    b = Array.make cap 0;
+    mask = cap - 1;
+    start = 0;
+    len = 0;
+    total = 0;
+    dropped = 0;
+    sink = None;
+  }
+
+let capacity t = t.mask + 1
+let length t = t.len
+let total t = t.total
+let dropped t = t.dropped
+let set_sink t sink = t.sink <- sink
+
+(* Evict the oldest buffered event: stream it to the sink when one is
+   attached, count it as dropped otherwise. *)
+let evict t =
+  let i = t.start in
+  (match t.sink with
+  | Some f ->
+      f ~kind:t.kind.(i) ~time:t.time.(i) ~site:t.site.(i) ~a:t.a.(i)
+        ~b:t.b.(i)
+  | None -> t.dropped <- t.dropped + 1);
+  t.start <- (i + 1) land t.mask;
+  t.len <- t.len - 1
+
+let push t ~kind ~time ~site ~a ~b =
+  if t.len > t.mask then evict t;
+  let i = (t.start + t.len) land t.mask in
+  t.kind.(i) <- kind;
+  t.time.(i) <- time;
+  t.site.(i) <- site;
+  t.a.(i) <- a;
+  t.b.(i) <- b;
+  t.len <- t.len + 1;
+  t.total <- t.total + 1
+
+let iter t f =
+  for k = 0 to t.len - 1 do
+    let i = (t.start + k) land t.mask in
+    f ~kind:t.kind.(i) ~time:t.time.(i) ~site:t.site.(i) ~a:t.a.(i) ~b:t.b.(i)
+  done
+
+let drain t =
+  match t.sink with
+  | None -> ()
+  | Some _ ->
+      while t.len > 0 do
+        evict t
+      done

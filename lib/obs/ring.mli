@@ -1,0 +1,38 @@
+(** Fixed-capacity ring buffer for trace events.
+
+    Recording an event writes five machine integers into preallocated
+    arrays: no OCaml-heap allocation on the hot path.  When the ring is
+    full, the oldest event is either streamed to the attached {!sink}
+    (so an unbounded run spills to a file while recording stays
+    constant-time) or dropped, with a count kept either way. *)
+
+type sink = kind:int -> time:int -> site:int -> a:int -> b:int -> unit
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 65536 events) is rounded up to a power of
+    two. *)
+
+val push : t -> kind:int -> time:int -> site:int -> a:int -> b:int -> unit
+
+val iter :
+  t -> (kind:int -> time:int -> site:int -> a:int -> b:int -> unit) -> unit
+(** Iterate the buffered events, oldest first. *)
+
+val set_sink : t -> sink option -> unit
+(** Overflow destination.  With a sink attached the ring never drops:
+    evicted events stream out in order and {!drain} flushes the rest. *)
+
+val drain : t -> unit
+(** Flush every buffered event to the sink (oldest first) and empty
+    the ring.  No-op without a sink. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val total : t -> int
+(** Events ever pushed, including evicted and dropped ones. *)
+
+val dropped : t -> int
+(** Events lost to overflow while no sink was attached. *)

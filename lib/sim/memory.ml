@@ -6,6 +6,7 @@ type t = {
   mutable limit : int;  (* one past highest mapped byte *)
   mutable os_bytes : int;
   mutable oom_hook : (int -> bool) option;
+  mutable tracer : Obs.Tracer.t;
 }
 
 exception Fault of string
@@ -25,9 +26,16 @@ let create ?(machine = Machine.ultrasparc_i) ?(with_cache = true) () =
     limit = machine.Machine.page_bytes;
     os_bytes = 0;
     oom_hook = None;
+    tracer = Obs.Tracer.null ();
   }
 
 let set_oom_hook t hook = t.oom_hook <- hook
+let tracer t = t.tracer
+
+let set_tracer t tr =
+  t.tracer <- tr;
+  (* Stamp events with this machine's simulated clock. *)
+  Obs.Tracer.set_clock tr (fun () -> Cost.cycles t.cost)
 
 let machine t = t.machine
 let cost t = t.cost
@@ -57,6 +65,7 @@ let map_pages t n =
   ensure_capacity t (addr + bytes);
   t.limit <- addr + bytes;
   t.os_bytes <- t.os_bytes + bytes;
+  Obs.Tracer.page_map t.tracer ~addr ~pages:n;
   addr
 
 let is_mapped t addr = addr >= t.machine.Machine.page_bytes && addr < t.limit

@@ -39,6 +39,17 @@ val set_oom_hook : t -> (int -> bool) option -> unit
     (the default) removes the hook; with no hook installed the check
     is a single pattern match and simulated costs are untouched. *)
 
+val tracer : t -> Obs.Tracer.t
+(** The attached tracer; a disabled {!Obs.Tracer.null} by default, so
+    emitting through it is a single branch. *)
+
+val set_tracer : t -> Obs.Tracer.t -> unit
+(** Attach a tracer and install this memory's simulated-cycle clock
+    into it.  {!map_pages} emits page-map events; the region runtime,
+    the collector and the workload API emit their own events through
+    the same tracer.  Tracing is pure observation: it charges no
+    simulated instructions, cycles or stalls. *)
+
 val os_bytes : t -> int
 (** Total bytes ever mapped from the simulated OS. *)
 

@@ -42,11 +42,15 @@ type t = {
   mutable emu_overhead : int;  (* current bytes of emulation bookkeeping *)
   mutable emu_overhead_max : int;
   root_providers : ((int -> unit) -> unit) list ref;
+  tracer : Obs.Tracer.t;
 }
 
 let create ?machine ?(with_cache = true) ?(globals_words = 1024)
-    ?(offset_regions = true) ?(eager_locals = false) mode =
+    ?(offset_regions = true) ?(eager_locals = false) ?tracer mode =
   let mem = Sim.Memory.create ?machine ~with_cache () in
+  (* Attach the tracer before any manager runs so region creation,
+     page mapping and GC events from setup are observed too. *)
+  (match tracer with Some tr -> Sim.Memory.set_tracer mem tr | None -> ());
   let mut = Regions.Mutator.create ~globals_words mem in
   let providers = ref [] in
   let roots f =
@@ -78,20 +82,55 @@ let create ?machine ?(with_cache = true) ?(globals_words = 1024)
             (Regions.Region.create ~safe ~offset_regions ~eager_locals cleanups
                mut) )
   in
-  {
-    mode;
-    mem;
-    mut;
-    alloc;
-    gc;
-    emu;
-    reg;
-    req = Alloc.Stats.create ();
-    region_objects = Hashtbl.create 64;
-    emu_overhead = 0;
-    emu_overhead_max = 0;
-    root_providers = providers;
-  }
+  let t =
+    {
+      mode;
+      mem;
+      mut;
+      alloc;
+      gc;
+      emu;
+      reg;
+      req = Alloc.Stats.create ();
+      region_objects = Hashtbl.create 64;
+      emu_overhead = 0;
+      emu_overhead_max = 0;
+      root_providers = providers;
+      tracer = Sim.Memory.tracer mem;
+    }
+  in
+  (* The probe reads counters without charging the simulation: the
+     sampler and profiler are observers, never participants. *)
+  Obs.Tracer.set_probe t.tracer (fun () ->
+      let c = Sim.Memory.cost mem in
+      let l1_hits, l1_misses, l2_misses, stores =
+        match Sim.Memory.cache mem with
+        | Some ca ->
+            ( Sim.Cache.l1_hits ca,
+              Sim.Cache.l1_misses ca,
+              Sim.Cache.l2_misses ca,
+              Sim.Cache.stores ca )
+        | None -> (0, 0, 0, 0)
+      in
+      let os_bytes =
+        match (t.alloc, t.reg) with
+        | Some a, _ -> Alloc.Stats.os_bytes a.Alloc.Allocator.stats
+        | None, Some lib -> Regions.Region.os_bytes lib
+        | None, None -> 0
+      in
+      {
+        Obs.Sampler.base_instrs = Sim.Cost.base_instrs c;
+        mem_instrs = Sim.Cost.memory_instrs c;
+        read_stalls = Sim.Cost.read_stall_cycles c;
+        write_stalls = Sim.Cost.write_stall_cycles c;
+        live_bytes = Alloc.Stats.live_bytes t.req;
+        os_bytes;
+        l1_hits;
+        l1_misses;
+        l2_misses;
+        stores;
+      });
+  t
 
 (* Register extra GC roots: the addresses a workload's own bookkeeping
    keeps live — the stand-in for the C locals the conservative
@@ -120,7 +159,9 @@ let store_ptr t ~addr v =
   | Some lib -> Regions.Region.write_ptr lib ~addr v
   | None -> Sim.Memory.store t.mem addr v
 
-let work t n = Sim.Cost.instr (cost t) n
+let work t n =
+  Sim.Cost.instr (cost t) n;
+  Obs.Tracer.tick t.tracer
 
 let with_frame t ~nslots ~ptr_slots f =
   Regions.Mutator.with_frame t.mut ~nslots ~ptr_slots f
@@ -145,6 +186,7 @@ let malloc t size =
   | Direct _, Some a ->
       let p = a.Alloc.Allocator.malloc size in
       Alloc.Stats.on_alloc t.req ~addr:p ~size;
+      Obs.Tracer.malloc t.tracer ~addr:p ~bytes:size;
       p
   | _ -> unsupported t "malloc"
 
@@ -153,10 +195,12 @@ let free t addr =
   | Direct Gc, Some _ ->
       (* Frees are compiled out under the collector; only the logical
          accounting proceeds. *)
-      Alloc.Stats.on_free t.req addr
+      Alloc.Stats.on_free t.req addr;
+      Obs.Tracer.free t.tracer ~addr
   | Direct _, Some a ->
       Alloc.Stats.on_free t.req addr;
-      a.Alloc.Allocator.free addr
+      a.Alloc.Allocator.free addr;
+      Obs.Tracer.free t.tracer ~addr
   | _ -> unsupported t "free"
 
 (* ------------------------------------------------------------------ *)
@@ -164,6 +208,7 @@ let free t addr =
 
 let track_object t r addr size =
   Alloc.Stats.on_alloc t.req ~addr ~size;
+  Obs.Tracer.ralloc t.tracer ~addr ~bytes:size;
   match Hashtbl.find_opt t.region_objects r with
   | Some l -> l := (addr, size) :: !l
   | None -> Hashtbl.replace t.region_objects r (ref [ (addr, size) ])
@@ -178,6 +223,7 @@ let newregion t =
   | None, Some emu ->
       let r = Regions.Emulation.newregion emu in
       bump_emu_overhead t 12 (* region record + its malloc header *);
+      Obs.Tracer.region_create t.tracer r;
       r
   | None, None -> unsupported t "newregion"
 
@@ -246,6 +292,7 @@ let deleteregion t fr slot =
       Regions.Emulation.deleteregion emu r;
       forget_region t r;
       Regions.Mutator.set_local t.mut fr slot 0;
+      Obs.Tracer.region_delete t.tracer ~deleted:true r;
       true
   | None, None -> unsupported t "deleteregion"
 
@@ -265,3 +312,10 @@ let emulation_overhead_bytes t = t.emu_overhead_max
 let allocator t = t.alloc
 let region_lib t = t.reg
 let gc t = t.gc
+
+(* ------------------------------------------------------------------ *)
+(* Observability *)
+
+let tracer t = t.tracer
+let phase t name f = Obs.Tracer.phase t.tracer name f
+let site t name f = Obs.Tracer.site t.tracer name f

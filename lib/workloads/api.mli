@@ -32,13 +32,17 @@ type t
 (** [create mode] builds a fresh simulated machine with the requested
     memory manager.  [offset_regions] and [eager_locals] select the
     region-library ablations of {!Regions.Region.create}; they only
-    matter under [Region] modes. *)
+    matter under [Region] modes.  [tracer] attaches an observability
+    tracer before the manager starts, so setup-time events (page maps,
+    region creation) are captured too; the facade installs the
+    counter probe that feeds the tracer's time-series sampler. *)
 val create :
   ?machine:Sim.Machine.t ->
   ?with_cache:bool ->
   ?globals_words:int ->
   ?offset_regions:bool ->
   ?eager_locals:bool ->
+  ?tracer:Obs.Tracer.t ->
   mode ->
   t
 val mode : t -> mode
@@ -133,3 +137,15 @@ val emulation_overhead_bytes : t -> int
 val allocator : t -> Alloc.Allocator.t option
 val region_lib : t -> Regions.Region.t option
 val gc : t -> Gcsim.Boehm.t option
+
+(** {1 Observability} *)
+
+val tracer : t -> Obs.Tracer.t
+(** The attached tracer ([Obs.Tracer.null] when none was given). *)
+
+val phase : t -> string -> (unit -> 'a) -> 'a
+(** Bracket a workload phase with trace markers; a no-op (beyond the
+    closure call) while tracing is disabled. *)
+
+val site : t -> string -> (unit -> 'a) -> 'a
+(** Run [f] under an allocation/attribution site tag. *)

@@ -176,8 +176,11 @@ let rec run api params =
 
 and run_with api st params =
   let n = Bignum.of_decimal st.sol params.n in
-  Api.work api params.bound (* sieve cost *);
-  let primes = sieve_primes params.bound in
+  let primes =
+    Api.phase api "setup" (fun () ->
+        Api.work api params.bound (* sieve cost *);
+        sieve_primes params.bound)
+  in
   (* Cheap exits: a factor-base prime divides n. *)
   let small_factor =
     List.find_opt (fun p -> Bignum.mod_small st.temp n p = 0) primes
@@ -188,11 +191,12 @@ and run_with api st params =
   | Some _ | None -> (
       (* Factor base: 2 plus odd primes with (n/p) = 1. *)
       let fb =
-        List.filter
-          (fun p ->
-            Api.work api 24;
-            p = 2 || legendre (Bignum.mod_small st.temp n p) p = 1)
-          primes
+        Api.phase api "setup" (fun () ->
+            List.filter
+              (fun p ->
+                Api.work api 24;
+                p = 2 || legendre (Bignum.mod_small st.temp n p) p = 1)
+              primes)
       in
       let fb = Array.of_list fb in
       let nfb = Array.length fb in
@@ -254,7 +258,8 @@ and cf_expansion api st params ~n ~r0 ~fb ~ncols ~row_words =
   let a1 = ref (Bignum.modulo st.temp r0 n) (* A_0 *) in
   let a2 = ref one (* A_{-1} *) in
   let k = ref 1 in
-  (try
+  Api.phase api "expand" (fun () ->
+  try
      while !relations < needed && !iterations < params.max_iterations do
        incr iterations;
        (* Q_k = 1 ends the period: no more useful relations. *)
@@ -265,7 +270,8 @@ and cf_expansion api st params ~n ~r0 ~fb ~ncols ~row_words =
        (match try_smooth api st fb !q with
        | Some exps ->
            let sign = !k land 1 in
-           record_relation api st ~a:!a1 ~exps ~sign ~ncols ~row_words;
+           Api.site api "relation" (fun () ->
+               record_relation api st ~a:!a1 ~exps ~sign ~ncols ~row_words);
            incr relations
        | None -> ());
        (* Advance the recurrences. *)
@@ -285,7 +291,7 @@ and cf_expansion api st params ~n ~r0 ~fb ~ncols ~row_words =
        q := qnew;
        incr k;
        if !iterations mod params.chunk = 0 then begin
-         match st.rotate [ !p; !q; !a1; !a2 ] with
+         match Api.site api "rotate" (fun () -> st.rotate [ !p; !q; !a1; !a2 ]) with
          | [ p'; q'; a1'; a2' ] ->
              p := p';
              q := q';
@@ -295,7 +301,9 @@ and cf_expansion api st params ~n ~r0 ~fb ~ncols ~row_words =
        end
      done
    with Exit -> ());
-  let factor = solve api st ~n ~fb ~ncols ~row_words in
+  let factor =
+    Api.phase api "solve" (fun () -> solve api st ~n ~fb ~ncols ~row_words)
+  in
   (factor, !iterations, !relations)
 
 (* Store a relation in the solution storage and link it. *)

@@ -109,6 +109,7 @@ let run api (params : params) =
   let peak_live = ref 0 in
   let peak_os = ref 0 in
   let peak_bytes = ref 0 in
+  Api.phase api "play" (fun () ->
   for t = 0 to params.ticks - 1 do
     Api.work api 200 (* simulation step: physics, AI, rendering *);
     st.begin_wave t;
@@ -142,7 +143,7 @@ let run api (params : params) =
     peak_os := max !peak_os (Api.os_bytes api);
     peak_bytes :=
       max !peak_bytes (Alloc.Stats.live_bytes (Api.requested_stats api))
-  done;
+  done);
   (* Drain the remaining deaths. *)
   for t = params.ticks to horizon - 1 do
     List.iter

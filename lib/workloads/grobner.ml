@@ -299,7 +299,11 @@ let run api (params : params) =
         | `Malloc -> malloc_storage api fr ctx
       in
       (* needs a scratch allocator for make_term during input setup *)
-      let basis = ref (Array.of_list (random_polys ctx st params)) in
+      let basis =
+        ref
+          (Api.phase api "setup" (fun () ->
+               Array.of_list (random_polys ctx st params)))
+      in
       st.new_scratch ();
       let pairs = Queue.create () in
       let add_pairs upto j =
@@ -310,28 +314,30 @@ let run api (params : params) =
       Array.iteri (fun j _ -> add_pairs j j) !basis;
       let processed = ref 0 in
       let zeros = ref 0 in
-      while (not (Queue.is_empty pairs)) && !processed < params.max_pairs do
-        let i, j = Queue.pop pairs in
-        incr processed;
-        let f = !basis.(i) and g = !basis.(j) in
-        let mf = read_exps ctx f and mg = read_exps ctx g in
-        (* Buchberger's first criterion: coprime leading monomials
-           reduce to zero; skip. *)
-        if mono_lcm mf mg <> mono_add mf mg then begin
-          let s = spoly ctx f g in
-          let h = reduce ctx !basis s in
-          if h = 0 then incr zeros
-          else begin
-            let kept =
-              copy_normalised ctx ~dst_alloc:st.basis_alloc
-                ~dst_link:st.basis_link h
-            in
-            basis := Array.append !basis [| kept |];
-            add_pairs (Array.length !basis - 1) (Array.length !basis - 1)
-          end;
-          st.new_scratch ()
-        end
-      done;
+      Api.phase api "buchberger" (fun () ->
+          while (not (Queue.is_empty pairs)) && !processed < params.max_pairs do
+            let i, j = Queue.pop pairs in
+            incr processed;
+            let f = !basis.(i) and g = !basis.(j) in
+            let mf = read_exps ctx f and mg = read_exps ctx g in
+            (* Buchberger's first criterion: coprime leading monomials
+               reduce to zero; skip. *)
+            if mono_lcm mf mg <> mono_add mf mg then begin
+              let s = Api.site api "spoly" (fun () -> spoly ctx f g) in
+              let h = Api.site api "reduce" (fun () -> reduce ctx !basis s) in
+              if h = 0 then incr zeros
+              else begin
+                let kept =
+                  Api.site api "normalise" (fun () ->
+                      copy_normalised ctx ~dst_alloc:st.basis_alloc
+                        ~dst_link:st.basis_link h)
+                in
+                basis := Array.append !basis [| kept |];
+                add_pairs (Array.length !basis - 1) (Array.length !basis - 1)
+              end;
+              st.new_scratch ()
+            end
+          done);
       let result =
         {
           basis_size = Array.length !basis;

@@ -303,6 +303,10 @@ and emit st op v =
   st.triples <- st.triples + 1;
   st.checksum <- ((st.checksum * 17) + (op * 131) + v) land 0xFFFFFF
 
+(* Attribute code generation (instruction selection + triple emission)
+   to one profiling site; the recursion stays unwrapped. *)
+let gen st ast = Api.site st.api "gen" (fun () -> gen st ast)
+
 (* Rotate the statement region every [stmts_per_region] statements. *)
 let end_statement st =
   st.statements <- st.statements + 1;
@@ -437,9 +441,10 @@ let run api (params : params) =
           }
         in
         next_token st;
-        while st.tok_kind <> 0 do
-          parse_function st
-        done;
+        Api.phase api "compile" (fun () ->
+            while st.tok_kind <> 0 do
+              Api.site api "function" (fun () -> parse_function st)
+            done);
         out :=
           {
             statements = st.statements;

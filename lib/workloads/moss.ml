@@ -185,6 +185,7 @@ let run api (params : params) =
       let fingerprints = ref 0 in
       (* Per-document fingerprint vectors: [count][hash...] *)
       let doc_fps = Array.make params.ndocs 0 in
+      Api.phase api "index" (fun () ->
       Array.iteri
         (fun d text ->
           let len = String.length text in
@@ -194,6 +195,7 @@ let run api (params : params) =
           (* ...interleaved with small, frequently accessed ones. *)
           let fps = ref [] in
           let nfp = ref 0 in
+          Api.site api "winnow" (fun () ->
           winnow api ~kgram:params.kgram ~window:params.window ~buf ~len
             (fun h pos ->
               incr fingerprints;
@@ -206,7 +208,7 @@ let run api (params : params) =
               let bucket = index + (h mod nbuckets * 4) in
               let head = Api.load api bucket in
               if head <> 0 then st.ptr ~addr:(p + 12) head;
-              st.ptr ~addr:bucket p);
+              st.ptr ~addr:bucket p));
           (* The per-document fingerprint vector is re-read on every
              query round: it belongs with the small, frequently
              accessed objects, away from the big text buffers. *)
@@ -214,16 +216,18 @@ let run api (params : params) =
           Api.store api vec !nfp;
           Api.store_block api (vec + 4) (Array.of_list (List.rev !fps));
           doc_fps.(d) <- vec)
-        docs;
+        docs);
       (* Query phase: repeatedly match every document against the
          index, walking posting chains (the frequently-accessed small
          objects). *)
       let matrix = Array.make_matrix params.ndocs params.ndocs 0 in
       let matches = ref 0 in
+      Api.phase api "query" (fun () ->
       for _ = 1 to params.query_rounds do
         Array.iteri
           (fun d vec ->
             let n = Api.load api vec in
+            Api.site api "chain-walk" (fun () ->
             for i = 0 to n - 1 do
               let h = Api.load api (vec + 4 + (i * 4)) in
               let rec chain p =
@@ -240,9 +244,9 @@ let run api (params : params) =
                 end
               in
               chain (Api.load api (index + (h mod nbuckets * 4)))
-            done)
+            done))
           doc_fps
-      done;
+      done);
       (* Best pair + checksum. *)
       let best = ref (0, 0) and best_count = ref (-1) in
       let checksum = ref 0 in

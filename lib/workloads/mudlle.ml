@@ -311,15 +311,17 @@ let run api (params : params) =
             sym_names = Hashtbl.create 64;
           }
         in
-        let forms = parse env src in
+        let forms = Api.phase api "parse" (fun () -> parse env src) in
         let funcs = Hashtbl.create 64 in
         let n_index = ref 0 in
+        Api.phase api "compile" (fun () ->
         List.iter
           (fun defn ->
             let fn_region = Api.newregion api in
             Api.set_local_ptr api fr 1 fn_region;
             let name, arity, code, words =
-              compile_function env ~fn_region ~funcs ~defn
+              Api.site api "codegen" (fun () ->
+                  compile_function env ~fn_region ~funcs ~defn)
             in
             Hashtbl.replace funcs
               (Hashtbl.find env.sym_names name)
@@ -337,7 +339,7 @@ let run api (params : params) =
             let ok = Api.deleteregion api fr 1 in
             assert ok
           )
-          forms;
+          forms);
         Api.set_local_ptr api fr 2 0;
         let ok = Api.deleteregion api fr 0 in
         assert ok

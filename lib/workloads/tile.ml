@@ -311,7 +311,7 @@ let run api (params : params) =
             incr blocks;
             (match !prev with
             | Some p ->
-                let s = similarity api p !cur in
+                let s = Api.site api "similarity" (fun () -> similarity api p !cur) in
                 sims := s :: !sims;
                 st.drop_prev ()
             | None -> ());
@@ -320,18 +320,20 @@ let run api (params : params) =
             cur := block_new st
           end
         in
-        tokenize text (fun word ->
-            Api.work api 150 (* lexing, case folding, stemming, stop lists *);
-            incr tokens;
-            let w = vocab_intern vocab st word in
-            block_add api st !cur (Api.load api (w + 8));
-            if (!cur).count >= params.block_tokens then flush_block ());
-        flush_block ();
+        Api.phase api "stream" (fun () ->
+            tokenize text (fun word ->
+                Api.work api 150 (* lexing, case folding, stemming, stop lists *);
+                incr tokens;
+                let w = vocab_intern vocab st word in
+                block_add api st !cur (Api.load api (w + 8));
+                if (!cur).count >= params.block_tokens then flush_block ());
+            flush_block ());
         st.drop_prev ();
         prev := None;
         (* Boundary detection: similarity minima below the mean. *)
         let sims = Array.of_list (List.rev !sims) in
         let ns = Array.length sims in
+        Api.phase api "boundaries" (fun () ->
         if ns > 2 then begin
           (* store the profile in the document storage, as tile does *)
           let profile = st.doc_raw (ns * 4) in
@@ -347,7 +349,7 @@ let run api (params : params) =
               checksum := ((!checksum * 31) + i) land 0xFFFFFF
             end
           done
-        end
+        end)
       done;
       st.finish ();
       {

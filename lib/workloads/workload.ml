@@ -152,7 +152,8 @@ let modes_for spec =
   in
   malloc_modes @ [ Api.Region { safe = true }; Api.Region { safe = false } ]
 
-let run_collect spec mode size =
-  let api = Api.create ~with_cache:true mode in
+let run_collect ?tracer spec mode size =
+  let api = Api.create ~with_cache:true ?tracer mode in
   let summary = spec.run api size in
+  (match tracer with Some tr -> Obs.Tracer.finish tr | None -> ());
   Results.collect api ~workload:spec.name ~summary

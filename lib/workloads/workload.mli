@@ -19,9 +19,10 @@ type spec = {
 val all : spec list
 val find : string -> spec
 
-val run_collect : spec -> Api.mode -> size -> Results.t
+val run_collect : ?tracer:Obs.Tracer.t -> spec -> Api.mode -> size -> Results.t
 (** Create an [Api.t] for [mode] (with the cache simulator on), run,
-    and collect measurements. *)
+    and collect measurements.  When [tracer] is given it is attached
+    for the whole run and {!Obs.Tracer.finish}ed before collection. *)
 
 val modes_for : spec -> Api.mode list
 (** The paper's allocator columns for this workload: Sun, BSD, Lea, GC

@@ -1,20 +1,42 @@
 #!/usr/bin/env bash
 # Regenerate BENCH_<n>.json (default BENCH_1.json) so the performance
-# trajectory stays comparable across PRs:
-#
-#   scripts/bench.sh [n]
-#
-# Environment:
-#   JOBS=N   domains for the parallel matrix fill (default 4)
-#   FULL=1   use the full-size benchmark inputs
+# trajectory stays comparable across PRs.
 #
 # The run also times a sequential (-j1) matrix fill, so the JSON
 # records the parallel speedup on this host alongside per-cell wall
-# clock and the Bechamel micro-benchmarks.
+# clock, the tracing-overhead cells, and the Bechamel
+# micro-benchmarks.
 #
 # Benchmarks measure; they do not verify.  Run scripts/check.sh (the
 # sanitizer + differential fuzz gate) before trusting new numbers.
 set -euo pipefail
+
+usage() {
+  cat <<'EOF'
+usage: scripts/bench.sh [-h] [n]
+
+  n        suffix of the output file, BENCH_<n>.json (default 1)
+
+Environment:
+  JOBS=N   domains for the parallel matrix fill (default 4)
+  FULL=1   use the full-size benchmark inputs
+EOF
+}
+
+case "${1:-}" in
+-h | --help)
+  usage
+  exit 0
+  ;;
+esac
+
+if ! command -v dune >/dev/null 2>&1; then
+  echo "scripts/bench.sh: error: 'dune' not found on PATH." >&2
+  echo "Install the OCaml toolchain (e.g. 'opam install dune') or run" >&2
+  echo "inside an opam environment: 'opam exec -- scripts/bench.sh'." >&2
+  exit 127
+fi
+
 cd "$(dirname "$0")/.."
 n=${1:-1}
 jobs=${JOBS:-4}

@@ -4,12 +4,36 @@
 # against every allocator, OOM fault injection, and the off-by-one
 # self-test).
 #
-#   scripts/check.sh                      # 200 traces per allocator
-#   scripts/check.sh --traces 1000        # heavier fuzz
-#   scripts/check.sh --seed 7 --traces 1  # replay a reported failure
-#
 # Any failure prints a shrunk minimal trace together with its seed.
 set -euo pipefail
+
+usage() {
+  cat <<'EOF'
+usage: scripts/check.sh [check options]
+
+  scripts/check.sh                      # 200 traces per allocator
+  scripts/check.sh --traces 1000        # heavier fuzz
+  scripts/check.sh --seed 7 --traces 1  # replay a reported failure
+
+Builds the tree, runs the full unit/property suite, then the
+differential fuzz gate; extra arguments go to `repro check`.
+EOF
+}
+
+case "${1:-}" in
+-h | --help)
+  usage
+  exit 0
+  ;;
+esac
+
+if ! command -v dune >/dev/null 2>&1; then
+  echo "scripts/check.sh: error: 'dune' not found on PATH." >&2
+  echo "Install the OCaml toolchain (e.g. 'opam install dune') or run" >&2
+  echo "inside an opam environment: 'opam exec -- scripts/check.sh'." >&2
+  exit 127
+fi
+
 cd "$(dirname "$0")/.."
 dune build
 dune runtest
