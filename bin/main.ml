@@ -70,10 +70,49 @@ let run_experiment name full ?trace_dir () =
   | Some (`Static f) -> print_endline (f ())
   | Some (`Matrix f) -> print_endline (f (matrix ?trace_dir full))
 
-let run_all full jobs ~show_progress ?trace_dir () =
+let run_all full jobs ~show_progress ?trace_dir ?resume ?timeout_s
+    ?(retries = 0) ?quarantine () =
   let m = matrix ?trace_dir full in
   let on_cell = if show_progress then Some cell_progress else None in
-  if jobs > 1 || show_progress || trace_dir <> None then
+  let supervised =
+    resume <> None || timeout_s <> None || retries > 0 || quarantine <> None
+  in
+  if supervised then begin
+    let sup =
+      {
+        Harness.Matrix.default_supervision with
+        timeout_s;
+        retries;
+        journal = resume;
+        quarantine;
+      }
+    in
+    let report = Harness.Matrix.run_all_supervised ~domains:jobs ?on_cell sup m in
+    if report.Harness.Matrix.resumed > 0 || report.Harness.Matrix.torn > 0 then
+      Printf.eprintf
+        "  resumed %d cells from the journal (%d damaged lines skipped)\n%!"
+        report.Harness.Matrix.resumed report.Harness.Matrix.torn;
+    (match report.Harness.Matrix.failures with
+    | [] -> ()
+    | failures ->
+        (* Structured failure summary instead of a re-raised exception:
+           the harness stays standing, reports, and exits non-zero. *)
+        Printf.eprintf "experiment all: %d cell(s) FAILED\n"
+          (List.length failures);
+        List.iter
+          (fun f -> Fmt.epr "  %a@." Harness.Matrix.pp_cell_failure f)
+          failures;
+        Option.iter
+          (fun dir -> Printf.eprintf "  triage bundles under %s/\n" dir)
+          quarantine;
+        Printf.eprintf
+          "  (report skipped: it would be incomplete; re-run%s after triage)\n%!"
+          (match resume with
+          | Some j -> Printf.sprintf " with --resume %s" j
+          | None -> "");
+        exit 1)
+  end
+  else if jobs > 1 || show_progress || trace_dir <> None then
     ignore (Harness.Matrix.run_all ~domains:jobs ?on_cell m);
   print_endline (Harness.Table1.render ());
   print_newline ();
@@ -100,14 +139,58 @@ let exp_cmd =
             "table1, table2, table3, fig8, fig9, fig10, fig11, ablations, \
              limitation, claims, or all")
   in
-  let run name full jobs show_progress trace_dir =
-    if name = "all" then run_all full jobs ~show_progress ?trace_dir ()
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"JOURNAL"
+          ~doc:
+            "Crash-consistent journal file ('all' only).  Completed cells \
+             are fsync'd to $(docv) as they finish; re-invoking with the \
+             same journal after an interruption runs only the remaining \
+             cells and renders a byte-identical report.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-s" ] ~docv:"S"
+          ~doc:
+            "Per-cell wall-clock watchdog in seconds ('all' only).  A cell \
+             exceeding it counts as a transient failure, eligible for \
+             --retries.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra attempts per cell for transient host failures \
+             (timeouts, ENOSPC, OOM), with exponential backoff ('all' \
+             only).  Deterministic simulator failures are never retried.")
+  in
+  let quarantine_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "quarantine" ] ~docv:"DIR"
+          ~doc:
+            "Write a triage bundle (error report, heap verdicts, trace \
+             artefacts of a diagnostic re-run) under $(docv) for every \
+             cell that exhausts its attempts ('all' only).")
+  in
+  let run name full jobs show_progress trace_dir resume timeout_s retries
+      quarantine =
+    if name = "all" then
+      run_all full jobs ~show_progress ?trace_dir ?resume ?timeout_s ~retries
+        ?quarantine ()
     else run_experiment name full ?trace_dir ()
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
     Term.(
-      const run $ name_arg $ full_arg $ jobs_arg $ progress_arg $ trace_arg)
+      const run $ name_arg $ full_arg $ jobs_arg $ progress_arg $ trace_arg
+      $ resume_arg $ timeout_arg $ retries_arg $ quarantine_arg)
 
 let workload_arg =
   Arg.(
@@ -281,6 +364,119 @@ let creg_cmd =
     (Cmd.info "creg" ~doc:"Compile and run a creg (C@-like) program on the safe region runtime")
     Term.(const run $ file_arg $ unsafe_arg $ dump_arg)
 
+let faults_cmd =
+  let mode_pos_arg =
+    Arg.(
+      value
+      & pos 1 mode_conv (Workloads.Api.Region { safe = true })
+      & info [] ~docv:"MODE"
+          ~doc:"Memory manager: sun, bsd, lea, gc, emu-*, region, unsafe.")
+  in
+  let plan_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"SPEC"
+          ~doc:
+            "Fault plan: comma-separated clauses $(b,budget=N) (page wall), \
+             $(b,oom-at=N) (deny the Nth map, then recover), \
+             $(b,ramp=START:SLOPE) (denial probability ramp), \
+             $(b,flip=EVERY:BIT) (bit-flip corruption), or $(b,none).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Plan seed: the same --plan/--seed pair replays the same \
+             injected faults exactly, on any machine.")
+  in
+  let all_modes_arg =
+    Arg.(
+      value & flag
+      & info [ "all-modes" ]
+          ~doc:"Run the workload's whole allocator row instead of one MODE.")
+  in
+  let quarantine_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "quarantine" ] ~docv:"DIR"
+          ~doc:"Write a triage bundle under $(docv) for non-graceful outcomes.")
+  in
+  let run name mode all_modes plan_spec seed full quarantine =
+    let spec = Workloads.Workload.find name in
+    match Fault.Plan.of_string ~seed plan_spec with
+    | Error msg ->
+        Printf.eprintf "bad --plan: %s\n" msg;
+        exit 2
+    | Ok plan ->
+        let modes =
+          if all_modes then Workloads.Workload.modes_for spec else [ mode ]
+        in
+        let graceful =
+          List.map
+            (fun mode ->
+              let o =
+                Harness.Faultrun.run ~plan spec mode (size_of_full full)
+              in
+              Fmt.pr "%a@.@." Harness.Faultrun.pp_outcome o;
+              let ok = Harness.Faultrun.graceful o in
+              if not ok then
+                Option.iter
+                  (fun dir ->
+                    let last_error =
+                      Fmt.str "%a"
+                        (fun ppf (o : Harness.Faultrun.outcome) ->
+                          match o.Harness.Faultrun.status with
+                          | Harness.Faultrun.Crashed s -> Fmt.pf ppf "crashed: %s" s
+                          | _ -> Fmt.pf ppf "heap check failed after fault plan")
+                        o
+                    in
+                    match
+                      Harness.Triage.write_bundle ~dir
+                        ~workload:spec.Workloads.Workload.name
+                        ~mode:(Workloads.Api.mode_name mode) ~attempts:1
+                        ~last_error ~backtrace:"" ~plan
+                        ~retrace:(spec, mode, size_of_full full) ()
+                    with
+                    | Some bundle ->
+                        Printf.eprintf "  triage bundle: %s\n%!" bundle
+                    | None -> ())
+                  quarantine;
+              ok)
+            modes
+        in
+        if not (List.for_all Fun.id graceful) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run one workload under a deterministic fault plan and check it \
+          degrades gracefully"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Installs a seed-reproducible schedule of injected failures \
+              (page-budget walls, one-shot OOMs, denial-probability ramps, \
+              bit-flip corruption) at the simulated machine's page-map \
+              boundary, runs the workload, and reports how it degraded.  \
+              Exit status is 0 iff every run was graceful: the workload \
+              completed or surfaced the documented fault, and every heap \
+              structure still passed its consistency walk.";
+           `P
+             "Denial clauses (budget/oom-at/ramp) are expected to be \
+              graceful everywhere.  $(b,flip) clauses corrupt mapped heap \
+              words: detecting those is the sanitizer's job ($(b,repro \
+              check) and the test suite aim them at redzones); under a \
+              plain workload a flip may legitimately break a heap check — \
+              that non-graceful exit is the finding, not a harness bug.";
+         ])
+    Term.(
+      const run $ workload_arg $ mode_pos_arg $ all_modes_arg $ plan_arg
+      $ seed_arg $ full_arg $ quarantine_arg)
+
 let check_cmd =
   let traces_arg =
     Arg.(
@@ -325,6 +521,6 @@ let main =
        ~doc:
          "Reproduction of Gay & Aiken, 'Memory Management with Explicit \
           Regions' (PLDI 1998)")
-    [ exp_cmd; run_cmd; trace_cmd; list_cmd; creg_cmd; check_cmd ]
+    [ exp_cmd; run_cmd; trace_cmd; list_cmd; creg_cmd; check_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

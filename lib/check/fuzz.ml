@@ -348,17 +348,23 @@ let fault_injection target ~page_budget =
        (fun n ->
          budget := !budget - n;
          !budget >= 0));
+  (* The hook is removed by [Fun.protect]: even an exception escaping
+     between install and removal (a harness bug, an unexpected
+     allocator exception) can never leak a stale budget into whatever
+     runs on this memory next. *)
   let outcome =
-    try
-      for i = 0 to 99_999 do
-        ignore (inst.alloc.Alloc.Allocator.malloc (32 + (i * 52 mod 480)))
-      done;
-      Error "allocator never hit the page budget"
-    with
-    | Sim.Memory.Fault _ -> Ok ()
-    | e -> Error ("expected Sim.Memory.Fault, got " ^ Printexc.to_string e)
+    Fun.protect
+      ~finally:(fun () -> Sim.Memory.set_oom_hook inst.mem None)
+      (fun () ->
+        try
+          for i = 0 to 99_999 do
+            ignore (inst.alloc.Alloc.Allocator.malloc (32 + (i * 52 mod 480)))
+          done;
+          Error "allocator never hit the page budget"
+        with
+        | Sim.Memory.Fault _ -> Ok ()
+        | e -> Error ("expected Sim.Memory.Fault, got " ^ Printexc.to_string e))
   in
-  Sim.Memory.set_oom_hook inst.mem None;
   match outcome with
   | Error _ as e -> e
   | Ok () -> (
@@ -370,6 +376,143 @@ let fault_injection target ~page_budget =
           Error
             (Fmt.str "sanitizer violation after denied mapping: %a"
                Sanitizer.pp_violation v))
+
+(* ------------------------------------------------------------------ *)
+(* Plan-driven fault injection.  Unlike the one-shot budget above, a
+   [Fault.Plan] can deny, recover and deny again (ramps), so this
+   exercises the full graceful-degradation contract: every denial
+   surfaces as the allocator's documented Fault, and the heap stays
+   walkable after every single one — verified by [check_heap] at each
+   caught fault, not just at the end. *)
+
+let fault_plan_injection target ~plan ~ops =
+  let inst = target.make Sanitizer.default in
+  Fault.Inject.with_plan ~plan inst.mem (fun inj ->
+      let caught = ref 0 in
+      let failed = ref None in
+      (try
+         for i = 0 to ops - 1 do
+           match inst.alloc.Alloc.Allocator.malloc (32 + (i * 52 mod 480)) with
+           | (_ : int) -> ()
+           | exception Sim.Memory.Fault _ ->
+               incr caught;
+               inst.alloc.Alloc.Allocator.check_heap ()
+         done
+       with
+      | Failure m ->
+          failed := Some ("heap inconsistent after denied mapping: " ^ m)
+      | Sanitizer.Violation v ->
+          failed :=
+            Some
+              (Fmt.str "sanitizer violation after denied mapping: %a"
+                 Sanitizer.pp_violation v)
+      | e ->
+          failed :=
+            Some ("expected Sim.Memory.Fault, got " ^ Printexc.to_string e));
+      match !failed with
+      | Some m -> Error m
+      | None ->
+          if !caught <> Fault.Inject.denials inj then
+            Error
+              (Fmt.str "plan denied %d requests but only %d faults surfaced"
+                 (Fault.Inject.denials inj) !caught)
+          else begin
+            match inst.alloc.Alloc.Allocator.check_heap () with
+            | () ->
+                Ok
+                  (Fmt.str "%d faults surfaced, heap walkable (%s)" !caught
+                     (Fault.Inject.summary inj))
+            | exception Failure m -> Error ("final heap walk failed: " ^ m)
+            | exception Sanitizer.Violation v ->
+                Error (Fmt.str "final sanitizer check failed: %a" Sanitizer.pp_violation v)
+          end)
+
+(* Bit-flip corruption aimed at sanitizer redzones: every applied flip
+   must be detected by the very next [Sanitizer.check], then the test
+   repairs the word (flips it back) and continues.  100% detection is
+   the contract — a flip the sanitizer misses is a harness bug. *)
+
+let bitflip_detection target ~seed ~ops =
+  let inst = target.make Sanitizer.default in
+  let plan = Fault.Plan.make ~seed [ Fault.Plan.Bit_flip { every = 1; bit = seed land 31 } ] in
+  (* Aim each flip at a currently-guarded redzone word; the hook fires
+     mid-malloc, so the target set is exactly the blocks tracked before
+     the allocation in progress. *)
+  let pick ~u ~bit =
+    let words = ref [] and n = ref 0 in
+    Sanitizer.iter_redzone_words inst.san (fun a ->
+        words := a :: !words;
+        incr n);
+    if !n = 0 then None
+    else
+      let i = min (!n - 1) (int_of_float (u *. float_of_int !n)) in
+      Some (List.nth !words i, bit)
+  in
+  Fault.Inject.with_plan ~pick ~plan inst.mem (fun inj ->
+      let repaired = ref 0 in
+      let detected = ref 0 in
+      let failed = ref None in
+      let repair_new () =
+        (* Applied flips are most recent first; undo the ones not yet
+           repaired and verify the heap is clean again. *)
+        let fresh = Fault.Inject.flips inj - !repaired in
+        List.iteri
+          (fun i (addr, bit) ->
+            if i < fresh then Sim.Memory.flip_bit inst.mem addr bit)
+          (Fault.Inject.applied inj);
+        repaired := !repaired + fresh;
+        Sanitizer.check inst.san
+      in
+      let detect_and_repair () =
+        if Fault.Inject.flips inj > !repaired then begin
+          (match Sanitizer.check inst.san with
+          | () ->
+              failed :=
+                Some
+                  (Fmt.str
+                     "flip %d at a redzone word went undetected by the sanitizer"
+                     (Fault.Inject.flips inj))
+          | exception Sanitizer.Violation _ -> incr detected);
+          if !failed = None then repair_new ()
+        end
+      in
+      (try
+         for i = 0 to ops - 1 do
+           if !failed = None then begin
+             (* Detect (and repair) between the malloc that flipped and
+                any later operation, so quarantine evictions never trip
+                over a flip that is still awaiting detection. *)
+             (* KB-scale blocks keep every allocator coming back to
+                map_pages (the corruption point): word-sized requests
+                would let Sun and Lea serve the whole run from one
+                up-front arena and starve the plan of events. *)
+             match
+               inst.alloc.Alloc.Allocator.malloc (512 + (i * 768 mod 3072))
+             with
+             | addr ->
+                 detect_and_repair ();
+                 if !failed = None && i mod 3 = 0 then
+                   inst.alloc.Alloc.Allocator.free addr
+             | exception Sim.Memory.Fault _ -> detect_and_repair ()
+           end
+         done
+       with
+      | Sanitizer.Violation v ->
+          failed :=
+            Some (Fmt.str "unexpected violation outside a flip: %a" Sanitizer.pp_violation v)
+      | e -> failed := Some ("unexpected " ^ Printexc.to_string e));
+      match !failed with
+      | Some m -> Error m
+      | None ->
+          if !detected = 0 then Error "no bit-flips were ever injected"
+          else if !detected <> Fault.Inject.flips inj then
+            Error
+              (Fmt.str "%d flips injected but only %d detected"
+                 (Fault.Inject.flips inj) !detected)
+          else
+            Ok
+              (Fmt.str "%d/%d redzone bit-flips detected (100%%)" !detected
+                 (Fault.Inject.flips inj)))
 
 (* ------------------------------------------------------------------ *)
 (* Self-test: a wrapper that returns every block one word late.  The

@@ -60,6 +60,24 @@ val fault_injection : target -> page_budget:int -> (unit, string) result
     documented {!Sim.Memory.Fault} (and nothing else) and leave its
     heap consistent. *)
 
+val fault_plan_injection :
+  target -> plan:Fault.Plan.t -> ops:int -> (string, string) result
+(** Run [ops] allocations under a deterministic {!Fault.Plan}
+    installed through {!Fault.Inject}.  Unlike {!fault_injection} the
+    plan may deny, recover and deny again (budget walls, one-shot OOM,
+    probabilistic ramps): every denial must surface as the documented
+    {!Sim.Memory.Fault}, the heap must pass [check_heap] after {e
+    every} caught fault, and the number of surfaced faults must equal
+    the number of injected denials.  Returns a one-line accounting on
+    success. *)
+
+val bitflip_detection : target -> seed:int -> ops:int -> (string, string) result
+(** Drive a {!Fault.Plan.Bit_flip} plan whose corruptions are aimed at
+    the sanitizer's redzone words.  Every applied flip must be flagged
+    by the next {!Sanitizer.check} (100% detection); the harness then
+    repairs the word and continues.  [Error] if any flip goes
+    undetected, or none were injected. *)
+
 val selftest : seed:int -> (Trace.t * failure, string) result
 (** The deliberately injected bug of the acceptance criteria: a
     wrapper around the sanitized Sun allocator returns every block one

@@ -126,6 +126,16 @@ let iter_tracked t f =
   Hashtbl.iter (fun _ b -> f b.base) t.live;
   Queue.iter (fun b -> f b.base) t.fifo
 
+let iter_redzone_words t f =
+  let zones (b : block) =
+    for i = 0 to t.config.redzone_words - 1 do
+      f (b.base + (i * 4));
+      f (b.user + round4 b.size + (i * 4))
+    done
+  in
+  Hashtbl.iter (fun _ b -> zones b) t.live;
+  Queue.iter zones t.fifo
+
 let live_blocks t = Hashtbl.length t.live
 
 let wrap ?(config = default) under =

@@ -71,4 +71,10 @@ val iter_tracked : t -> (int -> unit) -> unit
     so the collector cannot reclaim blocks the sanitizer still
     watches. *)
 
+val iter_redzone_words : t -> (int -> unit) -> unit
+(** Call with the address of every redzone word currently guarded
+    (front and rear, live and quarantined blocks).  Cost-free; the
+    bit-flip fault injector aims corruption here to prove the
+    sanitizer catches every flip in a redzoned heap. *)
+
 val live_blocks : t -> int

@@ -72,7 +72,17 @@ val os_bytes : t -> int
 (** Bytes mapped from the OS plus the 8-bytes-per-page cost of the
     page map and page list (paper section 4.1). *)
 
-(** {1 The Figure 2 interface} *)
+(** {1 The Figure 2 interface}
+
+    Graceful degradation: every allocation path below asks the
+    simulated OS for pages {e before} mutating any region structure,
+    so when the OS denies the request — address-space exhaustion, or
+    an injected {!Fault.Plan} page-budget/ramp denial — the documented
+    {!Sim.Memory.Fault} propagates with the library untouched:
+    existing regions remain usable, [deleteregion] still unwinds them,
+    and {!check_invariants} passes.  The fault-injection suite
+    ([test_fault.ml], [repro faults]) asserts this for every workload
+    under every manager. *)
 
 val newregion : t -> region
 

@@ -1,0 +1,77 @@
+type status =
+  | Completed of string
+  | Faulted of string
+  | Crashed of string
+
+type outcome = {
+  workload : string;
+  mode : string;
+  plan : string;
+  seed : int;
+  status : status;
+  heap : (string * string * bool) list;
+  events : int;
+  denials : int;
+  flips : int;
+  pages : int;
+}
+
+let heap_checks api =
+  let verdict name f =
+    match f () with
+    | () -> (name, "clean", true)
+    | exception Failure m -> (name, "BROKEN: " ^ m, false)
+    | exception e -> (name, "BROKEN: " ^ Printexc.to_string e, false)
+  in
+  (match Workloads.Api.allocator api with
+  | Some a ->
+      [ verdict a.Alloc.Allocator.name (fun () -> a.Alloc.Allocator.check_heap ()) ]
+  | None -> [])
+  @
+  match Workloads.Api.region_lib api with
+  | Some lib -> [ verdict "regions" (fun () -> Regions.Region.check_invariants lib) ]
+  | None -> []
+
+let graceful o =
+  (match o.status with Completed _ | Faulted _ -> true | Crashed _ -> false)
+  && List.for_all (fun (_, _, ok) -> ok) o.heap
+
+let run ?pick ~plan spec mode size =
+  let api = Workloads.Api.create ~with_cache:true mode in
+  Fault.Inject.with_plan ?pick ~plan (Workloads.Api.memory api) (fun inj ->
+      let status =
+        match spec.Workloads.Workload.run api size with
+        | summary -> Completed summary
+        | exception Sim.Memory.Fault msg -> Faulted msg
+        | exception e -> Crashed (Printexc.to_string e)
+      in
+      (* The heap walk runs while the injector is still installed but
+         uses cost-free peeks only — no map_pages, so no plan events. *)
+      {
+        workload = spec.Workloads.Workload.name;
+        mode = Workloads.Api.mode_name mode;
+        plan = Fault.Plan.to_string plan;
+        seed = Fault.Plan.seed plan;
+        status;
+        heap = heap_checks api;
+        events = Fault.Inject.events inj;
+        denials = Fault.Inject.denials inj;
+        flips = Fault.Inject.flips inj;
+        pages = Fault.Inject.pages_granted inj;
+      })
+
+let pp_status ppf = function
+  | Completed s -> Fmt.pf ppf "completed: %s" s
+  | Faulted s -> Fmt.pf ppf "faulted (recoverable): %s" s
+  | Crashed s -> Fmt.pf ppf "CRASHED: %s" s
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "@[<v>%s under %s  (plan %s, seed %d)@,  %a@,  injection: %d events, %d denials, %d flips, %d pages granted"
+    o.workload o.mode
+    (if o.plan = "" then "none" else o.plan)
+    o.seed pp_status o.status o.events o.denials o.flips o.pages;
+  List.iter
+    (fun (name, report, _) -> Fmt.pf ppf "@,  heap %-8s %s" name report)
+    o.heap;
+  Fmt.pf ppf "@,  verdict: %s@]"
+    (if graceful o then "graceful degradation" else "NOT GRACEFUL")

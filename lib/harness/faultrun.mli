@@ -1,0 +1,56 @@
+(** Run one workload cell under a deterministic fault plan.
+
+    This is the engine behind [repro faults]: create the cell's
+    simulated machine, install the {!Fault.Plan} through
+    {!Fault.Inject}, run the workload, and report how it degraded.
+
+    {e Graceful degradation} means the documented contract held:
+    either the workload completed despite the plan, or an injected
+    denial surfaced as the documented {!Sim.Memory.Fault} — and in
+    both cases every heap structure of the cell's memory manager still
+    passes its consistency walk afterwards.  Any other exception, or a
+    broken heap, is a robustness bug and makes the outcome
+    non-graceful (the CLI exits non-zero and quarantines a triage
+    bundle). *)
+
+type status =
+  | Completed of string  (** ran to completion; the workload summary *)
+  | Faulted of string
+      (** an injected denial surfaced as the documented
+          {!Sim.Memory.Fault} — the expected recoverable outcome *)
+  | Crashed of string  (** any other exception: a robustness bug *)
+
+type outcome = {
+  workload : string;
+  mode : string;
+  plan : string;  (** {!Fault.Plan.to_string} of the plan that ran *)
+  seed : int;
+  status : status;
+  heap : (string * string * bool) list;
+      (** post-run verdict per checkable manager structure:
+          (name, report, ok) *)
+  events : int;  (** map_pages requests the plan saw *)
+  denials : int;
+  flips : int;
+  pages : int;  (** pages actually granted *)
+}
+
+val graceful : outcome -> bool
+(** Completed or cleanly faulted, {e and} every heap check passed. *)
+
+val heap_checks : Workloads.Api.t -> (string * string * bool) list
+(** Walk every checkable structure of the cell's manager
+    ([check_heap] for the allocators, {!Regions.Region.check_invariants}
+    for the region library) with cost-free reads.  Shared with
+    {!Triage}. *)
+
+val run :
+  ?pick:(u:float -> bit:int -> (int * int) option) ->
+  plan:Fault.Plan.t ->
+  Workloads.Workload.spec ->
+  Workloads.Api.mode ->
+  Workloads.Workload.size ->
+  outcome
+
+val pp_outcome : outcome Fmt.t
+(** Multi-line human report, as printed by [repro faults]. *)

@@ -1,0 +1,83 @@
+type entry = {
+  workload : string;
+  mode : string;
+  result : Workloads.Results.t;
+}
+
+(* FNV-1a over the raw marshalled payload, 64-bit, printed in hex.
+   Not cryptographic — it only needs to catch torn writes and stray
+   editor damage. *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let to_hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let of_hex s =
+  let n = String.length s in
+  if n land 1 <> 0 then None
+  else
+    let b = Bytes.create (n / 2) in
+    let ok = ref true in
+    (try
+       for i = 0 to (n / 2) - 1 do
+         Bytes.set b i (Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+       done
+     with Failure _ -> ok := false);
+    if !ok then Some (Bytes.to_string b) else None
+
+let line_of_entry e =
+  let payload = Marshal.to_string e.result [] in
+  Printf.sprintf "cell1 %s %s %d %Lx %s" e.workload e.mode
+    (String.length payload) (fnv1a payload) (to_hex payload)
+
+let entry_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "cell1"; workload; mode; len; hash; hex ] -> (
+      match (int_of_string_opt len, Int64.of_string_opt ("0x" ^ hash), of_hex hex) with
+      | Some len, Some hash, Some payload
+        when String.length payload = len && Int64.equal (fnv1a payload) hash ->
+          (* The payload is a marshalled [Workloads.Results.t]; the
+             checks above make deserialising safe against torn lines,
+             and [from_string] length-checks the buffer itself. *)
+          (try
+             Some { workload; mode; result = (Marshal.from_string payload 0 : Workloads.Results.t) }
+           with Failure _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let append oc e =
+  output_string oc (line_of_entry e);
+  output_char oc '\n';
+  flush oc;
+  (* Durability point: the line is on disk before the cell is reported
+     complete, so a crash can lose at most the line being written —
+     which the checksum then rejects on resume. *)
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let load path =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let entries = ref [] and skipped = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match entry_of_line line with
+               | Some e -> entries := e :: !entries
+               | None -> incr skipped
+           done
+         with End_of_file -> ());
+        (List.rev !entries, !skipped))
+  end

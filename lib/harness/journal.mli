@@ -1,0 +1,39 @@
+(** Crash-consistent experiment journal.
+
+    An append-only, line-oriented record of completed matrix cells:
+    one line per (workload, mode) result, flushed {e and} fsync'd
+    before the cell is reported complete, so a run killed at any
+    instant leaves a journal whose complete lines are exactly the
+    cells that finished.  Re-invoking with [--resume] loads the
+    journal, seeds the matrix cache with the recorded results, and
+    runs only the remaining cells — the final report is byte-identical
+    to an uninterrupted run because rendering consumes the same memoised
+    values either way.
+
+    Torn writes are expected (the process can die mid-line): every
+    line carries its payload length and an FNV-1a checksum, and a line
+    that fails either check is {e skipped}, never trusted.  Unknown
+    line versions are skipped too, so a journal from a newer build
+    degrades to "re-run that cell" instead of corrupting a resume. *)
+
+type entry = {
+  workload : string;
+  mode : string;
+  result : Workloads.Results.t;
+}
+
+val append : out_channel -> entry -> unit
+(** Serialise, write one line, flush and [fsync].  The entry is
+    durable when [append] returns. *)
+
+val load : string -> entry list * int
+(** [load path] returns the valid entries in file order and the number
+    of damaged (torn, corrupt or unknown-version) lines skipped.
+    A missing file is an empty journal. *)
+
+val entry_of_line : string -> entry option
+(** Parse and validate one journal line ([None] = damaged); exposed
+    for the torn-write tests. *)
+
+val line_of_entry : entry -> string
+(** The exact line [append] writes, without the trailing newline. *)

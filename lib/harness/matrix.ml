@@ -169,6 +169,251 @@ let run_all ?domains ?on_cell t =
        (function Some (_, timing) -> timing | None -> assert false)
        results)
 
+(* ------------------------------------------------------------------ *)
+(* Supervision.  [run_all] trusts every cell; the supervised variant
+   assumes cells can hang (watchdog), fail transiently (bounded retry
+   with exponential backoff), fail deterministically (triage bundle +
+   structured failure, never a crashed harness) or be interrupted
+   mid-run (crash-consistent journal, resumed with [--resume]). *)
+
+exception Cell_timeout of float
+
+let () =
+  Printexc.register_printer (function
+    | Cell_timeout s -> Some (Fmt.str "cell exceeded its %.1fs watchdog" s)
+    | _ -> None)
+
+type cell_failure = {
+  workload : string;
+  mode : string;
+  attempts : int;
+  last_error : string;
+}
+
+type supervision = {
+  timeout_s : float option;
+  retries : int;
+  backoff_s : float;
+  journal : string option;
+  quarantine : string option;
+}
+
+let default_supervision =
+  { timeout_s = None; retries = 0; backoff_s = 0.25; journal = None; quarantine = None }
+
+type run_report = {
+  timings : cell_timing list;
+  failures : cell_failure list;
+  resumed : int;
+  torn : int;
+}
+
+(* Host failures that a retry can plausibly cure: watchdog expiries
+   and OS-level trouble (ENOSPC, EIO, ...).  A simulator exception
+   ([Sim.Memory.Fault], [Failure] from a heap check, assertion
+   failures) is deterministic — the cell would fail identically on
+   every attempt, so it goes straight to triage. *)
+let transient = function
+  | Cell_timeout _ | Out_of_memory | Sys_error _ | Unix.Unix_error _ -> true
+  | _ -> false
+
+(* Run [f] under a wall-clock watchdog.  OCaml domains cannot be
+   killed, so on expiry the runner domain is abandoned (it keeps
+   simulating into the void; the leak is bounded by process lifetime
+   and only ever exists on the timeout path) and [Cell_timeout] is
+   raised to the supervisor. *)
+let run_attempt ~timeout_s f =
+  match timeout_s with
+  | None -> f ()
+  | Some limit ->
+      let slot = Atomic.make None in
+      let d =
+        Domain.spawn (fun () ->
+            let r =
+              match f () with
+              | v -> Ok v
+              | exception e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            Atomic.set slot (Some r))
+      in
+      let deadline = Unix.gettimeofday () +. limit in
+      let rec wait () =
+        match Atomic.get slot with
+        | Some (Ok v) ->
+            Domain.join d;
+            v
+        | Some (Error (e, bt)) ->
+            Domain.join d;
+            Printexc.raise_with_backtrace e bt
+        | None ->
+            if Unix.gettimeofday () > deadline then raise (Cell_timeout limit)
+            else begin
+              Unix.sleepf 0.02;
+              wait ()
+            end
+      in
+      wait ()
+
+let run_all_supervised ?domains ?on_cell sup t =
+  if sup.retries < 0 then invalid_arg "Matrix.run_all_supervised: retries < 0";
+  (match sup.timeout_s with
+  | Some s when s <= 0. ->
+      invalid_arg "Matrix.run_all_supervised: timeout_s <= 0"
+  | _ -> ());
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  (* Resume: completed cells recorded by an interrupted run seed the
+     memo cache, so they are filtered out below and the report renders
+     from the recorded results — byte-identical to an uninterrupted
+     run.  Damaged (torn) lines are counted and re-run. *)
+  let resumed, torn =
+    match sup.journal with
+    | None -> (0, 0)
+    | Some path ->
+        let entries, torn = Journal.load path in
+        List.iter
+          (fun (e : Journal.entry) ->
+            if not (Hashtbl.mem t.cache (e.Journal.workload, e.Journal.mode))
+            then
+              Hashtbl.replace t.cache (e.Journal.workload, e.Journal.mode)
+                e.Journal.result)
+          entries;
+        (List.length entries, torn)
+  in
+  let journal_oc =
+    Option.map
+      (fun path ->
+        Tracefiles.mkdir_p (Filename.dirname path);
+        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path)
+      sup.journal
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter close_out journal_oc)
+    (fun () ->
+      let cells =
+        Array.of_list
+          (List.filter
+             (fun ((spec : Workloads.Workload.spec), mode) ->
+               not
+                 (Hashtbl.mem t.cache
+                    ( spec.Workloads.Workload.name,
+                      Workloads.Api.mode_name mode )))
+             (report_cells ()))
+      in
+      let n = Array.length cells in
+      let timings = Array.make n None in
+      let failures = Array.make n None in
+      let cell_mutex = Mutex.create () in
+      (* Durability before visibility: the journal line is fsync'd
+         before [on_cell] fires, so any progress the user saw is
+         guaranteed to survive a crash. *)
+      let complete spec mode r timing =
+        Mutex.lock cell_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock cell_mutex)
+          (fun () ->
+            Option.iter
+              (fun oc ->
+                Journal.append oc
+                  {
+                    Journal.workload = spec.Workloads.Workload.name;
+                    mode = Workloads.Api.mode_name mode;
+                    result = r;
+                  })
+              journal_oc;
+            match on_cell with
+            | None -> ()
+            | Some f -> f timing ~cycles:r.Workloads.Results.cycles)
+      in
+      let run_cell i =
+        let spec, mode = cells.(i) in
+        let name = spec.Workloads.Workload.name
+        and mode_name = Workloads.Api.mode_name mode in
+        let rec attempt k =
+          let t0 = Unix.gettimeofday () in
+          match
+            run_attempt ~timeout_s:sup.timeout_s (fun () ->
+                run_cell_collect t spec mode)
+          with
+          | r -> Ok (r, Unix.gettimeofday () -. t0)
+          | exception e when k < sup.retries && transient e ->
+              t.progress
+                (Fmt.str "%s/%s attempt %d failed (%s); retrying ..." name
+                   mode_name (k + 1) (Printexc.to_string e));
+              if sup.backoff_s > 0. then
+                Unix.sleepf (sup.backoff_s *. (2. ** float_of_int k));
+              attempt (k + 1)
+          | exception e -> Error (k + 1, e, Printexc.get_raw_backtrace ())
+        in
+        match attempt 0 with
+        | Ok (r, wall) ->
+            let timing = { workload = name; mode = mode_name; wall_s = wall } in
+            timings.(i) <- Some (r, timing);
+            complete spec mode r timing
+        | Error (attempts, e, bt) ->
+            let last_error = Printexc.to_string e in
+            failures.(i) <-
+              Some { workload = name; mode = mode_name; attempts; last_error };
+            Option.iter
+              (fun dir ->
+                (* Re-running a cell that just hung would hang triage
+                   too, so timeouts skip the diagnostic re-trace. *)
+                let retrace =
+                  match e with
+                  | Cell_timeout _ -> None
+                  | _ -> Some (spec, mode, t.size)
+                in
+                ignore
+                  (Triage.write_bundle ~dir ~workload:name ~mode:mode_name
+                     ~attempts ~last_error
+                     ~backtrace:(Printexc.raw_backtrace_to_string bt)
+                     ?retrace ()))
+              sup.quarantine
+      in
+      if n > 0 then begin
+        let nd = min domains n in
+        if nd <= 1 then
+          for i = 0 to n - 1 do
+            let spec, mode = cells.(i) in
+            t.progress
+              (Fmt.str "running %s under %s ..." spec.Workloads.Workload.name
+                 (Workloads.Api.mode_name mode));
+            run_cell i
+          done
+        else begin
+          t.progress
+            (Fmt.str "running %d matrix cells on %d domains ..." n nd);
+          parallel_for ~domains:nd n run_cell
+        end
+      end;
+      (* Cache writes happen here, from the coordinating domain only
+         (after every worker is joined), exactly as in [run_all]: the
+         memo table is never touched concurrently. *)
+      Array.iteri
+        (fun i (spec, mode) ->
+          match timings.(i) with
+          | Some (r, _) ->
+              Hashtbl.replace t.cache
+                (spec.Workloads.Workload.name, Workloads.Api.mode_name mode)
+                r
+          | None -> ())
+        cells;
+      {
+        timings =
+          Array.to_list timings
+          |> List.filter_map (Option.map (fun (_, timing) -> timing));
+        failures = Array.to_list failures |> List.filter_map Fun.id;
+        resumed;
+        torn;
+      })
+
+let pp_cell_failure ppf f =
+  Fmt.pf ppf "%-10s %-12s attempts=%d  %s" f.workload f.mode f.attempts
+    f.last_error
+
 let malloc_modes spec =
   List.filter
     (fun m -> match m with Workloads.Api.Region _ -> false | _ -> true)

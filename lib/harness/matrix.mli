@@ -51,6 +51,76 @@ val run_all :
     byte-identical to a sequential run.  Returns host wall-clock per
     cell actually run (cells already cached are skipped). *)
 
+(** {1 Supervised runs}
+
+    [run_all] trusts every cell; {!run_all_supervised} assumes cells
+    can hang, fail or be interrupted, and keeps the harness standing:
+    a per-cell wall-clock watchdog, bounded retry with exponential
+    backoff for transient host failures, a crash-consistent journal
+    for resumable runs, and on-failure {!Triage} bundles. *)
+
+exception Cell_timeout of float
+(** Raised (to the supervisor, never the user) when a cell exceeds its
+    watchdog.  Counted as transient: a retry gets a fresh attempt. *)
+
+type cell_failure = {
+  workload : string;
+  mode : string;
+  attempts : int;  (** attempts actually made, including the last *)
+  last_error : string;
+}
+
+val pp_cell_failure : cell_failure Fmt.t
+
+type supervision = {
+  timeout_s : float option;
+      (** per-cell wall-clock watchdog; [None] = unbounded.  On expiry
+          the cell's runner domain is abandoned (OCaml domains cannot
+          be killed) — a bounded leak that exists only on the timeout
+          path. *)
+  retries : int;
+      (** extra attempts after the first, for {e transient} failures
+          only ([Cell_timeout], [Out_of_memory], [Sys_error],
+          [Unix_error]).  Deterministic failures — simulator faults,
+          heap-check failures — are never retried: the cell would fail
+          identically every time. *)
+  backoff_s : float;  (** base backoff; attempt [k] sleeps [2^k] times it *)
+  journal : string option;
+      (** append-only journal path; see {!Journal}.  Completed cells
+          are fsync'd before being reported, and on start the journal
+          seeds the cache so only remaining cells run. *)
+  quarantine : string option;
+      (** directory for {!Triage} bundles of cells that exhaust their
+          attempts. *)
+}
+
+val default_supervision : supervision
+(** No watchdog, no retries ([backoff_s = 0.25] base), no journal, no
+    quarantine — supervised plumbing with [run_all] behaviour, except
+    that failures are {e reported}, not raised. *)
+
+type run_report = {
+  timings : cell_timing list;  (** cells actually run, in matrix order *)
+  failures : cell_failure list;
+  resumed : int;  (** cells restored from the journal instead of run *)
+  torn : int;  (** damaged journal lines skipped (and re-run) *)
+}
+
+val run_all_supervised :
+  ?domains:int ->
+  ?on_cell:(cell_timing -> cycles:int -> unit) ->
+  supervision ->
+  t ->
+  run_report
+(** Like {!run_all}, but a failing cell is retried (if transient),
+    triaged into the quarantine directory and reported in
+    [failures] — it never brings the run down, and the surviving
+    cells' results and report bytes are unaffected.  With a journal,
+    every completed cell is durable before [on_cell] observes it, so
+    killing the process at any instant and re-invoking with the same
+    journal completes exactly the remaining cells and renders a
+    byte-identical report. *)
+
 val workloads : Workloads.Workload.spec list
 (** The six benchmarks, in the paper's order. *)
 

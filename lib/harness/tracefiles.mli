@@ -24,6 +24,10 @@ type files = {
 
 val default_sample_cycles : int
 
+val mkdir_p : string -> unit
+(** [mkdir -p]: create a directory and its parents, tolerating races
+    with concurrent creators. *)
+
 val stem : Workloads.Workload.spec -> Workloads.Api.mode -> string
 (** ["<workload>-<mode>"], the artefact basename for one cell. *)
 

@@ -1,0 +1,36 @@
+(** On-failure triage bundles.
+
+    When a supervised matrix cell fails after its retries, the harness
+    quarantines everything a human (or a later session) needs to
+    reproduce and diagnose it, under
+    [<quarantine>/<workload>-<mode>/]:
+
+    - [error.txt] — workload, mode, attempts, the final error and its
+      backtrace;
+    - [heap.txt] — the heap verdict of a diagnostic re-run: the
+      manager's [check_heap] / region invariants after the failure
+      (the sanitizer-style report: is the heap still walkable?);
+    - the {!Obs} artefact family of the diagnostic re-run
+      ([events.bin], [trace.json], [heap.csv], [sites.txt], [folded]),
+      captured up to the failure point.
+
+    The diagnostic re-run is skipped for timeouts (re-running a
+    hanging cell would hang triage too) and bundle writing never
+    raises — a failing disk must not turn a cell failure into a
+    harness crash. *)
+
+val write_bundle :
+  dir:string ->
+  workload:string ->
+  mode:string ->
+  attempts:int ->
+  last_error:string ->
+  backtrace:string ->
+  ?plan:Fault.Plan.t ->
+  ?retrace:Workloads.Workload.spec * Workloads.Api.mode * Workloads.Workload.size ->
+  unit ->
+  string option
+(** Returns the bundle directory, or [None] if even [error.txt] could
+    not be written.  [retrace] enables the traced diagnostic re-run;
+    [plan] reinstalls a fault plan during it so injected failures
+    reproduce in the captured artefacts. *)

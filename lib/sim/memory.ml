@@ -6,6 +6,7 @@ type t = {
   mutable limit : int;  (* one past highest mapped byte *)
   mutable os_bytes : int;
   mutable oom_hook : (int -> bool) option;
+  mutable corrupt_hook : (unit -> unit) option;
   mutable tracer : Obs.Tracer.t;
 }
 
@@ -26,10 +27,12 @@ let create ?(machine = Machine.ultrasparc_i) ?(with_cache = true) () =
     limit = machine.Machine.page_bytes;
     os_bytes = 0;
     oom_hook = None;
+    corrupt_hook = None;
     tracer = Obs.Tracer.null ();
   }
 
 let set_oom_hook t hook = t.oom_hook <- hook
+let set_corrupt_hook t hook = t.corrupt_hook <- hook
 let tracer t = t.tracer
 
 let set_tracer t tr =
@@ -66,6 +69,9 @@ let map_pages t n =
   t.limit <- addr + bytes;
   t.os_bytes <- t.os_bytes + bytes;
   Obs.Tracer.page_map t.tracer ~addr ~pages:n;
+  (* Corruption opportunities fire only at OS-interaction points, so
+     the load/store hot paths carry no extra branch. *)
+  (match t.corrupt_hook with Some f -> f () | None -> ());
   addr
 
 let is_mapped t addr = addr >= t.machine.Machine.page_bytes && addr < t.limit
@@ -198,3 +204,9 @@ let peek t addr =
 let poke t addr v =
   check_word t addr;
   Bytes.set_int32_le t.data addr (Int32.of_int v)
+
+let flip_bit t addr bit =
+  if bit < 0 || bit > 31 then invalid_arg "Memory.flip_bit: bit out of range";
+  check_word t addr;
+  Bytes.set_int32_le t.data addr
+    (Int32.of_int (raw_load t addr lxor (1 lsl bit)))

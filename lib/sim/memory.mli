@@ -39,6 +39,23 @@ val set_oom_hook : t -> (int -> bool) option -> unit
     (the default) removes the hook; with no hook installed the check
     is a single pattern match and simulated costs are untouched. *)
 
+val set_corrupt_hook : t -> (unit -> unit) option -> unit
+(** [set_corrupt_hook t (Some f)] installs a corruption-injection hook:
+    {!map_pages} calls [f ()] once after each successfully granted
+    request (a denied request never reaches it).  A fault plan uses the
+    hook to {!flip_bit} already-mapped heap words at deterministic
+    points, modelling latent memory corruption that the sanitizer must
+    catch.  Corruption fires only at OS-interaction points, so the
+    load/store hot paths carry no extra branch; with no hook installed
+    the check is a single pattern match on a cold path and simulated
+    counts are untouched. *)
+
+val flip_bit : t -> int -> int -> unit
+(** [flip_bit t addr bit] inverts bit [bit] (0..31) of the mapped,
+    word-aligned word at [addr].  Cost-free, like {!poke}: corruption
+    is injected by the test harness, not executed by the simulated
+    program.  @raise Fault on unmapped or unaligned [addr]. *)
+
 val tracer : t -> Obs.Tracer.t
 (** The attached tracer; a disabled {!Obs.Tracer.null} by default, so
     emitting through it is a single branch. *)

@@ -13,7 +13,14 @@ type spec = {
           numbers come from the emulation library (paper section
           5.2) *)
   run : Api.t -> size -> string;
-      (** run and return a deterministic one-line outcome summary *)
+      (** Run and return a deterministic one-line outcome summary.
+
+          Under fault injection ({!Fault.Inject} on the api's memory)
+          a denied page request propagates out of [run] as the
+          documented [Sim.Memory.Fault]: workloads allocate through
+          the facade and keep no state that the unwind could corrupt,
+          so the manager's heap checks still pass afterwards — the
+          graceful-degradation contract [repro faults] enforces. *)
 }
 
 val all : spec list

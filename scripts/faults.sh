@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Resilience gate: build, then run the deterministic fault-injection
+# smoke — every allocator column of a malloc workload and a region
+# workload under page-budget walls, one-shot OOMs and denial ramps.
+# Exit status is 0 iff every cell degraded gracefully (the documented
+# fault surfaced, every heap check passed).
+#
+# Any failing cell prints its outcome report; add --quarantine DIR to
+# keep a triage bundle (error report, heap verdicts, trace artefacts).
+set -euo pipefail
+
+usage() {
+  cat <<'EOF'
+usage: scripts/faults.sh [workload [mode]] [faults options]
+
+  scripts/faults.sh                     # fixed-seed smoke (dune @faults)
+  scripts/faults.sh cfrac sun --plan budget=8 --seed 1
+  scripts/faults.sh moss --all-modes --plan 'budget=24,ramp=0:0.01' \
+      --quarantine _quarantine          # triage bundles on failure
+
+With no arguments, runs the fixed-seed `dune build @faults` smoke.
+Otherwise arguments go straight to `repro faults`; the same
+--plan/--seed pair replays the same injected faults exactly.
+EOF
+}
+
+case "${1:-}" in
+-h | --help)
+  usage
+  exit 0
+  ;;
+esac
+
+if ! command -v dune >/dev/null 2>&1; then
+  echo "scripts/faults.sh: error: 'dune' not found on PATH." >&2
+  echo "Install the OCaml toolchain (e.g. 'opam install dune') or run" >&2
+  echo "inside an opam environment: 'opam exec -- scripts/faults.sh'." >&2
+  exit 127
+fi
+
+cd "$(dirname "$0")/.."
+dune build
+if [ "$#" -eq 0 ]; then
+  exec dune build @faults
+fi
+exec dune exec --no-build bin/main.exe -- faults "$@"

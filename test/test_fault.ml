@@ -1,0 +1,545 @@
+(* Tests for the fault-plan engine and the supervised harness: plan
+   purity and parsing, injector semantics on a raw simulated memory,
+   neutrality of the empty plan, graceful degradation of every
+   workload under page-budget walls, 100% sanitizer detection of
+   injected bit-flips, the crash-consistent journal (including torn
+   lines), and the kill-at-random-cell / --resume byte-identity
+   property. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let quick = Workloads.Workload.Quick
+let cfrac = Workloads.Workload.find "cfrac"
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+let budget b = Fault.Plan.make [ Fault.Plan.Page_budget b ]
+
+(* {1 Plans} *)
+
+let test_plan_parse_roundtrip () =
+  let spec = "budget=64,oom-at=3,ramp=0.1:0.01,flip=8:5" in
+  match Fault.Plan.of_string ~seed:7 spec with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      check_str "round-trips" spec (Fault.Plan.to_string p);
+      check_int "seed travels" 7 (Fault.Plan.seed p);
+      check_int "four clauses" 4 (List.length (Fault.Plan.clauses p))
+
+let test_plan_parse_errors () =
+  let bad s =
+    match Fault.Plan.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (s ^ " should not parse")
+  in
+  bad "bogus";
+  bad "budget=x";
+  bad "budget=-1";
+  bad "oom-at=0";
+  bad "ramp=0.1";
+  bad "flip=0:3";
+  bad "flip=1:32";
+  (match Fault.Plan.of_string "none" with
+  | Ok p -> check_bool "none is empty" true (Fault.Plan.is_empty p)
+  | Error e -> Alcotest.fail e);
+  match Fault.Plan.of_string "" with
+  | Ok p -> check_bool "empty spec is empty" true (Fault.Plan.is_empty p)
+  | Error e -> Alcotest.fail e
+
+let test_plan_budget_semantics () =
+  let p = budget 10 in
+  let deny ~event ~pages ~pages_before =
+    (Fault.Plan.decision p ~event ~pages ~pages_before).Fault.Plan.deny
+  in
+  check_bool "within budget" false (deny ~event:1 ~pages:4 ~pages_before:0);
+  check_bool "exactly budget" false (deny ~event:2 ~pages:10 ~pages_before:0);
+  check_bool "over in one go" true (deny ~event:1 ~pages:11 ~pages_before:0);
+  check_bool "over cumulatively" true (deny ~event:5 ~pages:4 ~pages_before:7)
+
+let test_plan_oom_at () =
+  let p = Fault.Plan.make [ Fault.Plan.Oom_at 3 ] in
+  let deny event =
+    (Fault.Plan.decision p ~event ~pages:1 ~pages_before:0).Fault.Plan.deny
+  in
+  Alcotest.(check (list bool))
+    "only the third map is denied"
+    [ false; false; true; false; false ]
+    (List.map deny [ 1; 2; 3; 4; 5 ])
+
+let test_plan_ramp_extremes () =
+  let always =
+    Fault.Plan.make [ Fault.Plan.Denial_ramp { start = 1.0; slope = 0. } ]
+  and never =
+    Fault.Plan.make [ Fault.Plan.Denial_ramp { start = 0.; slope = 0. } ]
+  in
+  for event = 1 to 50 do
+    check_bool "p=1 denies" true
+      (Fault.Plan.decision always ~event ~pages:1 ~pages_before:0).Fault.Plan.deny;
+    check_bool "p=0 never denies" false
+      (Fault.Plan.decision never ~event ~pages:1 ~pages_before:0).Fault.Plan.deny
+  done
+
+let clause_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Fault.Plan.Page_budget n) (int_bound 100);
+        map (fun n -> Fault.Plan.Oom_at (1 + n)) (int_bound 50);
+        map
+          (fun (s, sl) ->
+            Fault.Plan.Denial_ramp
+              {
+                start = float_of_int s /. 100.;
+                slope = float_of_int sl /. 1000.;
+              })
+          (pair (int_bound 100) (int_bound 100));
+        map
+          (fun (e, b) -> Fault.Plan.Bit_flip { every = 1 + e; bit = b land 31 })
+          (pair (int_bound 20) (int_bound 31));
+      ])
+
+let plan_arb =
+  QCheck.make
+    ~print:(fun (seed, clauses) ->
+      Fault.Plan.to_string (Fault.Plan.make ~seed clauses))
+    QCheck.Gen.(pair (int_bound 1000) (list_size (int_range 0 5) clause_gen))
+
+(* The load-bearing plan property: [decision] is a pure function of
+   (plan, event, pages, pages_before) — same answers from a fresh plan
+   value, and in any evaluation order.  This is what makes any
+   reported fault replayable from its --plan/--seed pair alone. *)
+let test_plan_purity =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"plan decisions are pure" plan_arb
+       (fun (seed, clauses) ->
+         let p1 = Fault.Plan.make ~seed clauses
+         and p2 = Fault.Plan.make ~seed clauses in
+         let events = List.init 20 (fun i -> i + 1) in
+         let run p es =
+           List.map
+             (fun event ->
+               Fault.Plan.decision p ~event ~pages:(1 + (event mod 3))
+                 ~pages_before:(2 * event))
+             es
+         in
+         run p1 events = run p2 events
+         && run p1 (List.rev events) = List.rev (run p2 events)))
+
+let test_plan_string_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"to_string/of_string round-trip"
+       plan_arb (fun (seed, clauses) ->
+         let p = Fault.Plan.make ~seed clauses in
+         match Fault.Plan.of_string ~seed (Fault.Plan.to_string p) with
+         | Error _ -> false
+         | Ok p' -> Fault.Plan.to_string p' = Fault.Plan.to_string p))
+
+(* {1 Injector on a raw memory} *)
+
+let test_inject_budget_wall () =
+  let mem = Sim.Memory.create () in
+  Fault.Inject.with_plan ~plan:(budget 3) mem (fun inj ->
+      ignore (Sim.Memory.map_pages mem 2);
+      ignore (Sim.Memory.map_pages mem 1);
+      (match Sim.Memory.map_pages mem 1 with
+      | _ -> Alcotest.fail "fourth page should be denied"
+      | exception Sim.Memory.Fault _ -> ());
+      check_int "three events" 3 (Fault.Inject.events inj);
+      check_int "one denial" 1 (Fault.Inject.denials inj);
+      check_int "three pages granted" 3 (Fault.Inject.pages_granted inj);
+      (* one-shot plans recover: nothing else denies *)
+      check_int "no flips" 0 (Fault.Inject.flips inj));
+  (* with_plan uninstalled the hooks: the same request now succeeds *)
+  ignore (Sim.Memory.map_pages mem 1)
+
+let test_inject_flip_applied () =
+  let mem = Sim.Memory.create () in
+  let base = Sim.Memory.map_pages mem 1 in
+  Sim.Memory.poke mem base 0xABCD;
+  let plan = Fault.Plan.make [ Fault.Plan.Bit_flip { every = 1; bit = 4 } ] in
+  Fault.Inject.with_plan ~pick:(fun ~u:_ ~bit -> Some (base, bit)) ~plan mem
+    (fun inj ->
+      ignore (Sim.Memory.map_pages mem 1);
+      check_int "one flip applied" 1 (Fault.Inject.flips inj);
+      Alcotest.(check (list (pair int int)))
+        "applied records the target" [ (base, 4) ]
+        (Fault.Inject.applied inj);
+      check_int "bit 4 flipped" (0xABCD lxor 0x10) (Sim.Memory.peek mem base))
+
+let test_inject_empty_plan_neutral () =
+  let run ?plan () =
+    let mem = Sim.Memory.create () in
+    let exercise () =
+      let a = Sim.Memory.map_pages mem 2 in
+      for i = 0 to 63 do
+        Sim.Memory.poke mem (a + (4 * i)) (i * i)
+      done;
+      ignore (Sim.Memory.map_pages mem 1);
+      let s = ref 0 in
+      for i = 0 to 63 do
+        s := !s + Sim.Memory.peek mem (a + (4 * i))
+      done;
+      !s
+    in
+    let v =
+      match plan with
+      | None -> exercise ()
+      | Some plan -> Fault.Inject.with_plan ~plan mem (fun _ -> exercise ())
+    in
+    (v, Sim.Memory.limit mem)
+  in
+  Alcotest.(check (pair int int))
+    "empty plan is observationally neutral" (run ())
+    (run ~plan:(Fault.Plan.none ()) ())
+
+(* {1 Fuzz-level: every allocator under denial plans} *)
+
+let test_fault_plans_all_allocators () =
+  List.iter
+    (fun target ->
+      List.iter
+        (fun spec ->
+          let plan =
+            match Fault.Plan.of_string spec with Ok p -> p | Error e -> Alcotest.fail e
+          in
+          match Check.Fuzz.fault_plan_injection target ~plan ~ops:300 with
+          | Ok _ -> ()
+          | Error e ->
+              Alcotest.fail
+                (Fmt.str "%s under %s: %s" target.Check.Fuzz.label spec e))
+        [ "budget=6"; "oom-at=2,oom-at=5"; "ramp=0:0.02"; "budget=8,ramp=0:0.01" ])
+    (Check.Fuzz.targets ())
+
+let test_bitflip_detection_sun () =
+  match
+    Check.Fuzz.bitflip_detection (Check.Fuzz.find_target "sun") ~seed:11 ~ops:60
+  with
+  | Ok s -> check_bool "reports 100%" true (contains s "100%")
+  | Error e -> Alcotest.fail e
+
+let test_bitflip_detection_lea () =
+  match
+    Check.Fuzz.bitflip_detection (Check.Fuzz.find_target "lea") ~seed:23 ~ops:60
+  with
+  | Ok s -> check_bool "reports 100%" true (contains s "100%")
+  | Error e -> Alcotest.fail e
+
+(* {1 Workload-level graceful degradation} *)
+
+(* Every workload, under every allocator column of its row, must
+   degrade gracefully when the simulated OS enforces a tight page
+   budget: the denial surfaces as the documented fault (or the
+   workload completes within budget), and every heap structure still
+   passes its consistency walk. *)
+let test_workloads_degrade_gracefully () =
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun mode ->
+          let o = Harness.Faultrun.run ~plan:(budget 8) spec mode quick in
+          if not (Harness.Faultrun.graceful o) then
+            Alcotest.fail (Fmt.str "%a" Harness.Faultrun.pp_outcome o))
+        (Workloads.Workload.modes_for spec))
+    (Workloads.Workload.all
+    @ [ Workloads.Workload.moss_slow ]
+    @ Workloads.Workload.extras)
+
+(* Workload-level neutrality: installing the empty plan changes no
+   simulated count — the injector costs nothing until it acts. *)
+let test_workload_empty_plan_neutral () =
+  let run ?plan mode =
+    let api = Workloads.Api.create ~with_cache:true mode in
+    let go () = cfrac.Workloads.Workload.run api quick in
+    let summary =
+      match plan with
+      | None -> go ()
+      | Some plan ->
+          Fault.Inject.with_plan ~plan (Workloads.Api.memory api) (fun _ ->
+              go ())
+    in
+    Fmt.str "%s cycles=%d os=%d" summary
+      (Sim.Cost.cycles (Sim.Memory.cost (Workloads.Api.memory api)))
+      (Workloads.Api.os_bytes api)
+  in
+  List.iter
+    (fun mode ->
+      check_str
+        ("empty plan neutral under " ^ Workloads.Api.mode_name mode)
+        (run mode)
+        (run ~plan:(Fault.Plan.none ()) mode))
+    [ Workloads.Api.Direct Workloads.Api.Sun; Workloads.Api.Region { safe = true } ]
+
+(* {1 Journal} *)
+
+let sample_entry () =
+  {
+    Harness.Journal.workload = "cfrac";
+    mode = "sun";
+    result = Workloads.Workload.run_collect cfrac (Workloads.Api.Direct Sun) quick;
+  }
+
+let test_journal_line_roundtrip () =
+  let e = sample_entry () in
+  match Harness.Journal.entry_of_line (Harness.Journal.line_of_entry e) with
+  | None -> Alcotest.fail "line should parse"
+  | Some e' ->
+      check_str "workload" e.Harness.Journal.workload e'.Harness.Journal.workload;
+      check_str "mode" e.Harness.Journal.mode e'.Harness.Journal.mode;
+      check_str "result"
+        (Fmt.str "%a" Workloads.Results.pp e.Harness.Journal.result)
+        (Fmt.str "%a" Workloads.Results.pp e'.Harness.Journal.result)
+
+let test_journal_torn_line_rejected () =
+  let line = Harness.Journal.line_of_entry (sample_entry ()) in
+  (* every strict prefix is a torn write: must be rejected, not trusted *)
+  let n = String.length line in
+  List.iter
+    (fun k ->
+      match Harness.Journal.entry_of_line (String.sub line 0 k) with
+      | None -> ()
+      | Some _ -> Alcotest.fail (Fmt.str "torn prefix of %d bytes accepted" k))
+    [ 3; 11; n / 2; n - 8; n - 1 ];
+  (* single-character damage to the payload must be caught by the hash *)
+  let damaged = Bytes.of_string line in
+  Bytes.set damaged (n - 1)
+    (if Bytes.get damaged (n - 1) = '0' then '1' else '0');
+  match Harness.Journal.entry_of_line (Bytes.to_string damaged) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "corrupted payload accepted"
+
+let test_journal_load_skips_torn () =
+  let path = Filename.temp_file "fault_journal" ".j" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let e = sample_entry () in
+  let line = Harness.Journal.line_of_entry e in
+  let oc = open_out_bin path in
+  output_string oc (line ^ "\n");
+  output_string oc "cell1 bogus torn\n";
+  (* a kill mid-write leaves a final line with no newline *)
+  output_string oc (String.sub line 0 (String.length line / 2));
+  close_out oc;
+  let entries, skipped = Harness.Journal.load path in
+  check_int "one valid entry" 1 (List.length entries);
+  check_int "two damaged lines skipped" 2 skipped
+
+let test_journal_append_load () =
+  let path = Filename.temp_file "fault_journal" ".j" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let e = sample_entry () in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  Harness.Journal.append oc e;
+  Harness.Journal.append oc { e with mode = "lea" };
+  close_out oc;
+  let entries, skipped = Harness.Journal.load path in
+  check_int "no damage" 0 skipped;
+  Alcotest.(check (list string))
+    "both cells, in order" [ "sun"; "lea" ]
+    (List.map (fun e -> e.Harness.Journal.mode) entries)
+
+let test_journal_missing_file_empty () =
+  let entries, skipped = Harness.Journal.load "/nonexistent/fault.journal" in
+  check_int "no entries" 0 (List.length entries);
+  check_int "no damage" 0 skipped
+
+(* {1 Supervised matrix: resume and triage} *)
+
+let render m =
+  String.concat "\n"
+    (List.map
+       (fun f -> f m)
+       [
+         Harness.Table23.render_table2;
+         Harness.Table23.render_table3;
+         Harness.Fig8.render;
+         Harness.Fig9.render;
+         Harness.Fig10.render;
+         Harness.Fig11.render;
+         Harness.Claims.render;
+       ])
+
+(* One uninterrupted supervised run: the reference report every
+   resumed run must reproduce byte for byte, plus its journal. *)
+let baseline =
+  lazy
+    (let path = Filename.temp_file "fault_baseline" ".journal" in
+     let m = Harness.Matrix.create quick in
+     let sup =
+       { Harness.Matrix.default_supervision with journal = Some path }
+     in
+     let report = Harness.Matrix.run_all_supervised ~domains:4 sup m in
+     (path, render m, report))
+
+exception Simulated_crash
+
+let test_supervised_uninterrupted () =
+  let _, _, report = Lazy.force baseline in
+  check_int "no failures" 0 (List.length report.Harness.Matrix.failures);
+  check_int "nothing resumed" 0 report.Harness.Matrix.resumed;
+  check_int "no torn lines" 0 report.Harness.Matrix.torn;
+  check_int "all 37 cells run" 37 (List.length report.Harness.Matrix.timings)
+
+(* Kill the run after [k] journaled cells (the crash channel is an
+   exception from the progress callback, which fires strictly after
+   the journal fsync — exactly the durability order a real kill
+   sees), then resume with a fresh matrix and the same journal: only
+   the remaining cells run and the report is byte-identical. *)
+let resume_trial k =
+  let _, expected, _ = Lazy.force baseline in
+  let path = Filename.temp_file "fault_resume" ".journal" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let sup = { Harness.Matrix.default_supervision with journal = Some path } in
+  let count = Atomic.make 0 in
+  let on_cell _ ~cycles:_ =
+    if Atomic.fetch_and_add count 1 + 1 >= k then raise Simulated_crash
+  in
+  (match
+     Harness.Matrix.run_all_supervised ~domains:4 ~on_cell sup
+       (Harness.Matrix.create quick)
+   with
+  | _ -> Alcotest.fail "crash did not propagate"
+  | exception Simulated_crash -> ());
+  let journaled, torn = Harness.Journal.load path in
+  let journaled = List.length journaled in
+  check_int "journal has no torn lines" 0 torn;
+  check_bool "the crashed cell was already durable" true (journaled >= k);
+  check_bool "the crash stopped the run" true (journaled < 37);
+  let m = Harness.Matrix.create quick in
+  let report = Harness.Matrix.run_all_supervised ~domains:4 sup m in
+  check_int "resume restored the journaled cells" journaled
+    report.Harness.Matrix.resumed;
+  check_int "resume ran exactly the remaining cells" (37 - journaled)
+    (List.length report.Harness.Matrix.timings);
+  check_int "no failures" 0 (List.length report.Harness.Matrix.failures);
+  check_str "resumed report is byte-identical" expected (render m)
+
+let test_resume_fixed () = resume_trial 5
+
+let test_resume_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:2 ~name:"kill at a random cell, then resume"
+       (* kill point stays clear of the tail: with 4 domains, up to 3
+          in-flight cells still complete (and journal) after the crash,
+          and a k at the very end would leave nothing to resume *)
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 30))
+       (fun k ->
+         resume_trial k;
+         true))
+
+(* Watchdog + triage: drop one journaled cell, re-run it under an
+   impossible timeout, and check the failure is contained, classified
+   transient (retried), and quarantined — while the report machinery
+   stays standing. *)
+let test_timeout_triage () =
+  let base_path, _, _ = Lazy.force baseline in
+  let path = Filename.temp_file "fault_timeout" ".journal" in
+  let qdir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "fault_quarantine_%d" (Unix.getpid ()))
+  in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let dropped = ("moss", "region") in
+  let oc = open_out_bin path in
+  let kept = ref 0 in
+  List.iter
+    (fun (e : Harness.Journal.entry) ->
+      if (e.workload, e.mode) <> dropped then begin
+        incr kept;
+        Harness.Journal.append oc e
+      end)
+    (fst (Harness.Journal.load base_path));
+  close_out oc;
+  check_int "dropped exactly one cell" 36 !kept;
+  let sup =
+    {
+      Harness.Matrix.timeout_s = Some 1e-4;
+      retries = 2;
+      backoff_s = 0.01;
+      journal = Some path;
+      quarantine = Some qdir;
+    }
+  in
+  let report =
+    Harness.Matrix.run_all_supervised ~domains:1 sup
+      (Harness.Matrix.create quick)
+  in
+  check_int "36 cells resumed" 36 report.Harness.Matrix.resumed;
+  check_int "no cell succeeded" 0 (List.length report.Harness.Matrix.timings);
+  (match report.Harness.Matrix.failures with
+  | [ f ] ->
+      check_str "failed workload" "moss" f.Harness.Matrix.workload;
+      check_str "failed mode" "region" f.Harness.Matrix.mode;
+      check_int "watchdog retried: 1 + 2 retries" 3 f.Harness.Matrix.attempts;
+      check_bool "error names the watchdog" true
+        (contains f.Harness.Matrix.last_error "watchdog")
+  | fs -> Alcotest.fail (Fmt.str "expected one failure, got %d" (List.length fs)));
+  let error_txt =
+    let ic = open_in (Filename.concat qdir "moss-region/error.txt") in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  check_bool "bundle records the attempts" true (contains error_txt "attempts   : 3");
+  check_bool "timeouts skip the diagnostic re-run" true
+    (contains error_txt "skipped (timeout")
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "parse round-trip" `Quick test_plan_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
+          Alcotest.test_case "page budget semantics" `Quick
+            test_plan_budget_semantics;
+          Alcotest.test_case "oom-at is one-shot" `Quick test_plan_oom_at;
+          Alcotest.test_case "ramp extremes" `Quick test_plan_ramp_extremes;
+          test_plan_purity;
+          test_plan_string_roundtrip;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "budget wall on raw memory" `Quick
+            test_inject_budget_wall;
+          Alcotest.test_case "bit-flip lands where aimed" `Quick
+            test_inject_flip_applied;
+          Alcotest.test_case "empty plan is neutral (raw)" `Quick
+            test_inject_empty_plan_neutral;
+          Alcotest.test_case "empty plan is neutral (workload)" `Quick
+            test_workload_empty_plan_neutral;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "denial plans on all five allocators" `Quick
+            test_fault_plans_all_allocators;
+          Alcotest.test_case "sanitizer catches 100% of flips (sun)" `Quick
+            test_bitflip_detection_sun;
+          Alcotest.test_case "sanitizer catches 100% of flips (lea)" `Quick
+            test_bitflip_detection_lea;
+          Alcotest.test_case "every workload degrades gracefully" `Slow
+            test_workloads_degrade_gracefully;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "line round-trip" `Quick test_journal_line_roundtrip;
+          Alcotest.test_case "torn lines rejected" `Quick
+            test_journal_torn_line_rejected;
+          Alcotest.test_case "load skips torn lines" `Quick
+            test_journal_load_skips_torn;
+          Alcotest.test_case "append/load" `Quick test_journal_append_load;
+          Alcotest.test_case "missing file is empty" `Quick
+            test_journal_missing_file_empty;
+        ] );
+      ( "supervised",
+        [
+          Alcotest.test_case "uninterrupted run is clean" `Slow
+            test_supervised_uninterrupted;
+          Alcotest.test_case "kill at cell 5, resume" `Slow test_resume_fixed;
+          test_resume_random;
+          Alcotest.test_case "watchdog + retries + quarantine" `Slow
+            test_timeout_triage;
+        ] );
+    ]
