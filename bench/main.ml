@@ -44,6 +44,15 @@ let jobs =
 
 let trace_dir = opt_value "--trace"
 
+(* Content-addressed cell cache: on by default, so re-benching an
+   unchanged build skips straight to rendering.  --no-cache gives the
+   honest cold-run wall clocks (scripts/bench.sh uses it); --refresh
+   recomputes but rewrites the cache. *)
+let no_cache = Array.exists (fun a -> a = "--no-cache") Sys.argv
+let refresh = Array.exists (fun a -> a = "--refresh") Sys.argv
+let cache_dir = opt_value "--cache-dir"
+let use_cache = not no_cache
+
 let json_dest =
   match opt_value "--json" with
   | Some f -> Some f
@@ -76,6 +85,7 @@ type report_timing = {
   fill_wall_s : float;  (* wall clock of the parallel matrix fill *)
   seq_wall_s : float option;  (* wall clock of a 1-domain fill, when measured *)
   render_wall_s : float;
+  cache : (int * int * string) option;  (* hits, misses, dir *)
 }
 
 (* Host wall-clock cost of the observability layer on one cell:
@@ -116,7 +126,10 @@ let run_report ~measure_seq () =
     end
     else None
   in
-  let m = Harness.Matrix.create ~progress ?trace_dir size in
+  let disk =
+    if use_cache then Some (Results.Cache.create ?dir:cache_dir ()) else None
+  in
+  let m = Harness.Matrix.create ~progress ?trace_dir ?disk ~refresh size in
   let cells, fill_wall_s =
     timed (fun () -> Harness.Matrix.run_all ~domains:jobs ?on_cell m)
   in
@@ -145,7 +158,17 @@ let run_report ~measure_seq () =
         Buffer.contents b)
   in
   if not quiet then print_string report;
-  { cells; fill_wall_s; seq_wall_s; render_wall_s }
+  let cache =
+    match Harness.Matrix.disk_cache m with
+    | None -> None
+    | Some d ->
+        let hits, misses = Harness.Matrix.cache_stats m in
+        if not quiet then
+          Printf.eprintf "  cell cache: %d hit(s), %d miss(es) under %s\n%!"
+            hits misses (Results.Cache.dir d);
+        Some (hits, misses, Results.Cache.dir d)
+  in
+  { cells; fill_wall_s; seq_wall_s; render_wall_s; cache }
 
 let trace_overhead_cells =
   [
@@ -368,7 +391,7 @@ let emit_json dest (rt : report_timing) overheads micro =
   let now = Unix.gettimeofday () in
   let tm = Unix.gmtime now in
   add "{\n";
-  add "  \"schema\": \"regions-repro/bench/v2\",\n";
+  add "  \"schema\": \"regions-repro/bench/v3\",\n";
   add "  \"generated_utc\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
     (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
     tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
@@ -391,6 +414,13 @@ let emit_json dest (rt : report_timing) overheads micro =
         (if rt.fill_wall_s > 0. then w /. rt.fill_wall_s else 0.)
   | None -> ());
   add "    \"render_wall_s\": %.6f,\n" rt.render_wall_s;
+  (match rt.cache with
+  | Some (hits, misses, dir) ->
+      add
+        "    \"cache\": { \"enabled\": true, \"hits\": %d, \"misses\": %d, \
+         \"dir\": \"%s\" },\n"
+        hits misses (json_escape dir)
+  | None -> add "    \"cache\": { \"enabled\": false },\n");
   add "    \"total_wall_s\": %.6f,\n"
     (rt.fill_wall_s +. rt.render_wall_s
     +. match rt.seq_wall_s with Some w -> w | None -> 0.);
@@ -439,7 +469,10 @@ let emit_json dest (rt : report_timing) overheads micro =
       Printf.eprintf "  wrote %s\n%!" file
 
 let () =
-  let measure_seq = json_dest <> None && jobs > 1 in
+  (* A sequential reference fill only makes sense against a cold
+     parallel fill: with the cell cache on, the parallel side would be
+     serving disk hits and the "speedup" would be fiction. *)
+  let measure_seq = json_dest <> None && jobs > 1 && not use_cache in
   let rt = run_report ~measure_seq () in
   let overheads = measure_trace_overhead () in
   if not quiet then

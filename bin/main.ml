@@ -21,8 +21,47 @@ let jobs_arg =
            (default: the runtime's recommended domain count; 1 = the \
            old sequential path).  Output is byte-identical either way.")
 
-let matrix ?trace_dir full =
-  Harness.Matrix.create ~progress ?trace_dir (size_of_full full)
+let matrix ?trace_dir ?(cache = true) ?(refresh = false) ?cache_dir full =
+  let disk =
+    if cache then Some (Results.Cache.create ?dir:cache_dir ()) else None
+  in
+  Harness.Matrix.create ~progress ?trace_dir ?disk ~refresh (size_of_full full)
+
+(* Stats go to stderr: report bytes on stdout stay identical whether
+   cells were computed or served from the disk cache. *)
+let report_cache_stats m =
+  match Harness.Matrix.disk_cache m with
+  | None -> ()
+  | Some disk ->
+      let hits, misses = Harness.Matrix.cache_stats m in
+      if hits > 0 || misses > 0 then
+        Printf.eprintf "  cell cache: %d hit(s), %d miss(es) under %s\n%!"
+          hits misses (Results.Cache.dir disk)
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the content-addressed cell cache: always recompute, \
+           never read or write cached cells.")
+
+let refresh_arg =
+  Arg.(
+    value & flag
+    & info [ "refresh" ]
+        ~doc:
+          "Recompute every cell and overwrite its cache entry (ignore \
+           cached results, still write fresh ones).")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Cell cache directory (default: $(b,REPRO_CACHE_DIR) or \
+           .repro-cache).")
 
 let progress_arg =
   Arg.(
@@ -61,18 +100,19 @@ let experiments =
     ("claims", `Matrix Harness.Claims.render);
   ]
 
-let run_experiment name full ?trace_dir () =
+let run_experiment name m () =
   match List.assoc_opt name experiments with
   | None ->
       Printf.eprintf "unknown experiment %s (have: %s, all)\n" name
         (String.concat ", " (List.map fst experiments));
       exit 1
   | Some (`Static f) -> print_endline (f ())
-  | Some (`Matrix f) -> print_endline (f (matrix ?trace_dir full))
+  | Some (`Matrix f) ->
+      print_endline (f m);
+      report_cache_stats m
 
-let run_all full jobs ~show_progress ?trace_dir ?resume ?timeout_s
-    ?(retries = 0) ?quarantine () =
-  let m = matrix ?trace_dir full in
+let run_all m jobs ~show_progress ?trace_dir ?resume ?timeout_s ?(retries = 0)
+    ?quarantine () =
   let on_cell = if show_progress then Some cell_progress else None in
   let supervised =
     resume <> None || timeout_s <> None || retries > 0 || quarantine <> None
@@ -127,7 +167,8 @@ let run_all full jobs ~show_progress ?trace_dir ?resume ?timeout_s
   print_endline (Harness.Claims.render m);
   print_endline (Harness.Ablations.render ());
   print_newline ();
-  print_endline (Harness.Limitation.render ())
+  print_endline (Harness.Limitation.render ());
+  report_cache_stats m
 
 let exp_cmd =
   let name_arg =
@@ -180,17 +221,19 @@ let exp_cmd =
              cell that exhausts its attempts ('all' only).")
   in
   let run name full jobs show_progress trace_dir resume timeout_s retries
-      quarantine =
+      quarantine no_cache refresh cache_dir =
+    let m = matrix ?trace_dir ~cache:(not no_cache) ~refresh ?cache_dir full in
     if name = "all" then
-      run_all full jobs ~show_progress ?trace_dir ?resume ?timeout_s ~retries
+      run_all m jobs ~show_progress ?trace_dir ?resume ?timeout_s ~retries
         ?quarantine ()
-    else run_experiment name full ?trace_dir ()
+    else run_experiment name m ()
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
     Term.(
       const run $ name_arg $ full_arg $ jobs_arg $ progress_arg $ trace_arg
-      $ resume_arg $ timeout_arg $ retries_arg $ quarantine_arg)
+      $ resume_arg $ timeout_arg $ retries_arg $ quarantine_arg $ no_cache_arg
+      $ refresh_arg $ cache_dir_arg)
 
 let workload_arg =
   Arg.(
@@ -515,12 +558,142 @@ let check_cmd =
          ])
     Term.(const run $ traces_arg $ seed_arg)
 
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let docs_cmd =
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Verify instead of write: regenerate into memory and exit \
+             non-zero with a readable diff if the committed document or the \
+             golden results file disagree with fresh measurements.")
+  in
+  let doc_arg =
+    Arg.(
+      value & opt string "EXPERIMENTS.md"
+      & info [ "doc" ] ~docv:"FILE"
+          ~doc:"Document whose generated blocks to rewrite or check.")
+  in
+  let golden_arg =
+    Arg.(
+      value & opt string "results/golden-quick.json"
+      & info [ "golden" ] ~docv:"FILE"
+          ~doc:
+            "Machine-readable golden results (written on regeneration, \
+             compared measurement-by-measurement on --check; provenance is \
+             ignored, build ids legitimately differ between builds).")
+  in
+  let drift_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "drift-dir" ] ~docv:"DIR"
+          ~doc:
+            "On --check failure, also write the regenerated document and \
+             results under $(docv) so CI can upload them as an artifact.")
+  in
+  let run check doc golden drift_dir jobs show_progress no_cache refresh
+      cache_dir =
+    let m = matrix ~cache:(not no_cache) ~refresh ?cache_dir false in
+    let on_cell = if show_progress then Some cell_progress else None in
+    ignore (Harness.Matrix.run_all ~domains:jobs ?on_cell m);
+    let current =
+      try Harness.Docs.read_file doc
+      with Sys_error msg ->
+        Printf.eprintf "docs: cannot read %s: %s\n" doc msg;
+        exit 2
+    in
+    match Harness.Docs.regenerate m current with
+    | Error msg ->
+        Printf.eprintf "docs: %s: %s\n" doc msg;
+        exit 2
+    | Ok regenerated ->
+        let fresh = Harness.Matrix.store m in
+        report_cache_stats m;
+        let nblocks = List.length (Harness.Docs.block_ids current) in
+        if check then begin
+          let doc_drift =
+            Harness.Docs.drift ~label:doc ~current ~regenerated
+          in
+          let golden_drift =
+            match Results.Store.load golden with
+            | Error msg -> [ Printf.sprintf "%s: %s" golden msg ]
+            | Ok expected ->
+                List.map
+                  (fun line -> Printf.sprintf "%s: %s" golden line)
+                  (Results.Store.diff ~expected ~actual:fresh)
+          in
+          match doc_drift @ golden_drift with
+          | [] ->
+              Printf.printf
+                "docs: %s (%d generated blocks) and %s (%d cells) are up to \
+                 date\n"
+                doc nblocks golden (Results.Store.length fresh)
+          | lines ->
+              Printf.eprintf
+                "docs: committed outputs disagree with regeneration:\n";
+              List.iter (fun l -> Printf.eprintf "%s\n" l) lines;
+              Option.iter
+                (fun dir ->
+                  mkdir_p dir;
+                  let doc_out = Filename.concat dir (Filename.basename doc) in
+                  let golden_out =
+                    Filename.concat dir (Filename.basename golden)
+                  in
+                  Harness.Docs.write_file doc_out regenerated;
+                  Results.Store.save fresh golden_out;
+                  Printf.eprintf "docs: regenerated copies under %s/\n" dir)
+                drift_dir;
+              Printf.eprintf
+                "docs: run `repro docs` (or dune exec repro -- docs) and \
+                 commit the result\n%!";
+              exit 1
+        end
+        else begin
+          Harness.Docs.write_file doc regenerated;
+          Results.Store.save fresh golden;
+          Printf.printf "docs: wrote %s (%d generated blocks) and %s (%d \
+                         cells)\n"
+            doc nblocks golden (Results.Store.length fresh)
+        end
+  in
+  Cmd.v
+    (Cmd.info "docs"
+       ~doc:
+         "Regenerate (or --check) the generated numeric blocks of \
+          EXPERIMENTS.md and the golden results file"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the quick evaluation matrix and rewrites every \
+              $(b,<!-- generated:ID -->) block of the document from the \
+              measured results, together with a machine-readable golden \
+              results JSON carrying full provenance (build id, seed, fault \
+              plan) per cell.  With $(b,--check), nothing is written: the \
+              command exits non-zero with a line diff if the committed \
+              document or golden file disagrees with fresh measurements — \
+              the CI docs gate.";
+         ])
+    Term.(
+      const run $ check_arg $ doc_arg $ golden_arg $ drift_dir_arg $ jobs_arg
+      $ progress_arg $ no_cache_arg $ refresh_arg $ cache_dir_arg)
+
 let main =
   Cmd.group
     (Cmd.info "repro" ~version:"1.0"
        ~doc:
          "Reproduction of Gay & Aiken, 'Memory Management with Explicit \
           Regions' (PLDI 1998)")
-    [ exp_cmd; run_cmd; trace_cmd; list_cmd; creg_cmd; check_cmd; faults_cmd ]
+    [
+      exp_cmd; run_cmd; trace_cmd; list_cmd; creg_cmd; check_cmd; faults_cmd;
+      docs_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -4,20 +4,16 @@ type verdict = Pass | Deviation
 
 let pp_verdict = function Pass -> "PASS     " | Deviation -> "DEVIATION"
 
-let render m =
-  let buf = Buffer.create 2048 in
-  let claim verdict text detail =
-    Buffer.add_string buf (Printf.sprintf "%s %s\n          %s\n" (pp_verdict verdict) text detail)
-  in
+(* The claim list is data: each entry is (verdict, claim text, the
+   numbers that decide it).  The text renderer and the generated doc
+   block are both pure functions of this list. *)
+let verdicts m =
   let cycles spec mode = (Matrix.get m spec mode).Results.cycles in
   let os spec mode = (Matrix.get m spec mode).Results.os_bytes in
   let best_malloc spec f =
     List.fold_left (fun acc mode -> min acc (f spec mode)) max_int
       (Matrix.malloc_modes spec)
   in
-  Buffer.add_string buf
-    "Headline claims of the paper, checked against this run\n\
-     ======================================================\n\n";
 
   (* 1. "regions are competitive with malloc/free and sometimes
         substantially faster" / unsafe "never slower, up to 16% faster" *)
@@ -30,15 +26,16 @@ let render m =
       Matrix.workloads
   in
   let slower = List.filter (fun (_, d) -> d > 10.) unsafe_vs_best in
-  claim
-    (if List.length slower <= 1 then Pass else Deviation)
-    "Unsafe regions are the fastest manager on (nearly) every benchmark."
-    (String.concat "  "
-       (List.map (fun (n, d) -> Printf.sprintf "%s %+.0f%%" n d) unsafe_vs_best)
-    ^
-    match slower with
-    | [ (n, _) ] -> Printf.sprintf "  (known deviation: %s, see EXPERIMENTS.md)" n
-    | _ -> "");
+  let c1 =
+    ( (if List.length slower <= 1 then Pass else Deviation),
+      "Unsafe regions are the fastest manager on (nearly) every benchmark.",
+      String.concat "  "
+        (List.map (fun (n, d) -> Printf.sprintf "%s %+.0f%%" n d) unsafe_vs_best)
+      ^
+      match slower with
+      | [ (n, _) ] -> Printf.sprintf "  (known deviation: %s, see EXPERIMENTS.md)" n
+      | _ -> "" )
+  in
 
   (* 2. cost of safety *)
   let overheads =
@@ -50,11 +47,12 @@ let render m =
       Matrix.workloads
   in
   let wmax = List.fold_left (fun a (_, d) -> max a d) 0. overheads in
-  claim
-    (if wmax <= 25. then Pass else Deviation)
-    "The cost of safety ranges from negligible to moderate (paper: <= 17%)."
-    (String.concat "  "
-       (List.map (fun (n, d) -> Printf.sprintf "%s %+.0f%%" n d) overheads));
+  let c2 =
+    ( (if wmax <= 25. then Pass else Deviation),
+      "The cost of safety ranges from negligible to moderate (paper: <= 17%).",
+      String.concat "  "
+        (List.map (fun (n, d) -> Printf.sprintf "%s %+.0f%%" n d) overheads) )
+  in
 
   (* 3. memory: the paper's claim is "from 9% less to 19% more memory
         than Doug Lea's allocator" *)
@@ -72,11 +70,12 @@ let render m =
                   -. 1.) ))
       Matrix.workloads
   in
-  claim
-    (if List.for_all (fun (_, d) -> d <= 19.) vs_lea then Pass else Deviation)
-    "Regions use from less memory to at most 19% more than Lea (paper's band)."
-    (String.concat "  "
-       (List.map (fun (n, d) -> Printf.sprintf "%s %+.0f%%" n d) vs_lea));
+  let c3 =
+    ( (if List.for_all (fun (_, d) -> d <= 19.) vs_lea then Pass else Deviation),
+      "Regions use from less memory to at most 19% more than Lea (paper's band).",
+      String.concat "  "
+        (List.map (fun (n, d) -> Printf.sprintf "%s %+.0f%%" n d) vs_lea) )
+  in
 
   (* 4. GC memory hungry *)
   let gc_worst =
@@ -87,13 +86,14 @@ let render m =
         List.for_all (fun mo -> os spec mo <= os spec gc) modes)
       Matrix.workloads
   in
-  claim
-    (if 2 * List.length gc_worst >= List.length Matrix.workloads then Pass
-     else Deviation)
-    "The conservative collector uses the most memory on most benchmarks."
-    (Printf.sprintf "GC is the most expensive malloc-side manager on %d of %d"
-       (List.length gc_worst)
-       (List.length Matrix.workloads));
+  let c4 =
+    ( (if 2 * List.length gc_worst >= List.length Matrix.workloads then Pass
+       else Deviation),
+      "The conservative collector uses the most memory on most benchmarks.",
+      Printf.sprintf "GC is the most expensive malloc-side manager on %d of %d"
+        (List.length gc_worst)
+        (List.length Matrix.workloads) )
+  in
 
   (* 5. moss locality *)
   let moss = Matrix.get m (Workload.find "moss") Matrix.region_safe in
@@ -101,10 +101,11 @@ let render m =
   let speedup =
     100. *. (1. -. (float_of_int moss.Results.cycles /. float_of_int slow.Results.cycles))
   in
-  claim
-    (if speedup >= 10. then Pass else Deviation)
-    "Two regions for moss's small/large objects give a large speedup (paper: 24%)."
-    (Printf.sprintf "measured %.0f%% faster" speedup);
+  let c5 =
+    ( (if speedup >= 10. then Pass else Deviation),
+      "Two regions for moss's small/large objects give a large speedup (paper: 24%).",
+      Printf.sprintf "measured %.0f%% faster" speedup )
+  in
 
   (* 6. BSD stalls *)
   let stalls spec label =
@@ -115,13 +116,41 @@ let render m =
     r.Results.read_stall_cycles + r.Results.write_stall_cycles
   in
   let spec = Workload.find "moss" in
-  claim
-    (if stalls spec "BSD" < stalls spec "Sun" && stalls spec "BSD" < stalls spec "Lea"
-     then Pass
-     else Deviation)
-    "BSD (size-segregated) has fewer stalls than the other explicit allocators on moss."
-    (Printf.sprintf "BSD %s vs Sun %s vs Lea %s stall cycles"
-       (Render.mega (stalls spec "BSD"))
-       (Render.mega (stalls spec "Sun"))
-       (Render.mega (stalls spec "Lea")));
+  let c6 =
+    ( (if stalls spec "BSD" < stalls spec "Sun" && stalls spec "BSD" < stalls spec "Lea"
+       then Pass
+       else Deviation),
+      "BSD (size-segregated) has fewer stalls than the other explicit allocators on moss.",
+      Printf.sprintf "BSD %s vs Sun %s vs Lea %s stall cycles"
+        (Render.mega (stalls spec "BSD"))
+        (Render.mega (stalls spec "Sun"))
+        (Render.mega (stalls spec "Lea")) )
+  in
+  [ c1; c2; c3; c4; c5; c6 ]
+
+let render m =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Headline claims of the paper, checked against this run\n\
+     ======================================================\n\n";
+  List.iter
+    (fun (verdict, text, detail) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s\n          %s\n" (pp_verdict verdict) text detail))
+    (verdicts m);
   Buffer.contents buf
+
+let md m =
+  let header = [ "verdict"; "claim"; "measured" ] in
+  let rows =
+    List.map
+      (fun (verdict, text, detail) ->
+        [
+          (match verdict with Pass -> "PASS" | Deviation -> "DEVIATION");
+          text;
+          detail;
+        ])
+      (verdicts m)
+  in
+  "Headline claims of the paper, checked against this run (quick inputs):\n\n"
+  ^ Render.md_table ~header rows

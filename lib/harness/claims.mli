@@ -5,4 +5,14 @@
     the numbers that decide it.  The test suite asserts the same
     predicates; this report is the human-readable version. *)
 
+type verdict = Pass | Deviation
+
+val verdicts : Matrix.t -> (verdict * string * string) list
+(** The six checked claims as (verdict, claim text, deciding numbers),
+    in the report's order — shared by the text render and the
+    generated doc block. *)
+
 val render : Matrix.t -> string
+
+val md : Matrix.t -> string
+(** The verdicts as a markdown table (the `claims` doc block). *)

@@ -1,32 +1,43 @@
 open Workloads
 
+(* Shared extraction: the per-benchmark safety-cost decomposition
+   (cleanup / stack scan / refcount / total overhead, each as a
+   percentage of unsafe-region execution time), used by both the text
+   renderer and the generated doc block. *)
+
+let rows m =
+  List.map
+    (fun spec ->
+      let safe = Matrix.get m spec Matrix.region_safe in
+      let unsafe = Matrix.get m spec Matrix.region_unsafe in
+      let base = float_of_int unsafe.Results.cycles in
+      let part n = Printf.sprintf "%.1f" (100. *. float_of_int n /. base) in
+      let overhead =
+        100. *. (float_of_int safe.Results.cycles /. base -. 1.)
+      in
+      [
+        spec.Workload.name;
+        part safe.Results.cleanup_instrs;
+        part safe.Results.stack_scan_instrs;
+        part safe.Results.refcount_instrs;
+        Printf.sprintf "%.1f" overhead;
+      ])
+    Matrix.workloads
+
+let header =
+  [ "benchmark"; "cleanup %"; "stack scan %"; "refcount %"; "total overhead %" ]
+
 let render m =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
     "Figure 11: cost of safety, as % of unsafe-region execution time\n\n";
-  let rows =
-    List.map
-      (fun spec ->
-        let safe = Matrix.get m spec Matrix.region_safe in
-        let unsafe = Matrix.get m spec Matrix.region_unsafe in
-        let base = float_of_int unsafe.Results.cycles in
-        let part n = Printf.sprintf "%.1f" (100. *. float_of_int n /. base) in
-        let overhead =
-          100. *. (float_of_int safe.Results.cycles /. base -. 1.)
-        in
-        [
-          spec.Workload.name;
-          part safe.Results.cleanup_instrs;
-          part safe.Results.stack_scan_instrs;
-          part safe.Results.refcount_instrs;
-          Printf.sprintf "%.1f" overhead;
-        ])
-      Matrix.workloads
-  in
-  Buffer.add_string buf
-    (Render.table
-       ~header:[ "benchmark"; "cleanup %"; "stack scan %"; "refcount %"; "total overhead %" ]
-       rows);
+  Buffer.add_string buf (Render.table ~header (rows m));
   Buffer.add_string buf
     "\n\n(paper: the cost of safety varies from negligible (tile) to 17% (lcc))\n";
   Buffer.contents buf
+
+let md m =
+  "Cost of safety as % of unsafe-region execution time, decomposed into \
+   its three sources, quick inputs:\n\n"
+  ^ Render.md_table ~header (rows m)
+  ^ "\n\nPaper: the cost of safety varies from negligible (tile) to 17% (lcc)."

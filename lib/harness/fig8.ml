@@ -1,5 +1,30 @@
 open Workloads
 
+(* Shared extraction: the five allocator footprints per benchmark and
+   the regions-vs-Lea headline, used by both the text renderer and the
+   markdown block. *)
+
+let mode_results m spec =
+  let modes = Matrix.malloc_modes spec @ [ Matrix.region_safe ] in
+  List.map (fun mode -> (mode, Matrix.get m spec mode)) modes
+
+let lea_result m spec =
+  Matrix.get m spec
+    (if spec.Workload.region_only then Api.Emulated Api.Lea
+     else Api.Direct Api.Lea)
+
+let vs_lea m =
+  List.map
+    (fun spec ->
+      let lea = lea_result m spec in
+      let reg = Matrix.get m spec Matrix.region_safe in
+      ( spec.Workload.name,
+        100.
+        *. (float_of_int reg.Results.os_bytes
+            /. float_of_int lea.Results.os_bytes
+           -. 1.) ))
+    Matrix.workloads
+
 let render m =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
@@ -8,8 +33,7 @@ let render m =
   List.iter
     (fun spec ->
       Buffer.add_string buf (Printf.sprintf "\n%s\n" spec.Workload.name);
-      let modes = Matrix.malloc_modes spec @ [ Matrix.region_safe ] in
-      let results = List.map (fun mode -> (mode, Matrix.get m spec mode)) modes in
+      let results = mode_results m spec in
       let requested =
         (snd (List.hd results)).Results.req_max_bytes
       in
@@ -37,19 +61,52 @@ let render m =
   (* Headline check: regions vs Lea memory. *)
   Buffer.add_string buf "\nRegions vs Lea (OS memory): ";
   List.iter
-    (fun spec ->
-      let lea =
-        Matrix.get m spec
-          (if spec.Workload.region_only then Api.Emulated Api.Lea
-           else Api.Direct Api.Lea)
-      in
-      let reg = Matrix.get m spec Matrix.region_safe in
-      Buffer.add_string buf
-        (Printf.sprintf "%s %+.0f%%  " spec.Workload.name
-           (100.
-           *. (float_of_int reg.Results.os_bytes /. float_of_int lea.Results.os_bytes
-              -. 1.))))
-    Matrix.workloads;
+    (fun (name, pct) ->
+      Buffer.add_string buf (Printf.sprintf "%s %+.0f%%  " name pct))
+    (vs_lea m);
   Buffer.add_string buf
     "\n(paper: regions use from 9% less to 19% more memory than Lea)\n";
   Buffer.contents buf
+
+let md m =
+  let header =
+    [
+      "benchmark"; "Sun kB"; "BSD kB"; "Lea kB"; "GC kB"; "Reg kB";
+      "requested kB"; "Reg rank"; "Reg vs Lea";
+    ]
+  in
+  let rows =
+    List.map
+      (fun spec ->
+        let results = mode_results m spec in
+        let os label =
+          let _, r =
+            List.find (fun (mode, _) -> Matrix.mode_label mode = label) results
+          in
+          r.Results.os_bytes
+        in
+        let reg = os "Reg" in
+        let rank =
+          1
+          + List.length
+              (List.filter (fun (_, r) -> r.Results.os_bytes < reg) results)
+        in
+        let requested = (snd (List.hd results)).Results.req_max_bytes in
+        let pct = List.assoc spec.Workload.name (vs_lea m) in
+        [
+          spec.Workload.name;
+          Render.kb (os "Sun");
+          Render.kb (os "BSD");
+          Render.kb (os "Lea");
+          Render.kb (os "GC");
+          Render.kb reg;
+          Render.kb requested;
+          string_of_int rank;
+          Printf.sprintf "%+.0f%%" pct;
+        ])
+      Matrix.workloads
+  in
+  "OS footprint per allocator (quick inputs; \"Reg rank\" = where safe \
+   regions place among the five managers, 1 = smallest):\n\n"
+  ^ Render.md_table ~header rows
+  ^ "\n\nPaper: regions use from 9% less to 19% more memory than Lea."

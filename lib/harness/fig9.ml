@@ -1,5 +1,33 @@
 open Workloads
 
+(* Shared extraction: the per-benchmark headline ratios (safe and
+   unsafe regions vs the best of the four malloc/GC columns, and the
+   cost of safety) plus the moss locality speedup — consumed by the
+   text renderer, the generated doc block and the claims check. *)
+
+let headline m spec =
+  let cycles mode = (Matrix.get m spec mode).Results.cycles in
+  let best_malloc =
+    List.fold_left
+      (fun acc mode -> min acc (cycles mode))
+      max_int (Matrix.malloc_modes spec)
+  in
+  let safe = cycles Matrix.region_safe
+  and unsafe = cycles Matrix.region_unsafe in
+  let pct a b = 100. *. (float_of_int a /. float_of_int b -. 1.) in
+  (pct safe best_malloc, pct unsafe best_malloc, pct safe unsafe)
+
+let headlines m =
+  List.map (fun spec -> (spec.Workload.name, headline m spec)) Matrix.workloads
+
+let moss_speedup m =
+  let moss_reg = Matrix.get m (Workload.find "moss") Matrix.region_safe in
+  let moss_slow = Matrix.moss_slow_result m in
+  100.
+  *. (1.
+     -. float_of_int moss_reg.Results.cycles
+        /. float_of_int moss_slow.Results.cycles)
+
 let render m =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
@@ -39,33 +67,39 @@ let render m =
                (Render.bar ~width:44 (scale *. base_frac) (scale *. (1. -. base_frac)))
                (Render.pct (1. -. base_frac))))
         rows;
-      (* Headline ratios. *)
-      let cycles label =
-        (List.assoc label rows).Results.cycles
-      in
-      let best_malloc =
-        List.fold_left
-          (fun acc (l, r) ->
-            if l = "Reg" || l = "Unsafe" || l = "Slow" then acc
-            else min acc r.Results.cycles)
-          max_int rows
-      in
+      let safe_pct, unsafe_pct, safety_pct = headline m spec in
       Buffer.add_string buf
         (Printf.sprintf
            "  safe vs best malloc/GC: %+.1f%%; unsafe vs best: %+.1f%%; cost \
             of safety: %+.1f%%\n"
-           (100. *. (float_of_int (cycles "Reg") /. float_of_int best_malloc -. 1.))
-           (100. *. (float_of_int (cycles "Unsafe") /. float_of_int best_malloc -. 1.))
-           (100. *. (float_of_int (cycles "Reg") /. float_of_int (cycles "Unsafe") -. 1.))))
+           safe_pct unsafe_pct safety_pct))
     Matrix.workloads;
-  let moss_reg = Matrix.get m (Workload.find "moss") Matrix.region_safe in
-  let moss_slow = Matrix.moss_slow_result m in
   Buffer.add_string buf
     (Printf.sprintf
        "\nmoss two-region locality optimisation: %.0f%% faster than the \
         single-region version (paper: 24%%)\n"
-       (100.
-       *. (1.
-          -. float_of_int moss_reg.Results.cycles
-             /. float_of_int moss_slow.Results.cycles)));
+       (moss_speedup m));
   Buffer.contents buf
+
+let md m =
+  let header =
+    [ "benchmark"; "safe vs best other"; "unsafe vs best other"; "cost of safety" ]
+  in
+  let rows =
+    List.map
+      (fun (name, (safe_pct, unsafe_pct, safety_pct)) ->
+        [
+          name;
+          Printf.sprintf "%+.1f%%" safe_pct;
+          Printf.sprintf "%+.1f%%" unsafe_pct;
+          Printf.sprintf "%+.1f%%" safety_pct;
+        ])
+      (headlines m)
+  in
+  "Safe and unsafe regions vs the best of {Sun, BSD, Lea, GC} and the \
+   cost of safety (safe vs unsafe regions), quick inputs:\n\n"
+  ^ Render.md_table ~header rows
+  ^ Printf.sprintf
+      "\n\nThe moss two-region locality optimisation is %.0f%% faster than \
+       the single-region version (paper: 24%%)."
+      (moss_speedup m)

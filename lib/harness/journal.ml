@@ -33,23 +33,32 @@ let of_hex s =
      with Failure _ -> ok := false);
     if !ok then Some (Bytes.to_string b) else None
 
+(* The payload is the versioned, field-named [Results.Cell] JSON of
+   the measurements — not [Marshal], whose bytes are only meaningful
+   to the exact build that wrote them.  A journal therefore survives a
+   rebuild: a resumed run either decodes the recorded cells or skips
+   them field-by-field loudly, never misreads them.  "cell1" was the
+   Marshal-era tag; those lines now parse as unknown and degrade to
+   "re-run that cell". *)
 let line_of_entry e =
-  let payload = Marshal.to_string e.result [] in
-  Printf.sprintf "cell1 %s %s %d %Lx %s" e.workload e.mode
+  let payload =
+    Results.Json.to_string ~indent:false (Results.Cell.encode_result e.result)
+  in
+  Printf.sprintf "cell2 %s %s %d %Lx %s" e.workload e.mode
     (String.length payload) (fnv1a payload) (to_hex payload)
 
 let entry_of_line line =
   match String.split_on_char ' ' (String.trim line) with
-  | [ "cell1"; workload; mode; len; hash; hex ] -> (
+  | [ "cell2"; workload; mode; len; hash; hex ] -> (
       match (int_of_string_opt len, Int64.of_string_opt ("0x" ^ hash), of_hex hex) with
       | Some len, Some hash, Some payload
-        when String.length payload = len && Int64.equal (fnv1a payload) hash ->
-          (* The payload is a marshalled [Workloads.Results.t]; the
-             checks above make deserialising safe against torn lines,
-             and [from_string] length-checks the buffer itself. *)
-          (try
-             Some { workload; mode; result = (Marshal.from_string payload 0 : Workloads.Results.t) }
-           with Failure _ -> None)
+        when String.length payload = len && Int64.equal (fnv1a payload) hash -> (
+          match
+            Result.bind (Results.Json.of_string payload)
+              Results.Cell.decode_result
+          with
+          | Ok result -> Some { workload; mode; result }
+          | Error _ -> None)
       | _ -> None)
   | _ -> None
 

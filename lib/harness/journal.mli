@@ -14,7 +14,12 @@
     line carries its payload length and an FNV-1a checksum, and a line
     that fails either check is {e skipped}, never trusted.  Unknown
     line versions are skipped too, so a journal from a newer build
-    degrades to "re-run that cell" instead of corrupting a resume. *)
+    degrades to "re-run that cell" instead of corrupting a resume.
+
+    The payload is the versioned [Results.Cell] measurement JSON
+    (line tag "cell2"), not [Marshal]: a journal written by one build
+    resumes under another.  Marshal-era "cell1" lines count as
+    unknown-version damage and are simply re-run. *)
 
 type entry = {
   workload : string;

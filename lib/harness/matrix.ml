@@ -4,26 +4,80 @@ type t = {
   cache : (string * string, Workloads.Results.t) Hashtbl.t;
   trace_dir : string option;
   sample_cycles : int;
+  disk : Results.Cache.t option;
+  refresh : bool;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
 }
 
 let create ?(progress = ignore) ?trace_dir
-    ?(sample_cycles = Tracefiles.default_sample_cycles) size =
-  { size; progress; cache = Hashtbl.create 64; trace_dir; sample_cycles }
+    ?(sample_cycles = Tracefiles.default_sample_cycles) ?disk
+    ?(refresh = false) size =
+  {
+    size;
+    progress;
+    cache = Hashtbl.create 64;
+    trace_dir;
+    sample_cycles;
+    disk;
+    refresh;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
 
 let size t = t.size
 
+let size_name t =
+  match t.size with Workloads.Workload.Quick -> "quick" | Full -> "full"
+
+let cache_stats t = (Atomic.get t.hits, Atomic.get t.misses)
+let disk_cache t = t.disk
+
+let build_id t =
+  match t.disk with
+  | Some d -> Results.Cache.build_id d
+  | None -> Results.Cache.current_build_id ()
+
+let cell_of_result t r =
+  Results.Cell.make ~size:(size_name t) ~build_id:(build_id t) r
+
 (* Tracing is pure observation (the test suite proves simulated counts
    are identical with it on), so traced cells still yield the same
-   memoised results — and byte-identical reports. *)
+   memoised results — and byte-identical reports.  A traced cell is
+   always executed (the artefact family must be produced), never
+   served from the disk cache; its result is still stored, because
+   traced and untraced measurements are identical by construction. *)
 let run_cell_collect t spec mode =
-  match t.trace_dir with
-  | None -> Workloads.Workload.run_collect spec mode t.size
-  | Some dir ->
-      let r, _, _ =
-        Tracefiles.run_traced ~sample_cycles:t.sample_cycles ~out:dir spec
-          mode t.size
+  let run () =
+    match t.trace_dir with
+    | None -> Workloads.Workload.run_collect spec mode t.size
+    | Some dir ->
+        let r, _, _ =
+          Tracefiles.run_traced ~sample_cycles:t.sample_cycles ~out:dir spec
+            mode t.size
+        in
+        r
+  in
+  match t.disk with
+  | None -> run ()
+  | Some disk ->
+      let workload = spec.Workloads.Workload.name
+      and mode_name = Workloads.Api.mode_name mode in
+      let lookup =
+        if t.refresh || t.trace_dir <> None then None
+        else
+          Results.Cache.find disk ~workload ~mode:mode_name
+            ~size:(size_name t) ~seed:0 ~plan:"none"
       in
-      r
+      (match lookup with
+      | Some c ->
+          Atomic.incr t.hits;
+          c.Results.Cell.result
+      | None ->
+          Atomic.incr t.misses;
+          let r = run () in
+          Results.Cache.store disk (cell_of_result t r);
+          r)
 
 let get t (spec : Workloads.Workload.spec) mode =
   let key = (spec.Workloads.Workload.name, Workloads.Api.mode_name mode) in
@@ -96,6 +150,27 @@ let report_cells () =
         (Workloads.Workload.modes_for spec))
     workloads
   @ [ (Workloads.Workload.moss_slow, Workloads.Api.Region { safe = true }) ]
+
+(* Snapshot of everything memoised so far as provenance-carrying
+   cells, in report order (then any extras, sorted) — the machine-
+   readable form behind `repro docs` and the golden gate. *)
+let store t =
+  let s = Results.Store.create () in
+  List.iter
+    (fun ((spec : Workloads.Workload.spec), mode) ->
+      match
+        Hashtbl.find_opt t.cache
+          (spec.Workloads.Workload.name, Workloads.Api.mode_name mode)
+      with
+      | Some r -> Results.Store.add s (cell_of_result t r)
+      | None -> ())
+    (report_cells ());
+  Hashtbl.fold (fun k r acc -> (k, r) :: acc) t.cache []
+  |> List.sort compare
+  |> List.iter (fun ((w, m), r) ->
+         if not (Results.Store.mem s ~workload:w ~mode:m) then
+           Results.Store.add s (cell_of_result t r));
+  s
 
 let run_all ?domains ?on_cell t =
   let domains =

@@ -9,6 +9,8 @@ val create :
   ?progress:(string -> unit) ->
   ?trace_dir:string ->
   ?sample_cycles:int ->
+  ?disk:Results.Cache.t ->
+  ?refresh:bool ->
   Workloads.Workload.size ->
   t
 (** [trace_dir] turns on per-cell tracing: every cell executed by this
@@ -16,9 +18,32 @@ val create :
     directory.  Tracing is pure observation, so the memoised results —
     and any report rendered from them — are byte-identical to an
     untraced run.  [sample_cycles] is the time-series period
-    (default {!Tracefiles.default_sample_cycles}). *)
+    (default {!Tracefiles.default_sample_cycles}).
+
+    [disk] attaches a content-addressed cell cache: cells whose
+    (build id, workload, mode, size, seed, plan) address is already
+    cached are served from disk instead of simulated, byte-identically
+    (the cache key covers everything the deterministic simulation
+    depends on); computed cells are written back.  [refresh] keeps the
+    cache attached but ignores existing entries (recompute and
+    overwrite).  Traced cells are always executed — the artefact
+    family must be produced — but their results are still written
+    back. *)
 
 val size : t -> Workloads.Workload.size
+
+val size_name : t -> string
+(** ["quick"] or ["full"] — the size as recorded in cell provenance. *)
+
+val cache_stats : t -> int * int
+(** (disk-cache hits, misses) so far; (0, 0) without [disk]. *)
+
+val disk_cache : t -> Results.Cache.t option
+
+val store : t -> Results.Store.t
+(** Snapshot of every memoised cell as a provenance-carrying
+    {!Results.Cell}, in report order (extras follow, sorted) — what
+    `repro docs` renders from and what the golden gate compares. *)
 
 val get : t -> Workloads.Workload.spec -> Workloads.Api.mode -> Workloads.Results.t
 

@@ -20,6 +20,16 @@ let table ~header rows =
   in
   String.concat "\n" (render_row header :: sep :: List.map render_row (List.tl rows))
 
+let md_table ~header rows =
+  let row r = "| " ^ String.concat " | " r ^ " |" in
+  let sep =
+    "|"
+    ^ String.concat "|"
+        (List.mapi (fun i _ -> if i = 0 then "---" else "---:") header)
+    ^ "|"
+  in
+  String.concat "\n" (row header :: sep :: List.map row rows)
+
 let bar ~width a b =
   let na = int_of_float (a *. float_of_int width +. 0.5) in
   let nb = int_of_float (b *. float_of_int width +. 0.5) in

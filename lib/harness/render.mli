@@ -4,6 +4,11 @@ val table : header:string list -> string list list -> string
 (** Aligned columns, first column left-justified, the rest right-
     justified. *)
 
+val md_table : header:string list -> string list list -> string
+(** The same rows as a GitHub-flavoured markdown table (first column
+    left-aligned, the rest right-aligned) — the form the generated
+    EXPERIMENTS.md blocks use. *)
+
 val bar : width:int -> float -> float -> string
 (** [bar ~width fraction_a fraction_b] renders a horizontal bar of
     [fraction_a + fraction_b] (of 1.0) total length, the first part

@@ -23,32 +23,33 @@ let count_file path =
        with End_of_file -> close_in ic);
       Some (!total, !changed)
 
-let render ?(source_dir = "lib/workloads") () =
+let header =
+  [ "benchmark"; "paper lines"; "paper changed"; "our lines"; "our region lines" ]
+
+let rows ?(source_dir = "lib/workloads") () =
   let names = [ "cfrac"; "grobner"; "mudlle"; "lcc"; "tile"; "moss" ] in
-  let rows =
-    List.map
-      (fun name ->
-        let ours =
-          count_file (Filename.concat source_dir (name ^ ".ml"))
-        in
-        let paper =
-          List.find_opt (fun r -> r.Paper.t1_name = name) Paper.table1
-        in
-        let str_opt f = function Some v -> f v | None -> "-" in
-        [
-          name;
-          str_opt string_of_int
-            (Option.bind paper (fun r -> r.Paper.t1_lines));
-          str_opt string_of_int
-            (Option.bind paper (fun r -> r.Paper.t1_changed));
-          str_opt (fun (t, _) -> string_of_int t) ours;
-          str_opt (fun (_, c) -> string_of_int c) ours;
-        ])
-      names
-  in
+  List.map
+    (fun name ->
+      let ours = count_file (Filename.concat source_dir (name ^ ".ml")) in
+      let paper =
+        List.find_opt (fun r -> r.Paper.t1_name = name) Paper.table1
+      in
+      let str_opt f = function Some v -> f v | None -> "-" in
+      [
+        name;
+        str_opt string_of_int (Option.bind paper (fun r -> r.Paper.t1_lines));
+        str_opt string_of_int (Option.bind paper (fun r -> r.Paper.t1_changed));
+        str_opt (fun (t, _) -> string_of_int t) ours;
+        str_opt (fun (_, c) -> string_of_int c) ours;
+      ])
+    names
+
+let render ?source_dir () =
   "Table 1: porting complexity (paper: changed lines of the C port; ours: \
    region-plumbing lines of each workload module)\n\n"
-  ^ Render.table
-      ~header:
-        [ "benchmark"; "paper lines"; "paper changed"; "our lines"; "our region lines" ]
-      rows
+  ^ Render.table ~header (rows ?source_dir ())
+
+let md ?source_dir () =
+  "Porting complexity — the paper's changed-line counts for the C ports \
+   next to this repository's region-plumbing line counts:\n\n"
+  ^ Render.md_table ~header (rows ?source_dir ())

@@ -8,3 +8,11 @@ val render : ?source_dir:string -> unit -> string
 (** [source_dir] defaults to "lib/workloads"; when the sources are not
     found (e.g. an installed binary), only the paper's values are
     shown. *)
+
+val rows : ?source_dir:string -> unit -> string list list
+(** The table rows, shared by the text render and the generated doc
+    block. *)
+
+val md : ?source_dir:string -> unit -> string
+(** The porting-complexity table as markdown (the `table1` doc
+    block). *)

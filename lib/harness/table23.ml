@@ -1,101 +1,120 @@
 open Workloads
 
-let render_table2 m =
-  let rows =
-    List.map
-      (fun spec ->
-        let r = Matrix.get m spec Matrix.region_safe in
-        match r.Results.regions with
-        | None -> [ spec.Workload.name; "-" ]
-        | Some rg ->
-            [
-              spec.Workload.name;
-              string_of_int r.Results.req_allocs;
-              Render.kb r.Results.req_total_bytes;
-              Render.kb r.Results.req_max_bytes;
-              string_of_int rg.Results.total_regions;
-              string_of_int rg.Results.max_live_regions;
-              Render.kb rg.Results.max_region_bytes;
-              Printf.sprintf "%.2f" (rg.Results.avg_region_bytes /. 1024.);
-              Printf.sprintf "%.0f" rg.Results.avg_allocs_per_region;
-            ])
-      Matrix.workloads
-  in
-  let paper_rows =
-    List.map
-      (fun (p : Paper.table2_row) ->
-        [
-          p.t2_name;
-          string_of_int p.t2_allocs;
-          Printf.sprintf "%.0f" p.t2_total_kb;
-          Printf.sprintf "%.1f" p.t2_max_kb;
-          string_of_int p.t2_regions;
-          string_of_int p.t2_max_regions;
-          Printf.sprintf "%.1f" p.t2_max_region_kb;
-          Printf.sprintf "%.2f" p.t2_avg_region_kb;
-          string_of_int p.t2_avg_allocs;
-        ])
-      Paper.table2
-  in
-  let header =
-    [
-      "name"; "allocs"; "total kB"; "max kB"; "regions"; "max regions";
-      "max region kB"; "avg kB/region"; "avg allocs/region";
-    ]
-  in
-  "Table 2: allocation behaviour with regions (this reproduction)\n\n"
-  ^ Render.table ~header rows
-  ^ "\n\nTable 2 as reported in the paper:\n\n"
-  ^ Render.table ~header paper_rows
+(* Row extraction is shared by the text renderer (the `experiment
+   table2/3` output) and the markdown emitters behind the generated
+   EXPERIMENTS.md blocks: both are pure functions of the same stored
+   results, so they cannot drift apart. *)
 
-let render_table3 m =
-  let rows =
-    List.concat_map
-      (fun spec ->
-        (* Program behaviour is allocator-independent; use the Lea
-           column (emulated for the region-only benchmarks, which then
-           also get the paper's "w/o overhead" row). *)
-        let mode =
-          if spec.Workload.region_only then Api.Emulated Api.Lea
-          else Api.Direct Api.Lea
-        in
-        let r = Matrix.get m spec mode in
-        let main_row =
+let table2_header =
+  [
+    "name"; "allocs"; "total kB"; "max kB"; "regions"; "max regions";
+    "max region kB"; "avg kB/region"; "avg allocs/region";
+  ]
+
+let table2_rows m =
+  List.map
+    (fun spec ->
+      let r = Matrix.get m spec Matrix.region_safe in
+      match r.Results.regions with
+      | None -> [ spec.Workload.name; "-" ]
+      | Some rg ->
           [
             spec.Workload.name;
             string_of_int r.Results.req_allocs;
             Render.kb r.Results.req_total_bytes;
-            Render.kb (r.Results.req_max_bytes + r.Results.emu_overhead_bytes);
-          ]
-        in
-        if spec.Workload.region_only then
-          [
-            main_row;
-            [ "  (w/o overhead)"; ""; ""; Render.kb r.Results.req_max_bytes ];
-          ]
-        else [ main_row ])
-      Matrix.workloads
-  in
-  let paper_rows =
-    List.concat_map
-      (fun (p : Paper.table3_row) ->
-        let opt f = function Some v -> f v | None -> "-" in
-        let main =
-          [
-            p.t3_name;
-            opt string_of_int p.t3_allocs;
-            opt (Printf.sprintf "%.0f") p.t3_total_kb;
-            opt (Printf.sprintf "%.1f") p.t3_max_kb;
-          ]
-        in
-        match p.t3_max_kb_wo_overhead with
-        | Some v -> [ main; [ "  (w/o overhead)"; ""; ""; Printf.sprintf "%.1f" v ] ]
-        | None -> [ main ])
-      Paper.table3
-  in
-  let header = [ "name"; "allocs"; "total kB"; "max kB" ] in
+            Render.kb r.Results.req_max_bytes;
+            string_of_int rg.Results.total_regions;
+            string_of_int rg.Results.max_live_regions;
+            Render.kb rg.Results.max_region_bytes;
+            Printf.sprintf "%.2f" (rg.Results.avg_region_bytes /. 1024.);
+            Printf.sprintf "%.0f" rg.Results.avg_allocs_per_region;
+          ])
+    Matrix.workloads
+
+let table2_paper_rows () =
+  List.map
+    (fun (p : Paper.table2_row) ->
+      [
+        p.t2_name;
+        string_of_int p.t2_allocs;
+        Printf.sprintf "%.0f" p.t2_total_kb;
+        Printf.sprintf "%.1f" p.t2_max_kb;
+        string_of_int p.t2_regions;
+        string_of_int p.t2_max_regions;
+        Printf.sprintf "%.1f" p.t2_max_region_kb;
+        Printf.sprintf "%.2f" p.t2_avg_region_kb;
+        string_of_int p.t2_avg_allocs;
+      ])
+    Paper.table2
+
+let render_table2 m =
+  "Table 2: allocation behaviour with regions (this reproduction)\n\n"
+  ^ Render.table ~header:table2_header (table2_rows m)
+  ^ "\n\nTable 2 as reported in the paper:\n\n"
+  ^ Render.table ~header:table2_header (table2_paper_rows ())
+
+let table2_md m =
+  "Measured (quick inputs):\n\n"
+  ^ Render.md_table ~header:table2_header (table2_rows m)
+  ^ "\n\nAs reported in the paper:\n\n"
+  ^ Render.md_table ~header:table2_header (table2_paper_rows ())
+
+let table3_header = [ "name"; "allocs"; "total kB"; "max kB" ]
+
+let table3_rows m =
+  List.concat_map
+    (fun spec ->
+      (* Program behaviour is allocator-independent; use the Lea
+         column (emulated for the region-only benchmarks, which then
+         also get the paper's "w/o overhead" row). *)
+      let mode =
+        if spec.Workload.region_only then Api.Emulated Api.Lea
+        else Api.Direct Api.Lea
+      in
+      let r = Matrix.get m spec mode in
+      let main_row =
+        [
+          spec.Workload.name;
+          string_of_int r.Results.req_allocs;
+          Render.kb r.Results.req_total_bytes;
+          Render.kb (r.Results.req_max_bytes + r.Results.emu_overhead_bytes);
+        ]
+      in
+      if spec.Workload.region_only then
+        [
+          main_row;
+          [ "  (w/o overhead)"; ""; ""; Render.kb r.Results.req_max_bytes ];
+        ]
+      else [ main_row ])
+    Matrix.workloads
+
+let table3_paper_rows () =
+  List.concat_map
+    (fun (p : Paper.table3_row) ->
+      let opt f = function Some v -> f v | None -> "-" in
+      let main =
+        [
+          p.t3_name;
+          opt string_of_int p.t3_allocs;
+          opt (Printf.sprintf "%.0f") p.t3_total_kb;
+          opt (Printf.sprintf "%.1f") p.t3_max_kb;
+        ]
+      in
+      match p.t3_max_kb_wo_overhead with
+      | Some v -> [ main; [ "  (w/o overhead)"; ""; ""; Printf.sprintf "%.1f" v ] ]
+      | None -> [ main ])
+    Paper.table3
+
+let render_table3 m =
   "Table 3: allocation behaviour with malloc (this reproduction; \
    region-only benchmarks measured under the emulation library)\n\n"
-  ^ Render.table ~header rows
+  ^ Render.table ~header:table3_header (table3_rows m)
   ^ "\n\nTable 3 as reported in the paper:\n\n"
-  ^ Render.table ~header paper_rows
+  ^ Render.table ~header:table3_header (table3_paper_rows ())
+
+let table3_md m =
+  "Measured under the Lea column (quick inputs; region-only benchmarks \
+   via the emulation library, with the paper's \"(w/o overhead)\" rows):\n\n"
+  ^ Render.md_table ~header:table3_header (table3_rows m)
+  ^ "\n\nAs reported in the paper:\n\n"
+  ^ Render.md_table ~header:table3_header (table3_paper_rows ())

@@ -1,0 +1,105 @@
+(* Content-addressed cell cache.
+
+   The address is everything that determines a cell's measurements:
+   the producing executable (build id), the workload, the mode, the
+   input size, the fault seed and the fault plan.  The simulation is
+   deterministic in exactly those inputs, so a cache hit *is* the
+   measurement — re-running could only reproduce the same bytes.  Any
+   change to the code invalidates every entry automatically because
+   the build id changes; stale entries are never wrong, only unused. *)
+
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let env_dir = "REPRO_CACHE_DIR"
+let default_dir () =
+  match Sys.getenv_opt env_dir with
+  | Some d when d <> "" -> d
+  | _ -> ".repro-cache"
+
+(* The executable digest is the build id: any rebuild that changes a
+   single instruction changes it.  Computed once per process (MD5 of
+   the binary, a few ms). *)
+let self_build_id =
+  lazy
+    (try Digest.to_hex (Digest.file Sys.executable_name)
+     with Sys_error _ -> "unknown-build")
+
+let current_build_id () = Lazy.force self_build_id
+
+type t = { dir : string; build_id : string }
+
+let create ?dir ?build_id () =
+  {
+    dir = (match dir with Some d -> d | None -> default_dir ());
+    build_id = (match build_id with Some b -> b | None -> Lazy.force self_build_id);
+  }
+
+let dir t = t.dir
+let build_id t = t.build_id
+
+let key t ~workload ~mode ~size ~seed ~plan =
+  fnv1a64
+    (Printf.sprintf "cell-v%d|%s|%s|%s|%s|%d|%s" Cell.schema_version
+       t.build_id workload mode size seed plan)
+
+let path t k = Filename.concat t.dir (k ^ ".json")
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let find t ~workload ~mode ~size ~seed ~plan =
+  let p = path t (key t ~workload ~mode ~size ~seed ~plan) in
+  if not (Sys.file_exists p) then None
+  else
+    match
+      let ic = open_in_bin p in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error _ -> None
+    | s -> (
+        match Cell.of_string s with
+        | Error _ -> None  (* damaged or older schema: treat as a miss *)
+        | Ok c ->
+            (* Guard against an FNV collision or a hand-copied file:
+               the stored identity must match what was asked for. *)
+            if
+              Cell.workload c = workload
+              && Cell.mode c = mode
+              && c.Cell.size = size
+              && c.Cell.prov.Cell.seed = seed
+              && c.Cell.prov.Cell.plan = plan
+              && c.Cell.prov.Cell.build_id = t.build_id
+            then Some c
+            else None)
+
+let store t (c : Cell.t) =
+  mkdir_p t.dir;
+  let k =
+    key t ~workload:(Cell.workload c) ~mode:(Cell.mode c) ~size:c.Cell.size
+      ~seed:c.Cell.prov.Cell.seed ~plan:c.Cell.prov.Cell.plan
+  in
+  let final = path t k in
+  (* Unique temp name per writer so concurrent domains/processes never
+     interleave; rename is atomic, last writer wins (they wrote the
+     same bytes anyway — the address determines the content). *)
+  let tmp = Printf.sprintf "%s.tmp.%d" final (Unix.getpid ()) in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> ()  (* unwritable cache is a soft failure *)
+  | oc ->
+      output_string oc (Cell.to_string c);
+      close_out oc;
+      (try Sys.rename tmp final with Sys_error _ -> ())

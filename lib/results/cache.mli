@@ -1,0 +1,48 @@
+(** Content-addressed on-disk cache of result {!Cell}s.
+
+    The address (an FNV-1a 64 digest, also the file name under the
+    cache directory) covers everything the deterministic simulation
+    depends on: executable build id, workload, mode, input size, fault
+    seed and fault plan.  A hit is therefore byte-equivalent to a
+    re-run; a code change rolls the build id and silently invalidates
+    every entry.  Entries are single JSON files written atomically
+    (unique temp + rename), so concurrent writers — matrix worker
+    domains, parallel processes — are safe.
+
+    The default directory is [.repro-cache] under the working
+    directory, overridable with the [REPRO_CACHE_DIR] environment
+    variable.  An unwritable cache degrades to "no cache", never to an
+    error: caching is an optimisation, not a dependency. *)
+
+type t
+
+val create : ?dir:string -> ?build_id:string -> unit -> t
+(** [dir] defaults to {!default_dir}; [build_id] defaults to the MD5
+    digest of the running executable (tests pass explicit ids to prove
+    invalidation). *)
+
+val default_dir : unit -> string
+val env_dir : string  (** the [REPRO_CACHE_DIR] variable name *)
+
+val dir : t -> string
+val build_id : t -> string
+
+val current_build_id : unit -> string
+(** The running executable's digest (what [create] defaults to). *)
+
+val key :
+  t -> workload:string -> mode:string -> size:string -> seed:int ->
+  plan:string -> string
+
+val find :
+  t -> workload:string -> mode:string -> size:string -> seed:int ->
+  plan:string -> Cell.t option
+(** [None] on absence, damage, schema mismatch, or an identity
+    mismatch between the request and the stored cell (collision
+    guard) — all of which simply mean "run it". *)
+
+val store : t -> Cell.t -> unit
+(** Atomic; creates the cache directory on first use; IO failure is
+    swallowed (the cell is still in memory, only the cache misses). *)
+
+val fnv1a64 : string -> string

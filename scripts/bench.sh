@@ -41,5 +41,7 @@ cd "$(dirname "$0")/.."
 n=${1:-1}
 jobs=${JOBS:-4}
 dune build bench/main.exe
+# --no-cache: trajectory numbers must be cold-run wall clocks, not
+# cell-cache hits.
 exec dune exec --no-build bench/main.exe -- \
-  --json "BENCH_${n}.json" -j "$jobs" ${FULL:+--full}
+  --json "BENCH_${n}.json" -j "$jobs" --no-cache ${FULL:+--full}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerate (default) or verify (--check) the generated numeric
+# blocks of EXPERIMENTS.md and the golden results file
+# results/golden-quick.json from fresh measurements.
+#
+# `scripts/docs.sh --check` is exactly the CI docs gate: it exits
+# non-zero with a readable line diff when the committed document or
+# golden results drift from what the committed code measures.
+set -euo pipefail
+
+usage() {
+  cat <<'EOF'
+usage: scripts/docs.sh [docs options]
+
+  scripts/docs.sh                      # rewrite EXPERIMENTS.md + golden results
+  scripts/docs.sh --check              # verify only; non-zero + diff on drift
+  scripts/docs.sh --check --no-cache   # the CI gate (cold measurements)
+
+Extra arguments go to `repro docs` (see --help there: --doc, --golden,
+--drift-dir, --refresh, --cache-dir, -j).
+EOF
+}
+
+case "${1:-}" in
+-h | --help)
+  usage
+  exit 0
+  ;;
+esac
+
+if ! command -v dune >/dev/null 2>&1; then
+  echo "scripts/docs.sh: error: 'dune' not found on PATH." >&2
+  echo "Install the OCaml toolchain (e.g. 'opam install dune') or run" >&2
+  echo "inside an opam environment: 'opam exec -- scripts/docs.sh'." >&2
+  exit 127
+fi
+
+cd "$(dirname "$0")/.."
+dune build bin/main.exe
+exec dune exec --no-build bin/main.exe -- docs "$@"
