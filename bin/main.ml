@@ -21,11 +21,13 @@ let jobs_arg =
            (default: the runtime's recommended domain count; 1 = the \
            old sequential path).  Output is byte-identical either way.")
 
-let matrix ?trace_dir ?(cache = true) ?(refresh = false) ?cache_dir full =
+let matrix ?trace_dir ?(cache = true) ?(refresh = false) ?cache_dir ?plan
+    ?seed ?replay full =
   let disk =
     if cache then Some (Results.Cache.create ?dir:cache_dir ()) else None
   in
-  Harness.Matrix.create ~progress ?trace_dir ?disk ~refresh (size_of_full full)
+  Harness.Matrix.create ~progress ?trace_dir ?disk ~refresh ?plan ?seed
+    ?replay (size_of_full full)
 
 (* Stats go to stderr: report bytes on stdout stay identical whether
    cells were computed or served from the disk cache. *)
@@ -220,9 +222,57 @@ let exp_cmd =
              artefacts of a diagnostic re-run) under $(docv) for every \
              cell that exhausts its attempts ('all' only).")
   in
+  let replay_arg =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "Record-once/replay-per-column: run each workload once per \
+             trace variant and drive the remaining allocator columns from \
+             its allocation trace.  Allocator-side measurements are \
+             count-equivalent to full execution (see $(b,repro replay \
+             --verify)); mutator-side cycle and stall figures are not \
+             reproduced.")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"SPEC"
+          ~doc:
+            "Run every cell under this fault plan (same clauses as \
+             $(b,repro faults)).  The plan string becomes part of each \
+             cell's cache address and provenance.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-plan seed (with --plan).")
+  in
   let run name full jobs show_progress trace_dir resume timeout_s retries
-      quarantine no_cache refresh cache_dir =
-    let m = matrix ?trace_dir ~cache:(not no_cache) ~refresh ?cache_dir full in
+      quarantine no_cache refresh cache_dir replay plan_spec seed =
+    let plan =
+      match plan_spec with
+      | None -> None
+      | Some s -> (
+          match Fault.Plan.of_string ~seed s with
+          | Ok p -> Some (p, s)
+          | Error msg ->
+              Printf.eprintf "bad --plan: %s\n" msg;
+              exit 2)
+    in
+    if replay && plan <> None then begin
+      Printf.eprintf "experiment: --replay cannot combine with --plan\n";
+      exit 2
+    end;
+    if replay && trace_dir <> None then begin
+      Printf.eprintf "experiment: --replay cannot combine with --trace\n";
+      exit 2
+    end;
+    let m =
+      matrix ?trace_dir ~cache:(not no_cache) ~refresh ?cache_dir ?plan ~seed
+        ~replay full
+    in
     if name = "all" then
       run_all m jobs ~show_progress ?trace_dir ?resume ?timeout_s ~retries
         ?quarantine ()
@@ -233,7 +283,7 @@ let exp_cmd =
     Term.(
       const run $ name_arg $ full_arg $ jobs_arg $ progress_arg $ trace_arg
       $ resume_arg $ timeout_arg $ retries_arg $ quarantine_arg $ no_cache_arg
-      $ refresh_arg $ cache_dir_arg)
+      $ refresh_arg $ cache_dir_arg $ replay_arg $ plan_arg $ seed_arg)
 
 let workload_arg =
   Arg.(
@@ -685,6 +735,285 @@ let docs_cmd =
       const run $ check_arg $ doc_arg $ golden_arg $ drift_dir_arg $ jobs_arg
       $ progress_arg $ no_cache_arg $ refresh_arg $ cache_dir_arg)
 
+let variant_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "variant" ] ~docv:"VARIANT"
+        ~doc:
+          "Trace variant: $(b,malloc) (serves the direct columns), \
+           $(b,emu) (emulated columns, region-only workloads) or \
+           $(b,region) (safe/unsafe regions).  Default: the workload's \
+           malloc-side variant.")
+
+let default_variant (spec : Workloads.Workload.spec) = function
+  | Some v -> v
+  | None -> if spec.Workloads.Workload.region_only then "emu" else "malloc"
+
+let print_trace_stats path =
+  match Trace.Format.open_file path with
+  | Error msg ->
+      Printf.eprintf "record: wrote an unreadable trace (%s)\n" msg;
+      exit 2
+  | Ok rd ->
+      let hdr = Trace.Format.header rd in
+      Printf.printf
+        "%s: %s/%s under %s (%s), %d records, %d objects, %d regions, %d \
+         bytes\n"
+        path hdr.Trace.Format.workload hdr.Trace.Format.variant
+        hdr.Trace.Format.mode hdr.Trace.Format.size (Trace.Format.records rd)
+        (Trace.Format.objects rd) (Trace.Format.regions rd)
+        (Unix.stat path).Unix.st_size
+
+let record_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Trace file (default: WORKLOAD-VARIANT-SIZE.trace).")
+  in
+  let run name variant out full =
+    let spec = Workloads.Workload.find name in
+    let variant = default_variant spec variant in
+    let size = size_of_full full in
+    let out =
+      match out with
+      | Some p -> p
+      | None ->
+          Printf.sprintf "%s-%s-%s.trace" name variant
+            (if full then "full" else "quick")
+    in
+    let r = Trace.Record.record ~out ~variant spec size in
+    Printf.printf "recorded %s under %s: %s\n" name
+      (Workloads.Api.mode_name (Trace.Record.recording_mode variant))
+      r.Workloads.Results.summary;
+    print_trace_stats out
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Record one workload's allocation trace to a file"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the workload once under the variant's recording mode \
+              with a trace recorder attached and writes the compact binary \
+              trace (header, operation records, sealed trailer).  \
+              Recording is pure observation: the run's measurements are \
+              identical to an unrecorded run.  The trace replays against \
+              every allocator column its variant serves ($(b,repro \
+              replay)).";
+         ])
+    Term.(const run $ workload_arg $ variant_arg $ out_arg $ full_arg)
+
+let replay_cmd =
+  let workload_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workload to replay (every workload under --verify).")
+  in
+  let mode_pos_arg =
+    Arg.(
+      value
+      & pos 1 (some mode_conv) None
+      & info [] ~docv:"MODE"
+          ~doc:"Memory manager column to replay against.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Golden cross-check: for every matrix cell (of WORKLOAD, or \
+             all 37), diff the replayed allocator-side measurements \
+             against full execution and exit non-zero on any divergence.")
+  in
+  let trace_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-file" ] ~docv:"FILE"
+          ~doc:
+            "Replay this previously recorded trace ($(b,repro record)) \
+             instead of recording a fresh temporary one.")
+  in
+  let run workload mode verify trace_file jobs full =
+    let size = size_of_full full in
+    if verify then begin
+      let checked, diffs =
+        Harness.Replaycheck.verify ?workload ~domains:jobs ~progress size
+      in
+      if diffs = [] then
+        Printf.printf
+          "replay verify: %d cells, every allocator-side measurement \
+           count-equivalent\n"
+          checked
+      else begin
+        Printf.printf "replay verify: %d divergence(s) over %d cells:\n"
+          (List.length diffs) checked;
+        List.iter (fun d -> Fmt.pr "  %a@." Harness.Replaycheck.pp_diff d) diffs;
+        exit 1
+      end
+    end
+    else
+      let mode =
+        match mode with
+        | Some m -> m
+        | None ->
+            Printf.eprintf "replay: MODE is required without --verify\n";
+            exit 2
+      in
+      let path, cleanup =
+        match trace_file with
+        | Some p -> (p, fun () -> ())
+        | None ->
+            let workload =
+              match workload with
+              | Some w -> w
+              | None ->
+                  Printf.eprintf
+                    "replay: WORKLOAD is required without --trace-file\n";
+                  exit 2
+            in
+            let spec = Workloads.Workload.find workload in
+            let tmp = Filename.temp_file "repro-replay" ".trace" in
+            progress
+              (Printf.sprintf "recording %s (%s trace) ..." workload
+                 (Trace.Record.variant_of_mode mode));
+            ignore
+              (Trace.Record.record ~out:tmp
+                 ~variant:(Trace.Record.variant_of_mode mode) spec size);
+            (tmp, fun () -> try Sys.remove tmp with Sys_error _ -> ())
+      in
+      Fun.protect ~finally:cleanup (fun () ->
+          match Trace.Format.open_file path with
+          | Error msg ->
+              Printf.eprintf "replay: %s: %s\n" path msg;
+              exit 2
+          | Ok rd ->
+              let r = Trace.Replay.run rd mode in
+              Fmt.pr "%a@." Workloads.Results.pp r)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a recorded allocation trace against an allocator column"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Drives the requested memory manager from a workload's \
+              recorded allocation trace, skipping the mutator compute that \
+              produced it.  Allocator-side measurements (allocation, \
+              refcount, stack-scan and cleanup instructions, OS bytes, \
+              requested stats, region summaries) are count-equivalent to \
+              full execution; mutator-side cycles and stalls are not \
+              reproduced.  $(b,--verify) proves the equivalence \
+              empirically, cell by cell.";
+         ])
+    Term.(
+      const run $ workload_opt_arg $ mode_pos_arg $ verify_arg
+      $ trace_file_arg $ jobs_arg $ full_arg)
+
+let results_cmd =
+  let a_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"A" ~doc:"Left-hand results store or bench JSON.")
+  in
+  let b_arg =
+    Arg.(
+      required
+      & pos 2 (some file) None
+      & info [] ~docv:"B" ~doc:"Right-hand results store or bench JSON.")
+  in
+  let sub_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("compare", `Compare) ])) None
+      & info [] ~docv:"compare" ~doc:"Subcommand (only $(b,compare)).")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (* Keys that legitimately differ between two honest runs of the same
+     code: identity/provenance and host wall-clock. *)
+  let volatile_keys =
+    [
+      "prov"; "build_id"; "schema"; "timestamp"; "host"; "wall_s";
+      "fill_wall_s"; "seq_wall_s"; "render_wall_s"; "full_wall_s";
+      "replay_wall_s"; "speedup"; "geomean_speedup"; "ns_per_op"; "cache";
+    ]
+  in
+  let run `Compare a b =
+    match (Results.Store.load a, Results.Store.load b) with
+    | Ok ea, Ok eb -> (
+        match Results.Store.diff ~expected:ea ~actual:eb with
+        | [] ->
+            Printf.printf
+              "results compare: %s and %s agree on every measurement (%d \
+               cells)\n"
+              a b (Results.Store.length ea)
+        | lines ->
+            Printf.printf "results compare: %d difference(s):\n"
+              (List.length lines);
+            List.iter (fun l -> Printf.printf "  %s\n" l) lines;
+            exit 1)
+    | ra, rb -> (
+        (* Not (both) results stores: fall back to a structural JSON
+           diff, pruning volatile keys — this is how two bench records
+           (BENCH_N.json) are compared. *)
+        let parse path = function
+          | Ok _ -> (
+              match Results.Json.of_string (read_file path) with
+              | Ok j -> j
+              | Error msg ->
+                  Printf.eprintf "results compare: %s: %s\n" path msg;
+                  exit 2)
+          | Error _ -> (
+              match Results.Json.of_string (read_file path) with
+              | Ok j -> j
+              | Error msg ->
+                  Printf.eprintf "results compare: %s: %s\n" path msg;
+                  exit 2)
+        in
+        let ja = parse a ra and jb = parse b rb in
+        match Results.Json.diff ~ignore_keys:volatile_keys ja jb with
+        | [] ->
+            Printf.printf
+              "results compare: %s and %s agree (volatile keys ignored)\n" a b
+        | diffs ->
+            Printf.printf "results compare: %d difference(s):\n"
+              (List.length diffs);
+            List.iter
+              (fun (path, va, vb) ->
+                Printf.printf "  %s: %s vs %s\n" path va vb)
+              diffs;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "results"
+       ~doc:"Compare two results stores or bench records"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "$(b,repro results compare A B) diffs two machine-readable \
+              result files.  Results stores (golden-quick.json and \
+              friends) are compared measurement-by-measurement with \
+              provenance ignored; anything else is parsed as JSON (bench \
+              records) and compared structurally with volatile keys — \
+              provenance, timestamps, host wall-clocks — pruned.  Exit \
+              status 0 iff they agree.";
+         ])
+    Term.(const run $ sub_arg $ a_arg $ b_arg)
+
 let main =
   Cmd.group
     (Cmd.info "repro" ~version:"1.0"
@@ -693,7 +1022,7 @@ let main =
           Regions' (PLDI 1998)")
     [
       exp_cmd; run_cmd; trace_cmd; list_cmd; creg_cmd; check_cmd; faults_cmd;
-      docs_cmd;
+      docs_cmd; record_cmd; replay_cmd; results_cmd;
     ]
 
 let () = exit (Cmd.eval main)

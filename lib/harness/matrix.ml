@@ -1,3 +1,14 @@
+(* One recorded trace per (workload, trace variant), shared by every
+   column the variant serves.  The entry lock serialises recording
+   (record once, even with worker domains racing for the same trace);
+   [recorded] memoises the recording run's results, because that run
+   doubles as the recording mode's full-execution cell. *)
+type trace_entry = {
+  tlock : Mutex.t;
+  mutable tpath : string option;
+  mutable recorded : Workloads.Results.t option;
+}
+
 type t = {
   size : Workloads.Workload.size;
   progress : string -> unit;
@@ -6,13 +17,26 @@ type t = {
   sample_cycles : int;
   disk : Results.Cache.t option;
   refresh : bool;
+  seed : int;
+  plan : (Fault.Plan.t * string) option;
+  replay : bool;
+  traces : (string * string, trace_entry) Hashtbl.t;
+  traces_lock : Mutex.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
 }
 
 let create ?(progress = ignore) ?trace_dir
     ?(sample_cycles = Tracefiles.default_sample_cycles) ?disk
-    ?(refresh = false) size =
+    ?(refresh = false) ?(seed = 0) ?plan ?(replay = false) size =
+  (match (plan, trace_dir, replay) with
+  | Some _, _, true ->
+      invalid_arg "Matrix.create: a fault plan cannot combine with replay"
+  | Some _, Some _, _ ->
+      invalid_arg "Matrix.create: a fault plan cannot combine with tracing"
+  | _, Some _, true ->
+      invalid_arg "Matrix.create: replay cannot combine with tracing"
+  | _ -> ());
   {
     size;
     progress;
@@ -21,6 +45,11 @@ let create ?(progress = ignore) ?trace_dir
     sample_cycles;
     disk;
     refresh;
+    seed;
+    plan;
+    replay;
+    traces = Hashtbl.create 16;
+    traces_lock = Mutex.create ();
     hits = Atomic.make 0;
     misses = Atomic.make 0;
   }
@@ -38,8 +67,192 @@ let build_id t =
   | Some d -> Results.Cache.build_id d
   | None -> Results.Cache.current_build_id ()
 
-let cell_of_result t r =
-  Results.Cell.make ~size:(size_name t) ~build_id:(build_id t) r
+let plan_string t = match t.plan with None -> "none" | Some (_, s) -> s
+
+(* Whether this mode is the one a trace variant records under — its
+   cell is a genuine full execution even in replay mode. *)
+let is_recording_mode mode =
+  Workloads.Api.mode_name
+    (Trace.Record.recording_mode (Trace.Record.variant_of_mode mode))
+  = Workloads.Api.mode_name mode
+
+(* A replayed cell's provenance says so: its mutator-side numbers are
+   not those of a full run, and it must never be served where a full
+   cell was asked for (or vice versa). *)
+let replay_plan = "replay"
+
+let replayed_column ~mode =
+  match
+    List.find_opt
+      (fun m -> Workloads.Api.mode_name m = mode)
+      Workloads.Api.all_modes
+  with
+  | Some m -> not (is_recording_mode m)
+  | None -> false
+
+let cell_plan t ~mode_name =
+  if t.replay && replayed_column ~mode:mode_name then replay_plan
+  else plan_string t
+
+let cell_of_result ?plan t r =
+  let plan =
+    match plan with
+    | Some p -> p
+    | None -> cell_plan t ~mode_name:r.Workloads.Results.mode
+  in
+  Results.Cell.make ~size:(size_name t) ~build_id:(build_id t) ~seed:t.seed
+    ~plan r
+
+let cached_cell t ~workload ~mode_name ~plan =
+  match t.disk with
+  | Some disk when not t.refresh ->
+      Results.Cache.find disk ~workload ~mode:mode_name ~size:(size_name t)
+        ~seed:t.seed ~plan
+  | _ -> None
+
+let cell_store t ~plan r =
+  match t.disk with
+  | Some disk -> Results.Cache.store disk (cell_of_result ~plan t r)
+  | None -> ()
+
+let note_hit t = if t.disk <> None then Atomic.incr t.hits
+let note_miss t = if t.disk <> None then Atomic.incr t.misses
+
+(* Full execution of one cell (no replay).  Under a fault plan the
+   injector is installed around the run, exactly as [Faultrun] does —
+   the plan is part of the cell's cache address, so planned and plain
+   cells never collide. *)
+let execute_cell t spec mode =
+  match (t.plan, t.trace_dir) with
+  | Some (plan, _), _ ->
+      let api = Workloads.Api.create ~with_cache:true mode in
+      Fault.Inject.with_plan ~plan (Workloads.Api.memory api) (fun _ ->
+          let summary = spec.Workloads.Workload.run api t.size in
+          Workloads.Results.collect api
+            ~workload:spec.Workloads.Workload.name ~summary)
+  | None, Some dir ->
+      let r, _, _ =
+        Tracefiles.run_traced ~sample_cycles:t.sample_cycles ~out:dir spec
+          mode t.size
+      in
+      r
+  | None, None -> Workloads.Workload.run_collect spec mode t.size
+
+(* ---- record-once / replay-per-column ------------------------------ *)
+
+let trace_slot t spec variant =
+  match t.disk with
+  | Some disk ->
+      Results.Cache.trace_path disk ~workload:spec.Workloads.Workload.name
+        ~variant ~size:(size_name t) ~seed:t.seed
+  | None -> Filename.temp_file "repro-trace" ".trace"
+
+(* The committed trace for (workload, variant), recording it on first
+   demand.  A pre-existing disk slot is reused only if its envelope
+   validates (the content address already pins build id, workload,
+   variant, size and seed) — a torn file from a killed process is
+   silently re-recorded. *)
+let ensure_trace t spec variant =
+  let name = spec.Workloads.Workload.name in
+  let entry =
+    Mutex.lock t.traces_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.traces_lock)
+      (fun () ->
+        match Hashtbl.find_opt t.traces (name, variant) with
+        | Some e -> e
+        | None ->
+            let e = { tlock = Mutex.create (); tpath = None; recorded = None } in
+            Hashtbl.add t.traces (name, variant) e;
+            e)
+  in
+  Mutex.lock entry.tlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock entry.tlock)
+    (fun () ->
+      match entry.tpath with
+      | Some p -> (p, entry.recorded)
+      | None ->
+          let path = trace_slot t spec variant in
+          let reusable =
+            t.disk <> None && (not t.refresh) && Sys.file_exists path
+            &&
+            match Trace.Format.open_file path with
+            | Ok rd ->
+                let hdr = Trace.Format.header rd in
+                hdr.Trace.Format.workload = name
+                && hdr.Trace.Format.variant = variant
+            | Error _ -> false
+          in
+          if not reusable then begin
+            t.progress (Fmt.str "recording %s (%s trace) ..." name variant);
+            entry.recorded <-
+              Some (Trace.Record.record ~out:path ~seed:t.seed ~variant spec t.size)
+          end;
+          entry.tpath <- Some path;
+          (path, entry.recorded))
+
+(* Does any *other* report cell of this workload replay from this
+   trace variant?  The six benchmarks run every column, so both their
+   variants always have consumers; an extra spec (moss-slow) appears
+   in the report under a single mode, so recording it would produce a
+   trace nothing replays — pure overhead over the plain run the
+   recording doubles as. *)
+let trace_has_consumers (spec : Workloads.Workload.spec) mode variant =
+  List.exists
+    (fun (s : Workloads.Workload.spec) -> s.name = spec.name)
+    Workloads.Workload.all
+  && List.exists
+       (fun m ->
+         Workloads.Api.mode_name m <> Workloads.Api.mode_name mode
+         && Trace.Record.variant_of_mode m = variant)
+       (Workloads.Workload.modes_for spec)
+
+(* Replay-mode cell: the recording mode's cell is the recording run
+   itself (a genuine full execution, cached under the plain address);
+   every other column replays the variant's trace, cached under the
+   [replay] plan. *)
+let run_replay_cell t spec mode ~workload ~mode_name =
+  let variant = Trace.Record.variant_of_mode mode in
+  if is_recording_mode mode then
+    match cached_cell t ~workload ~mode_name ~plan:(plan_string t) with
+    | Some c ->
+        note_hit t;
+        c.Results.Cell.result
+    | None ->
+        note_miss t;
+        let r =
+          if not (trace_has_consumers spec mode variant) then
+            execute_cell t spec mode
+          else
+            let _, recorded = ensure_trace t spec variant in
+            match recorded with
+            | Some r -> r
+            | None ->
+                (* the trace survived from an earlier process but its
+                   recording cell did not: run the cell normally *)
+                execute_cell t spec mode
+        in
+        cell_store t ~plan:(plan_string t) r;
+        r
+  else
+    match cached_cell t ~workload ~mode_name ~plan:replay_plan with
+    | Some c ->
+        note_hit t;
+        c.Results.Cell.result
+    | None ->
+        note_miss t;
+        let path, _ = ensure_trace t spec variant in
+        let reader =
+          match Trace.Format.open_file path with
+          | Ok rd -> rd
+          | Error msg ->
+              Fmt.failwith "unreadable trace for %s/%s: %s" workload variant
+                msg
+        in
+        let r = Trace.Replay.run reader mode in
+        cell_store t ~plan:replay_plan r;
+        r
 
 (* Tracing is pure observation (the test suite proves simulated counts
    are identical with it on), so traced cells still yield the same
@@ -48,36 +261,26 @@ let cell_of_result t r =
    served from the disk cache; its result is still stored, because
    traced and untraced measurements are identical by construction. *)
 let run_cell_collect t spec mode =
-  let run () =
-    match t.trace_dir with
-    | None -> Workloads.Workload.run_collect spec mode t.size
-    | Some dir ->
-        let r, _, _ =
-          Tracefiles.run_traced ~sample_cycles:t.sample_cycles ~out:dir spec
-            mode t.size
+  let workload = spec.Workloads.Workload.name
+  and mode_name = Workloads.Api.mode_name mode in
+  if t.replay then run_replay_cell t spec mode ~workload ~mode_name
+  else
+    match t.disk with
+    | None -> execute_cell t spec mode
+    | Some _ -> (
+        let lookup =
+          if t.trace_dir <> None then None
+          else cached_cell t ~workload ~mode_name ~plan:(plan_string t)
         in
-        r
-  in
-  match t.disk with
-  | None -> run ()
-  | Some disk ->
-      let workload = spec.Workloads.Workload.name
-      and mode_name = Workloads.Api.mode_name mode in
-      let lookup =
-        if t.refresh || t.trace_dir <> None then None
-        else
-          Results.Cache.find disk ~workload ~mode:mode_name
-            ~size:(size_name t) ~seed:0 ~plan:"none"
-      in
-      (match lookup with
-      | Some c ->
-          Atomic.incr t.hits;
-          c.Results.Cell.result
-      | None ->
-          Atomic.incr t.misses;
-          let r = run () in
-          Results.Cache.store disk (cell_of_result t r);
-          r)
+        match lookup with
+        | Some c ->
+            note_hit t;
+            c.Results.Cell.result
+        | None ->
+            note_miss t;
+            let r = execute_cell t spec mode in
+            cell_store t ~plan:(plan_string t) r;
+            r)
 
 let get t (spec : Workloads.Workload.spec) mode =
   let key = (spec.Workloads.Workload.name, Workloads.Api.mode_name mode) in
@@ -183,6 +386,21 @@ let run_all ?domains ?on_cell t =
       (fun ((spec : Workloads.Workload.spec), mode) ->
         not (Hashtbl.mem t.cache (spec.Workloads.Workload.name, Workloads.Api.mode_name mode)))
       (report_cells ())
+  in
+  (* Replay fills run the recording-mode cells first.  Recording is
+     lazy (first demand for a variant's trace), and the report order
+     puts replayed columns (sun) before recording columns (gc): left
+     alone, the recording run — which *is* the recording-mode cell's
+     result — would execute inside the first replayed cell's timed
+     span and be charged to the wrong column.  Memoised results are
+     order-independent, so the report bytes don't change. *)
+  let cells =
+    if not t.replay then cells
+    else
+      let recording, replayed =
+        List.partition (fun (_, m) -> is_recording_mode m) cells
+      in
+      recording @ replayed
   in
   let cells = Array.of_list cells in
   let n = Array.length cells in

@@ -11,6 +11,9 @@ val create :
   ?sample_cycles:int ->
   ?disk:Results.Cache.t ->
   ?refresh:bool ->
+  ?seed:int ->
+  ?plan:Fault.Plan.t * string ->
+  ?replay:bool ->
   Workloads.Workload.size ->
   t
 (** [trace_dir] turns on per-cell tracing: every cell executed by this
@@ -28,7 +31,25 @@ val create :
     cache attached but ignores existing entries (recompute and
     overwrite).  Traced cells are always executed — the artefact
     family must be produced — but their results are still written
-    back. *)
+    back.
+
+    [plan] (with its spec string, which becomes part of every cell's
+    cache address and provenance) runs each cell under the given fault
+    plan, installed around the run exactly as [repro faults] does;
+    [seed] is the matching provenance seed.  Planned cells are
+    first-class cache citizens: the same plan hits, a different plan
+    (or none) misses.
+
+    [replay] switches to record-once/replay-per-column: each
+    (workload, trace variant) pair is recorded at most once — that run
+    doubling as the recording mode's full cell — and every other
+    column is driven from the trace by {!Trace.Replay}, reproducing
+    all allocator-side measurements while skipping mutator compute.
+    Replayed cells carry (and cache under) the reserved plan
+    ["replay"], so they never masquerade as full executions.  Traces
+    are content-addressed in [disk] when present (temp files
+    otherwise).  [replay] combines with neither [plan] nor
+    [trace_dir] ([Invalid_argument]). *)
 
 val size : t -> Workloads.Workload.size
 
@@ -48,6 +69,13 @@ val store : t -> Results.Store.t
 val get : t -> Workloads.Workload.spec -> Workloads.Api.mode -> Workloads.Results.t
 
 type cell_timing = { workload : string; mode : string; wall_s : float }
+
+val replayed_column : mode:string -> bool
+(** Whether a cell of this mode name is served by trace replay under a
+    [~replay:true] matrix, as opposed to being a genuine full
+    execution: false exactly for the modes a trace variant records
+    under ([gc], [emu-gc], [region]) — their cells double as the
+    recording runs — and for unknown mode names. *)
 
 val parallel_for : domains:int -> int -> (int -> unit) -> unit
 (** [parallel_for ~domains n f] runs [f 0 .. f (n-1)] across at most
@@ -148,6 +176,11 @@ val run_all_supervised :
 
 val workloads : Workloads.Workload.spec list
 (** The six benchmarks, in the paper's order. *)
+
+val report_cells : unit -> (Workloads.Workload.spec * Workloads.Api.mode) list
+(** Every cell the full report needs, in report order: each workload
+    under {!Workloads.Workload.modes_for}, plus the moss-slow /
+    safe-regions extra. *)
 
 val malloc_modes : Workloads.Workload.spec -> Workloads.Api.mode list
 (** The four malloc-ish columns (direct or emulated). *)

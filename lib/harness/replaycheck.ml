@@ -1,0 +1,148 @@
+type diff = {
+  workload : string;
+  mode : string;
+  field : string;
+  full : string;
+  replayed : string;
+}
+
+let pp_diff ppf d =
+  Fmt.pf ppf "%-10s %-12s %-18s full=%s replayed=%s" d.workload d.mode d.field
+    d.full d.replayed
+
+let region_summary_string = function
+  | None -> "none"
+  | Some (rs : Workloads.Results.region_summary) ->
+      Fmt.str "%d/%d/%d/%.1f/%.2f" rs.total_regions rs.max_live_regions
+        rs.max_region_bytes rs.avg_region_bytes rs.avg_allocs_per_region
+
+(* The fields replay promises to reproduce exactly. *)
+let allocator_side (r : Workloads.Results.t) =
+  [
+    ("summary", r.summary);
+    ("alloc_instrs", string_of_int r.alloc_instrs);
+    ("refcount_instrs", string_of_int r.refcount_instrs);
+    ("stack_scan_instrs", string_of_int r.stack_scan_instrs);
+    ("cleanup_instrs", string_of_int r.cleanup_instrs);
+    ("os_bytes", string_of_int r.os_bytes);
+    ("emu_overhead_bytes", string_of_int r.emu_overhead_bytes);
+    ("req_allocs", string_of_int r.req_allocs);
+    ("req_total_bytes", string_of_int r.req_total_bytes);
+    ("req_max_bytes", string_of_int r.req_max_bytes);
+    ("regions", region_summary_string r.regions);
+  ]
+
+(* Recording is pure observation, so the recording run must agree with
+   an unrecorded run on everything, mutator side included. *)
+let all_fields (r : Workloads.Results.t) =
+  allocator_side r
+  @ [
+      ("cycles", string_of_int r.cycles);
+      ("base_instrs", string_of_int r.base_instrs);
+      ("read_stall_cycles", string_of_int r.read_stall_cycles);
+      ("write_stall_cycles", string_of_int r.write_stall_cycles);
+    ]
+
+let compare_fields ~workload ~mode fields full replayed =
+  List.filter_map
+    (fun ((name, f), (name', rp)) ->
+      assert (name = name');
+      if f = rp then None
+      else Some { workload; mode; field = name; full = f; replayed = rp })
+    (List.combine (fields full) (fields replayed))
+
+let verify ?workload ?domains ?(progress = ignore) size =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let cells =
+    List.filter
+      (fun ((spec : Workloads.Workload.spec), _) ->
+        match workload with
+        | None -> true
+        | Some w -> spec.Workloads.Workload.name = w)
+      (Matrix.report_cells ())
+  in
+  (* Group into workload rows: one row records its traces once and
+     checks its cells sequentially; rows are independent. *)
+  let rows = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun ((spec : Workloads.Workload.spec), mode) ->
+      match Hashtbl.find_opt rows spec.Workloads.Workload.name with
+      | Some l -> l := mode :: !l
+      | None ->
+          order := spec :: !order;
+          Hashtbl.add rows spec.Workloads.Workload.name (ref [ mode ]))
+    cells;
+  let rows =
+    List.rev_map
+      (fun (spec : Workloads.Workload.spec) ->
+        (spec, List.rev !(Hashtbl.find rows spec.Workloads.Workload.name)))
+      !order
+    |> Array.of_list
+  in
+  let out = Array.make (Array.length rows) []
+  and checked = Array.make (Array.length rows) 0 in
+  let check_row i =
+    let (spec : Workloads.Workload.spec), modes = rows.(i) in
+    let name = spec.Workloads.Workload.name in
+    progress (Fmt.str "verifying %s (%d cells) ..." name (List.length modes));
+    let variants =
+      List.sort_uniq compare (List.map Trace.Record.variant_of_mode modes)
+    in
+    let traces =
+      List.map
+        (fun variant ->
+          let tmp = Filename.temp_file "repro-verify" ".trace" in
+          let recorded = Trace.Record.record ~out:tmp ~variant spec size in
+          (variant, tmp, recorded))
+        variants
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun (_, tmp, _) -> try Sys.remove tmp with _ -> ()) traces)
+      (fun () ->
+        List.iter
+          (fun mode ->
+            let mode_name = Workloads.Api.mode_name mode in
+            let variant = Trace.Record.variant_of_mode mode in
+            let _, tmp, recorded =
+              List.find (fun (v, _, _) -> v = variant) traces
+            in
+            let full = Workloads.Workload.run_collect spec mode size in
+            let diffs =
+              if
+                Workloads.Api.mode_name (Trace.Record.recording_mode variant)
+                = mode_name
+              then compare_fields ~workload:name ~mode:mode_name all_fields
+                  full recorded
+              else
+                match
+                  match Trace.Format.open_file tmp with
+                  | Ok rd -> Trace.Replay.run rd mode
+                  | Error msg -> failwith ("unreadable trace: " ^ msg)
+                with
+                | replayed ->
+                    compare_fields ~workload:name ~mode:mode_name
+                      allocator_side full replayed
+                | exception e ->
+                    [
+                      {
+                        workload = name;
+                        mode = mode_name;
+                        field = "exception";
+                        full = "completed";
+                        replayed = Printexc.to_string e;
+                      };
+                    ]
+            in
+            checked.(i) <- checked.(i) + 1;
+            out.(i) <- out.(i) @ diffs)
+          modes)
+  in
+  Matrix.parallel_for ~domains (Array.length rows) check_row;
+  ( Array.fold_left ( + ) 0 checked,
+    List.concat (Array.to_list out) )

@@ -1,0 +1,39 @@
+(** The golden cross-check behind [repro replay --verify]: replay
+    every matrix cell and diff it against full execution.
+
+    For each workload row, every needed trace variant is recorded to a
+    temporary file, then each report cell is computed both ways:
+
+    - a {e recording-mode} cell compares the recording run against a
+      plain unrecorded run over {e every} field — the recorder's
+      observational-neutrality guarantee, so even [cycles] must match;
+    - every other cell compares its replay against a full run over the
+      allocator-side fields replay promises to reproduce
+      ([alloc_instrs], [refcount_instrs], [stack_scan_instrs],
+      [cleanup_instrs], [os_bytes], [emu_overhead_bytes], the
+      requested-stats triple, the region summary and the outcome
+      summary line).
+
+    An empty diff list is the pass verdict the CI job gates on. *)
+
+type diff = {
+  workload : string;
+  mode : string;
+  field : string;
+  full : string;  (** value under full execution *)
+  replayed : string;  (** value under replay *)
+}
+
+val pp_diff : diff Fmt.t
+
+val verify :
+  ?workload:string ->
+  ?domains:int ->
+  ?progress:(string -> unit) ->
+  Workloads.Workload.size ->
+  int * diff list
+(** [(cells checked, divergences)]; [workload] restricts to one row.
+    Workload rows run in parallel across [domains] (default
+    {!Domain.recommended_domain_count}).  A {!Trace.Replay.Divergence}
+    or replay crash is reported as a diff on the pseudo-field
+    ["exception"], never raised. *)

@@ -26,21 +26,30 @@ let default_dir () =
   | _ -> ".repro-cache"
 
 (* The executable digest is the build id: any rebuild that changes a
-   single instruction changes it.  Computed once per process (MD5 of
-   the binary, a few ms). *)
-let self_build_id =
-  lazy
-    (try Digest.to_hex (Digest.file Sys.executable_name)
-     with Sys_error _ -> "unknown-build")
+   single instruction changes it.  Memoised per process (MD5 of the
+   binary, a few ms) — as an atomic, not a lazy, because cells record
+   their provenance from arbitrary domains and racy forcing of a lazy
+   raises in OCaml 5.  The race here is benign: both sides compute the
+   same digest. *)
+let self_build_id = Atomic.make None
 
-let current_build_id () = Lazy.force self_build_id
+let current_build_id () =
+  match Atomic.get self_build_id with
+  | Some id -> id
+  | None ->
+      let id =
+        try Digest.to_hex (Digest.file Sys.executable_name)
+        with Sys_error _ -> "unknown-build"
+      in
+      Atomic.set self_build_id (Some id);
+      id
 
 type t = { dir : string; build_id : string }
 
 let create ?dir ?build_id () =
   {
     dir = (match dir with Some d -> d | None -> default_dir ());
-    build_id = (match build_id with Some b -> b | None -> Lazy.force self_build_id);
+    build_id = (match build_id with Some b -> b | None -> current_build_id ());
   }
 
 let dir t = t.dir
@@ -52,6 +61,17 @@ let key t ~workload ~mode ~size ~seed ~plan =
        t.build_id workload mode size seed plan)
 
 let path t k = Filename.concat t.dir (k ^ ".json")
+
+(* Traces are cache citizens too: same directory, same build-id
+   invalidation, content-addressed under everything a recording
+   depends on.  The trace library owns the file format and its own
+   atomic-rename discipline; the cache only names the slot. *)
+let trace_path t ~workload ~variant ~size ~seed =
+  Filename.concat t.dir
+    (fnv1a64
+       (Printf.sprintf "trace-v1|%s|%s|%s|%s|%d" t.build_id workload variant
+          size seed)
+    ^ ".trace")
 
 let rec mkdir_p d =
   if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin

@@ -34,6 +34,14 @@ val key :
   t -> workload:string -> mode:string -> size:string -> seed:int ->
   plan:string -> string
 
+val trace_path :
+  t -> workload:string -> variant:string -> size:string -> seed:int -> string
+(** Content-addressed slot for a recorded allocation trace
+    ([lib/trace]): same directory and build-id invalidation as cells,
+    addressed by workload, trace variant, size and seed.  The caller
+    owns the file's format and atomicity; a missing file means
+    "record it". *)
+
 val find :
   t -> workload:string -> mode:string -> size:string -> seed:int ->
   plan:string -> Cell.t option

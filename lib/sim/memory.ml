@@ -205,6 +205,27 @@ let poke t addr v =
   check_word t addr;
   Bytes.set_int32_le t.data addr (Int32.of_int v)
 
+let poke_byte t addr v =
+  check_byte t addr;
+  Bytes.set t.data addr (Char.chr (v land 0xFF))
+
+let poke_bytes t addr s =
+  let n = String.length s in
+  if n > 0 then begin
+    check_byte t addr;
+    check_byte t (addr + n - 1);
+    Bytes.blit_string s 0 t.data addr n
+  end
+
+let poke_fill t addr bytes =
+  if bytes < 0 then invalid_arg "Memory.poke_fill: negative length";
+  if addr land 3 <> 0 then fault "unaligned fill at %#x" addr;
+  let words = (bytes + 3) / 4 in
+  if words > 0 then begin
+    check_word_range t addr words "fill";
+    Bytes.fill t.data addr (words * 4) '\000'
+  end
+
 let flip_bit t addr bit =
   if bit < 0 || bit > 31 then invalid_arg "Memory.flip_bit: bit out of range";
   check_word t addr;

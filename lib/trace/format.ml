@@ -1,0 +1,847 @@
+exception Corrupt of string
+
+let corrupt fmt = Fmt.kstr (fun s -> raise (Corrupt s)) fmt
+
+type header = {
+  workload : string;
+  variant : string;
+  mode : string;
+  size : string;
+  seed : int;
+  build_id : string;
+}
+
+type value = Raw of int | Obj of int * int | Reg of int
+type mark = Phase_begin | Phase_end | Site_begin | Site_end
+
+type record =
+  | Malloc of { size : int }
+  | Free of { id : int }
+  | Realloc of { id : int; size : int }
+  | Newregion
+  | Ralloc of { rid : int; layout : Regions.Cleanup.layout }
+  | Rstralloc of { rid : int; size : int }
+  | Rarrayalloc of { rid : int; n : int; layout : Regions.Cleanup.layout }
+  | Deleteregion of { frame : int; slot : int; ok : bool }
+  | Frame_push of { nslots : int; ptr_slots : int list }
+  | Frame_pop
+  | Poke of { addr : int; v : int }
+  | Poke_byte of { addr : int; v : int }
+  | Poke_bytes of { addr : int; s : string }
+  | Poke_block of { addr : int; words : int array }
+  | Poke_obj of { id : int; word : int; v : int }
+  | Clear of { addr : int; bytes : int }
+  | Store_ptr of { addr : value; v : value }
+  | Set_local of { frame : int; slot : int; v : value }
+  | Set_local_ptr of { frame : int; slot : int; v : value }
+  | Gc_roots of int array
+  | Mark of { name : string; kind : mark }
+  | End
+
+let magic = "RGTR"
+let end_magic = "RGEN"
+let version = 1
+
+(* Record tags.  0 is the trailer. *)
+let t_malloc = 1
+and t_free = 2
+and t_realloc = 3
+and t_newregion = 4
+and t_ralloc = 5
+and t_rstralloc = 6
+and t_rarrayalloc = 7
+and t_deleteregion = 8
+and t_frame_push = 9
+and t_frame_pop = 10
+and t_poke = 11
+and t_poke_byte = 12
+and t_poke_bytes = 13
+and t_poke_block = 14
+and t_poke_obj = 15
+and t_clear = 16
+and t_store_ptr = 17
+and t_set_local = 18
+and t_set_local_ptr = 19
+and t_gc_roots = 20
+and t_mark = 21
+and t_strdef = 22
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let zigzag n = if n >= 0 then n lsl 1 else (lnot n lsl 1) lor 1
+let unzigzag n = if n land 1 = 0 then n lsr 1 else lnot (n lsr 1)
+
+(* ------------------------------------------------------------------ *)
+(* Writer
+
+   The write path is a flat [Bytes] with a position cursor, not a
+   [Buffer]: the recorder emits a record per mutator store, and
+   [Buffer.add_char]'s per-byte bounds check is most of that cost.
+   Each emitter reserves its worst-case byte count once ([reserve])
+   and then stores unchecked. *)
+
+type writer = {
+  mutable wbuf : Bytes.t;
+  mutable wpos : int;
+  oc : out_channel;
+  tmp : string;
+  final : string;
+  strings : (string, int) Hashtbl.t;
+  mutable nrecords : int;
+  mutable nobjects : int;
+  mutable nregions : int;
+  mutable objects_override : int option;
+  mutable closed : bool;
+}
+
+let flush_buf w =
+  if w.wpos > 0 then begin
+    output w.oc w.wbuf 0 w.wpos;
+    w.wpos <- 0
+  end
+
+(* Make room for [n] more bytes: flush, and (rarely — an oversized
+   roots array or string) grow the buffer. *)
+let reserve w n =
+  if w.wpos + n > Bytes.length w.wbuf then begin
+    flush_buf w;
+    if n > Bytes.length w.wbuf then w.wbuf <- Bytes.create n
+  end
+
+let wbyte w c =
+  Bytes.unsafe_set w.wbuf w.wpos (Char.unsafe_chr c);
+  w.wpos <- w.wpos + 1
+
+let rec wuv_slow w n =
+  if n < 0x80 then wbyte w n
+  else begin
+    wbyte w (0x80 lor (n land 0x7F));
+    wuv_slow w (n lsr 7)
+  end
+
+(* Unchecked varint put: the caller's [reserve] must cover it (10
+   bytes is enough for any 63-bit value). *)
+let wuv w n =
+  if n < 0 then invalid_arg "Trace.Format: negative varint"
+  else if n < 0x80 then wbyte w n
+  else wuv_slow w n
+
+let wsv w n = wuv w (zigzag n)
+
+let wstr w s =
+  let n = String.length s in
+  reserve w (10 + n);
+  wuv w n;
+  Bytes.blit_string s 0 w.wbuf w.wpos n;
+  w.wpos <- w.wpos + n
+
+let wvalue w = function
+  | Raw v ->
+      wuv w 0;
+      wsv w v
+  | Obj (id, delta) ->
+      wuv w 1;
+      wuv w id;
+      wuv w delta
+  | Reg rid ->
+      wuv w 2;
+      wuv w rid
+
+let create_writer ~path hdr =
+  let dir = Filename.dirname path in
+  let rec mkdir_p d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  mkdir_p dir;
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  let w =
+    {
+      wbuf = Bytes.create 65536;
+      wpos = 0;
+      oc;
+      tmp;
+      final = path;
+      strings = Hashtbl.create 16;
+      nrecords = 0;
+      nobjects = 0;
+      nregions = 0;
+      objects_override = None;
+      closed = false;
+    }
+  in
+  reserve w 5;
+  Bytes.blit_string magic 0 w.wbuf w.wpos 4;
+  w.wpos <- w.wpos + 4;
+  wbyte w version;
+  wstr w hdr.workload;
+  wstr w hdr.variant;
+  wstr w hdr.mode;
+  wstr w hdr.size;
+  reserve w 10;
+  wuv w hdr.seed;
+  wstr w hdr.build_id;
+  w
+
+let set_object_count w n = w.objects_override <- Some n
+
+let sid w name =
+  match Hashtbl.find_opt w.strings name with
+  | Some id -> id
+  | None ->
+      let id = Hashtbl.length w.strings in
+      Hashtbl.replace w.strings name id;
+      reserve w 1;
+      wbyte w t_strdef;
+      wstr w name;
+      id
+
+let wlayout w (l : Regions.Cleanup.layout) =
+  let offs = l.Regions.Cleanup.ptr_offsets in
+  reserve w (20 + (10 * List.length offs));
+  wuv w l.Regions.Cleanup.size_bytes;
+  wuv w (List.length offs);
+  List.iter (wuv w) offs
+
+(* Reservations below are worst cases: 10 bytes covers any varint, 21
+   any [value]. *)
+let emit w r =
+  (match r with
+  | Malloc { size } ->
+      reserve w 11;
+      wbyte w t_malloc;
+      wuv w size;
+      w.nobjects <- w.nobjects + 1
+  | Free { id } ->
+      reserve w 11;
+      wbyte w t_free;
+      wuv w id
+  | Realloc { id; size } ->
+      reserve w 21;
+      wbyte w t_realloc;
+      wuv w id;
+      wuv w size;
+      w.nobjects <- w.nobjects + 1
+  | Newregion ->
+      reserve w 1;
+      wbyte w t_newregion;
+      w.nregions <- w.nregions + 1
+  | Ralloc { rid; layout } ->
+      reserve w 11;
+      wbyte w t_ralloc;
+      wuv w rid;
+      wlayout w layout;
+      w.nobjects <- w.nobjects + 1
+  | Rstralloc { rid; size } ->
+      reserve w 21;
+      wbyte w t_rstralloc;
+      wuv w rid;
+      wuv w size;
+      w.nobjects <- w.nobjects + 1
+  | Rarrayalloc { rid; n; layout } ->
+      reserve w 21;
+      wbyte w t_rarrayalloc;
+      wuv w rid;
+      wuv w n;
+      wlayout w layout;
+      w.nobjects <- w.nobjects + 1
+  | Deleteregion { frame; slot; ok } ->
+      reserve w 31;
+      wbyte w t_deleteregion;
+      wuv w frame;
+      wuv w slot;
+      wuv w (if ok then 1 else 0)
+  | Frame_push { nslots; ptr_slots } ->
+      reserve w (21 + (10 * List.length ptr_slots));
+      wbyte w t_frame_push;
+      wuv w nslots;
+      wuv w (List.length ptr_slots);
+      List.iter (wuv w) ptr_slots
+  | Frame_pop ->
+      reserve w 1;
+      wbyte w t_frame_pop
+  | Poke { addr; v } ->
+      reserve w 21;
+      wbyte w t_poke;
+      wuv w addr;
+      wsv w v
+  | Poke_byte { addr; v } ->
+      reserve w 21;
+      wbyte w t_poke_byte;
+      wuv w addr;
+      wuv w (v land 0xFF)
+  | Poke_bytes { addr; s } ->
+      reserve w 11;
+      wbyte w t_poke_bytes;
+      wuv w addr;
+      wstr w s
+  | Poke_block { addr; words } ->
+      reserve w (21 + (10 * Array.length words));
+      wbyte w t_poke_block;
+      wuv w addr;
+      wuv w (Array.length words);
+      Array.iter (wsv w) words
+  | Poke_obj { id; word; v } ->
+      reserve w 31;
+      wbyte w t_poke_obj;
+      wuv w id;
+      wuv w word;
+      wsv w v
+  | Clear { addr; bytes } ->
+      reserve w 21;
+      wbyte w t_clear;
+      wuv w addr;
+      wuv w bytes
+  | Store_ptr { addr; v } ->
+      reserve w 43;
+      wbyte w t_store_ptr;
+      wvalue w addr;
+      wvalue w v
+  | Set_local { frame; slot; v } ->
+      reserve w 42;
+      wbyte w t_set_local;
+      wuv w frame;
+      wuv w slot;
+      wvalue w v
+  | Set_local_ptr { frame; slot; v } ->
+      reserve w 42;
+      wbyte w t_set_local_ptr;
+      wuv w frame;
+      wuv w slot;
+      wvalue w v
+  | Gc_roots roots ->
+      reserve w (11 + (10 * Array.length roots));
+      wbyte w t_gc_roots;
+      wuv w (Array.length roots);
+      Array.iter (wsv w) roots
+  | Mark { name; kind } ->
+      let id = sid w name in
+      reserve w 21;
+      wbyte w t_mark;
+      wuv w id;
+      wuv w
+        (match kind with
+        | Phase_begin -> 0
+        | Phase_end -> 1
+        | Site_begin -> 2
+        | Site_end -> 3)
+  | End -> invalid_arg "Trace.Format.emit: End is written by commit");
+  w.nrecords <- w.nrecords + 1
+
+(* Specialised emitters for the recorder's hot path: same bytes as
+   [emit], without constructing the intermediate [record] (and, for
+   the array-carrying records, without the defensive copy a [record]
+   value would force — the payload is encoded before the callback
+   returns). *)
+
+let emit_malloc w ~size =
+  reserve w 11;
+  wbyte w t_malloc;
+  wuv w size;
+  w.nobjects <- w.nobjects + 1;
+  w.nrecords <- w.nrecords + 1
+
+let emit_free w ~id =
+  reserve w 11;
+  wbyte w t_free;
+  wuv w id;
+  w.nrecords <- w.nrecords + 1
+
+let emit_poke w ~addr ~v =
+  reserve w 21;
+  wbyte w t_poke;
+  wuv w addr;
+  wsv w v;
+  w.nrecords <- w.nrecords + 1
+
+let emit_poke_byte w ~addr ~v =
+  reserve w 21;
+  wbyte w t_poke_byte;
+  wuv w addr;
+  wuv w (v land 0xFF);
+  w.nrecords <- w.nrecords + 1
+
+let emit_poke_bytes w ~addr s =
+  reserve w 11;
+  wbyte w t_poke_bytes;
+  wuv w addr;
+  wstr w s;
+  w.nrecords <- w.nrecords + 1
+
+let emit_poke_block w ~addr words =
+  reserve w (21 + (10 * Array.length words));
+  wbyte w t_poke_block;
+  wuv w addr;
+  wuv w (Array.length words);
+  Array.iter (wsv w) words;
+  w.nrecords <- w.nrecords + 1
+
+let emit_clear w ~addr ~bytes =
+  reserve w 21;
+  wbyte w t_clear;
+  wuv w addr;
+  wuv w bytes;
+  w.nrecords <- w.nrecords + 1
+
+let emit_newregion w =
+  reserve w 1;
+  wbyte w t_newregion;
+  w.nregions <- w.nregions + 1;
+  w.nrecords <- w.nrecords + 1
+
+let emit_ralloc w ~rid layout =
+  reserve w 11;
+  wbyte w t_ralloc;
+  wuv w rid;
+  wlayout w layout;
+  w.nobjects <- w.nobjects + 1;
+  w.nrecords <- w.nrecords + 1
+
+let emit_rstralloc w ~rid ~size =
+  reserve w 21;
+  wbyte w t_rstralloc;
+  wuv w rid;
+  wuv w size;
+  w.nobjects <- w.nobjects + 1;
+  w.nrecords <- w.nrecords + 1
+
+let emit_rarrayalloc w ~rid ~n layout =
+  reserve w 21;
+  wbyte w t_rarrayalloc;
+  wuv w rid;
+  wuv w n;
+  wlayout w layout;
+  w.nobjects <- w.nobjects + 1;
+  w.nrecords <- w.nrecords + 1
+
+let emit_deleteregion w ~frame ~slot ~ok =
+  reserve w 31;
+  wbyte w t_deleteregion;
+  wuv w frame;
+  wuv w slot;
+  wuv w (if ok then 1 else 0);
+  w.nrecords <- w.nrecords + 1
+
+let emit_store_ptr w ~addr ~v =
+  reserve w 43;
+  wbyte w t_store_ptr;
+  wvalue w addr;
+  wvalue w v;
+  w.nrecords <- w.nrecords + 1
+
+let emit_set_local w ~frame ~slot ~v =
+  reserve w 42;
+  wbyte w t_set_local;
+  wuv w frame;
+  wuv w slot;
+  wvalue w v;
+  w.nrecords <- w.nrecords + 1
+
+let emit_set_local_ptr w ~frame ~slot ~v =
+  reserve w 42;
+  wbyte w t_set_local_ptr;
+  wuv w frame;
+  wuv w slot;
+  wvalue w v;
+  w.nrecords <- w.nrecords + 1
+
+let emit_gc_roots w roots =
+  reserve w (11 + (10 * Array.length roots));
+  wbyte w t_gc_roots;
+  wuv w (Array.length roots);
+  Array.iter (wsv w) roots;
+  w.nrecords <- w.nrecords + 1
+
+let commit w ~summary =
+  if w.closed then invalid_arg "Trace.Format.commit: writer closed";
+  (* Trailer: tag 0, counts, summary, the trailer's own byte offset as
+     fixed-width LE64 (so the reader can seek to it), end magic. *)
+  flush_buf w;
+  let end_off = pos_out w.oc in
+  reserve w 31;
+  wbyte w 0;
+  wuv w w.nrecords;
+  wuv w (match w.objects_override with Some n -> n | None -> w.nobjects);
+  wuv w w.nregions;
+  wstr w summary;
+  reserve w 12;
+  Bytes.set_int64_le w.wbuf w.wpos (Int64.of_int end_off);
+  w.wpos <- w.wpos + 8;
+  Bytes.blit_string end_magic 0 w.wbuf w.wpos 4;
+  w.wpos <- w.wpos + 4;
+  flush_buf w;
+  close_out w.oc;
+  w.closed <- true;
+  Sys.rename w.tmp w.final
+
+let abort w =
+  if not w.closed then begin
+    close_out_noerr w.oc;
+    w.closed <- true;
+    try Sys.remove w.tmp with Sys_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reader *)
+
+type reader = {
+  data : string;
+  hdr : header;
+  body_start : int;
+  end_off : int;
+  r_records : int;
+  r_objects : int;
+  r_regions : int;
+  r_summary : string;
+  mutable pos : int;
+  mutable strs : string array;
+  mutable nstrs : int;
+  (* Layout intern table: encoded-bytes key -> constructed layout. *)
+  mutable lay_keys : string array;
+  mutable lay_vals : Regions.Cleanup.layout array;
+  mutable nlays : int;
+}
+
+let get_byte r =
+  if r.pos >= r.end_off then corrupt "record runs past the trailer";
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+(* Raw decoding over (string, pos ref) used for both header and body. *)
+let ruv s pos limit =
+  let n = ref 0 and shift = ref 0 and cont = ref true in
+  while !cont do
+    if !pos >= limit then corrupt "truncated varint";
+    let c = Char.code s.[!pos] in
+    incr pos;
+    n := !n lor ((c land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    if c < 0x80 then cont := false
+    else if !shift > 62 then corrupt "oversized varint"
+  done;
+  !n
+
+let rstr s pos limit =
+  let n = ruv s pos limit in
+  if !pos + n > limit then corrupt "truncated string";
+  let v = String.sub s !pos n in
+  pos := !pos + n;
+  v
+
+(* Multi-byte continuation of [uv]: accumulator threading instead of a
+   [ref], so the decode hot path never allocates. *)
+let rec uv_slow r pos shift acc =
+  if pos >= r.end_off then corrupt "truncated varint";
+  let c = Char.code (String.unsafe_get r.data pos) in
+  let acc = acc lor ((c land 0x7F) lsl shift) in
+  if c < 0x80 then begin
+    r.pos <- pos + 1;
+    acc
+  end
+  else if shift > 55 then corrupt "oversized varint"
+  else uv_slow r (pos + 1) (shift + 7) acc
+
+let uv r =
+  (* One-byte fast path (the overwhelmingly common case). *)
+  let pos = r.pos in
+  if pos >= r.end_off then corrupt "truncated varint";
+  let c = Char.code (String.unsafe_get r.data pos) in
+  if c < 0x80 then begin
+    r.pos <- pos + 1;
+    c
+  end
+  else uv_slow r (pos + 1) 7 (c land 0x7F)
+
+let sv r = unzigzag (uv r)
+
+let str r =
+  let pos = ref r.pos in
+  let v = rstr r.data pos r.end_off in
+  r.pos <- !pos;
+  v
+
+let value r =
+  match uv r with
+  | 0 -> Raw (sv r)
+  | 1 ->
+      let id = uv r in
+      let delta = uv r in
+      Obj (id, delta)
+  | 2 -> Reg (uv r)
+  | k -> corrupt "unknown value kind %d" k
+
+(* Layouts repeat endlessly — a workload has a handful of object
+   shapes — so intern them by their encoded bytes: each distinct
+   layout is validated and sorted once per reader, and the hot decode
+   path is a varint skip plus a byte compare, with no allocation. *)
+let layout r =
+  let start = r.pos in
+  let size_bytes = uv r in
+  let n = uv r in
+  for _ = 1 to n do ignore (uv r) done;
+  let len = r.pos - start in
+  let matches k =
+    String.length k = len
+    &&
+    let rec eq i =
+      i >= len
+      || String.unsafe_get k i = String.unsafe_get r.data (start + i)
+         && eq (i + 1)
+    in
+    eq 0
+  in
+  let rec find i =
+    if i >= r.nlays then -1
+    else if matches r.lay_keys.(i) then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  if i >= 0 then r.lay_vals.(i)
+  else begin
+    (* First sighting: re-decode the offsets and construct for real. *)
+    r.pos <- start;
+    ignore (uv r);
+    let n = uv r in
+    let offs = List.init n (fun _ -> uv r) in
+    let l = Regions.Cleanup.layout ~size_bytes ~ptr_offsets:offs in
+    if r.nlays >= Array.length r.lay_keys then begin
+      let cap = max 8 (2 * Array.length r.lay_keys) in
+      let ks = Array.make cap "" and vs = Array.make cap l in
+      Array.blit r.lay_keys 0 ks 0 r.nlays;
+      Array.blit r.lay_vals 0 vs 0 r.nlays;
+      r.lay_keys <- ks;
+      r.lay_vals <- vs
+    end;
+    r.lay_keys.(r.nlays) <- String.sub r.data start len;
+    r.lay_vals.(r.nlays) <- l;
+    r.nlays <- r.nlays + 1;
+    l
+  end
+
+let open_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | data -> (
+      try
+        let len = String.length data in
+        if len < 4 + 1 + 12 then corrupt "file too short";
+        if String.sub data 0 4 <> magic then corrupt "bad magic";
+        if Char.code data.[4] <> version then
+          corrupt "unsupported trace version %d" (Char.code data.[4]);
+        if String.sub data (len - 4) 4 <> end_magic then
+          corrupt "missing end magic (truncated or torn trace)";
+        let end_off =
+          Int64.to_int (Bytes.get_int64_le (Bytes.of_string (String.sub data (len - 12) 8)) 0)
+        in
+        if end_off < 5 || end_off >= len - 12 then corrupt "bad trailer offset";
+        (* Header *)
+        let pos = ref 5 in
+        let workload = rstr data pos end_off in
+        let variant = rstr data pos end_off in
+        let mode = rstr data pos end_off in
+        let size = rstr data pos end_off in
+        let seed = ruv data pos end_off in
+        let build_id = rstr data pos end_off in
+        let body_start = !pos in
+        (* Trailer *)
+        let tpos = ref end_off in
+        if Char.code data.[!tpos] <> 0 then corrupt "trailer tag mismatch";
+        incr tpos;
+        let limit = len - 12 in
+        let r_records = ruv data tpos limit in
+        let r_objects = ruv data tpos limit in
+        let r_regions = ruv data tpos limit in
+        let r_summary = rstr data tpos limit in
+        if !tpos <> limit then corrupt "trailing bytes after trailer";
+        Ok
+          {
+            data;
+            hdr = { workload; variant; mode; size; seed; build_id };
+            body_start;
+            end_off;
+            r_records;
+            r_objects;
+            r_regions;
+            r_summary;
+            pos = body_start;
+            strs = Array.make 16 "";
+            nstrs = 0;
+            lay_keys = [||];
+            lay_vals = [||];
+            nlays = 0;
+          }
+      with Corrupt msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let header r = r.hdr
+let summary r = r.r_summary
+let records r = r.r_records
+let objects r = r.r_objects
+let regions r = r.r_regions
+
+let reset r =
+  r.pos <- r.body_start;
+  r.nstrs <- 0
+
+let add_str r s =
+  if r.nstrs = Array.length r.strs then begin
+    let bigger = Array.make (2 * r.nstrs) "" in
+    Array.blit r.strs 0 bigger 0 r.nstrs;
+    r.strs <- bigger
+  end;
+  r.strs.(r.nstrs) <- s;
+  r.nstrs <- r.nstrs + 1
+
+let rec next r =
+  if r.pos >= r.end_off then End
+  else
+    let tag = get_byte r in
+    if tag = t_malloc then Malloc { size = uv r }
+    else if tag = t_free then Free { id = uv r }
+    else if tag = t_realloc then
+      let id = uv r in
+      let size = uv r in
+      Realloc { id; size }
+    else if tag = t_newregion then Newregion
+    else if tag = t_ralloc then
+      let rid = uv r in
+      let l = layout r in
+      Ralloc { rid; layout = l }
+    else if tag = t_rstralloc then
+      let rid = uv r in
+      let size = uv r in
+      Rstralloc { rid; size }
+    else if tag = t_rarrayalloc then
+      let rid = uv r in
+      let n = uv r in
+      let l = layout r in
+      Rarrayalloc { rid; n; layout = l }
+    else if tag = t_deleteregion then
+      let frame = uv r in
+      let slot = uv r in
+      let ok = uv r <> 0 in
+      Deleteregion { frame; slot; ok }
+    else if tag = t_frame_push then
+      let nslots = uv r in
+      let n = uv r in
+      let ptr_slots = List.init n (fun _ -> uv r) in
+      Frame_push { nslots; ptr_slots }
+    else if tag = t_frame_pop then Frame_pop
+    else if tag = t_poke then
+      let addr = uv r in
+      let v = sv r in
+      Poke { addr; v }
+    else if tag = t_poke_byte then
+      let addr = uv r in
+      let v = uv r in
+      Poke_byte { addr; v }
+    else if tag = t_poke_bytes then
+      let addr = uv r in
+      let s = str r in
+      Poke_bytes { addr; s }
+    else if tag = t_poke_block then
+      let addr = uv r in
+      let n = uv r in
+      let words = Array.init n (fun _ -> sv r) in
+      Poke_block { addr; words }
+    else if tag = t_poke_obj then
+      let id = uv r in
+      let word = uv r in
+      let v = sv r in
+      Poke_obj { id; word; v }
+    else if tag = t_clear then
+      let addr = uv r in
+      let bytes = uv r in
+      Clear { addr; bytes }
+    else if tag = t_store_ptr then
+      let addr = value r in
+      let v = value r in
+      Store_ptr { addr; v }
+    else if tag = t_set_local then
+      let frame = uv r in
+      let slot = uv r in
+      let v = value r in
+      Set_local { frame; slot; v }
+    else if tag = t_set_local_ptr then
+      let frame = uv r in
+      let slot = uv r in
+      let v = value r in
+      Set_local_ptr { frame; slot; v }
+    else if tag = t_gc_roots then
+      let n = uv r in
+      Gc_roots (Array.init n (fun _ -> sv r))
+    else if tag = t_mark then begin
+      let id = uv r in
+      let kind =
+        match uv r with
+        | 0 -> Phase_begin
+        | 1 -> Phase_end
+        | 2 -> Site_begin
+        | 3 -> Site_end
+        | k -> corrupt "unknown mark kind %d" k
+      in
+      if id >= r.nstrs then corrupt "undefined string id %d" id;
+      Mark { name = r.strs.(id); kind }
+    end
+    else if tag = t_strdef then begin
+      add_str r (str r);
+      next r
+    end
+    else corrupt "unknown record tag %d" tag
+
+(* Fused decode for the replay hot path: plain [Poke] records — the
+   bulk of every trace — are delivered straight to [poke] without
+   materialising a [record]; the first record of any other kind is
+   decoded by [next] and returned. *)
+let rec next_with_pokes r ~poke =
+  if r.pos >= r.end_off then End
+  else if Char.code (String.unsafe_get r.data r.pos) = t_poke then begin
+    r.pos <- r.pos + 1;
+    let addr = uv r in
+    let v = sv r in
+    poke ~addr ~v;
+    next_with_pokes r ~poke
+  end
+  else next r
+
+(* Decode one classified value without building it: the components go
+   straight through [resolve kind a b] (kind 0 = Raw a, 1 = Obj (a, b),
+   2 = Reg a), which hands back the replay-side address. *)
+let fused_value r resolve =
+  match uv r with
+  | 0 -> resolve 0 (sv r) 0
+  | 1 ->
+      let id = uv r in
+      let delta = uv r in
+      resolve 1 id delta
+  | 2 -> resolve 2 (uv r) 0
+  | k -> corrupt "unknown value kind %d" k
+
+let rec next_fused r ~poke ~resolve ~store =
+  if r.pos >= r.end_off then End
+  else
+    let tag = Char.code (String.unsafe_get r.data r.pos) in
+    if tag = t_poke then begin
+      r.pos <- r.pos + 1;
+      let addr = uv r in
+      let v = sv r in
+      poke ~addr ~v;
+      next_fused r ~poke ~resolve ~store
+    end
+    else if tag = t_store_ptr then begin
+      r.pos <- r.pos + 1;
+      let addr = fused_value r resolve in
+      let v = fused_value r resolve in
+      store ~addr ~v;
+      next_fused r ~poke ~resolve ~store
+    end
+    else next r

@@ -1,0 +1,158 @@
+(** Compact binary allocation-trace format.
+
+    A trace is one file: a versioned header naming what was recorded
+    (workload, trace variant, recording mode, size, seed, build id), a
+    stream of variable-length records — the allocator-visible
+    operations of one run, plus the heap stores and collection-time
+    root snapshots a replay needs — and a trailer carrying the record
+    and id counts and the run's summary string, sealed with an end
+    magic so truncated or torn files are rejected at open.
+
+    Integers are LEB128 varints (zigzag where a field can be
+    negative); phase/site names are interned, each defined once inline
+    by a string-definition record.  The writer streams through a
+    buffer into [path ^ ".tmp.<pid>"] and commits with an atomic
+    rename, like every other artefact in this repo.  The reader maps
+    the whole file into one string up front and then decodes with a
+    moving cursor: no per-record I/O, no copies, a few words per
+    decoded record. *)
+
+exception Corrupt of string
+(** Raised by the reader on a malformed or truncated stream. *)
+
+type header = {
+  workload : string;
+  variant : string;  (** ["malloc"], ["emu"], ["region"] or ["ops"] *)
+  mode : string;  (** mode the trace was recorded under *)
+  size : string;  (** ["quick"] or ["full"] *)
+  seed : int;
+  build_id : string;
+}
+
+(** A pointer-classified value: [Raw] travels verbatim, [Obj (id,
+    delta)] names a byte offset into the [id]th allocation of the
+    trace, [Reg rid] names the [rid]th region's handle.  Replay
+    resolves [Obj]/[Reg] against its own allocation addresses, which
+    is the identity when the replay mode matches the recording mode
+    and the cross-allocator translation otherwise. *)
+type value = Raw of int | Obj of int * int | Reg of int
+
+type mark = Phase_begin | Phase_end | Site_begin | Site_end
+
+type record =
+  | Malloc of { size : int }
+  | Free of { id : int }
+  | Realloc of { id : int; size : int }  (** ops traces only *)
+  | Newregion
+  | Ralloc of { rid : int; layout : Regions.Cleanup.layout }
+  | Rstralloc of { rid : int; size : int }
+  | Rarrayalloc of { rid : int; n : int; layout : Regions.Cleanup.layout }
+  | Deleteregion of { frame : int; slot : int; ok : bool }
+  | Frame_push of { nslots : int; ptr_slots : int list }
+  | Frame_pop
+  | Poke of { addr : int; v : int }
+  | Poke_byte of { addr : int; v : int }
+  | Poke_bytes of { addr : int; s : string }
+  | Poke_block of { addr : int; words : int array }
+  | Poke_obj of { id : int; word : int; v : int }  (** ops traces only *)
+  | Clear of { addr : int; bytes : int }
+  | Store_ptr of { addr : value; v : value }
+  | Set_local of { frame : int; slot : int; v : value }
+  | Set_local_ptr of { frame : int; slot : int; v : value }
+  | Gc_roots of int array
+  | Mark of { name : string; kind : mark }
+  | End
+
+(** {1 Writer} *)
+
+type writer
+
+val create_writer : path:string -> header -> writer
+(** Opens [path ^ ".tmp.<pid>"] and writes the header.  The final
+    [path] is untouched until {!commit}. *)
+
+val emit : writer -> record -> unit
+(** Appends one record.  [Malloc]/[Realloc]/[Ralloc]/[Rstralloc]/
+    [Rarrayalloc] advance the object-id counter and [Newregion] the
+    region-id counter recorded in the trailer.  @raise Invalid_argument
+    on [End] (the trailer is {!commit}'s job). *)
+
+val set_object_count : writer -> int -> unit
+(** Override the trailer's object count (ops traces, whose abstract
+    ids are not allocation-sequential). *)
+
+(** {2 Hot-path emitters}
+
+    Byte-for-byte equivalent to {!emit} of the corresponding record,
+    minus the intermediate [record] value — the recorder sits on every
+    mutator store, so the common records get dedicated entry points.
+    [emit_poke_block] and [emit_gc_roots] encode the array before
+    returning, so the caller need not defensively copy it. *)
+
+val emit_malloc : writer -> size:int -> unit
+val emit_free : writer -> id:int -> unit
+val emit_poke : writer -> addr:int -> v:int -> unit
+val emit_poke_byte : writer -> addr:int -> v:int -> unit
+val emit_poke_bytes : writer -> addr:int -> string -> unit
+val emit_poke_block : writer -> addr:int -> int array -> unit
+val emit_clear : writer -> addr:int -> bytes:int -> unit
+val emit_gc_roots : writer -> int array -> unit
+val emit_newregion : writer -> unit
+val emit_ralloc : writer -> rid:int -> Regions.Cleanup.layout -> unit
+val emit_rstralloc : writer -> rid:int -> size:int -> unit
+val emit_rarrayalloc : writer -> rid:int -> n:int -> Regions.Cleanup.layout -> unit
+val emit_deleteregion : writer -> frame:int -> slot:int -> ok:bool -> unit
+val emit_store_ptr : writer -> addr:value -> v:value -> unit
+val emit_set_local : writer -> frame:int -> slot:int -> v:value -> unit
+val emit_set_local_ptr : writer -> frame:int -> slot:int -> v:value -> unit
+
+val commit : writer -> summary:string -> unit
+(** Writes the trailer, flushes, closes and atomically renames into
+    place. *)
+
+val abort : writer -> unit
+(** Closes and removes the temporary file (idempotent; [commit]ted
+    writers are left alone). *)
+
+(** {1 Reader} *)
+
+type reader
+
+val open_file : string -> (reader, string) result
+(** Loads and validates the envelope: magic, version, header, end
+    magic, trailer.  A truncated or torn file is an [Error]. *)
+
+val header : reader -> header
+val summary : reader -> string
+val records : reader -> int
+
+val objects : reader -> int
+(** Allocations in the trace (the replay's id-table size). *)
+
+val regions : reader -> int
+
+val reset : reader -> unit
+(** Rewind to the first record. *)
+
+val next : reader -> record
+(** The next record, or [End] once the stream is exhausted (then
+    forever).  String definitions are consumed transparently.
+    @raise Corrupt on a malformed record. *)
+
+val next_with_pokes : reader -> poke:(addr:int -> v:int -> unit) -> record
+(** Like {!next}, but any run of plain [Poke] records — the bulk of a
+    workload trace — is delivered through [poke] without materialising
+    [record] values; the first record of any other kind is returned. *)
+
+val next_fused :
+  reader ->
+  poke:(addr:int -> v:int -> unit) ->
+  resolve:(int -> int -> int -> int) ->
+  store:(addr:int -> v:int -> unit) ->
+  record
+(** Like {!next_with_pokes}, but [Store_ptr] records — the second
+    largest class in pointer-heavy traces — are also consumed in
+    place: each classified value's components go through [resolve kind
+    a b] (kind 0 = [Raw a], 1 = [Obj (a, b)], 2 = [Reg a]), and the
+    two resolved addresses through [store].  Everything stays in
+    immediate ints — no [value] or [record] is built. *)

@@ -1,0 +1,195 @@
+module Api = Workloads.Api
+
+exception Divergence of string
+
+let diverge fmt = Printf.ksprintf (fun s -> raise (Divergence s)) fmt
+
+(* The cache simulator only turns accesses into cycle/stall costs —
+   mutator-side numbers replay does not reproduce — and every
+   allocator-side count is identical without it, so replays default it
+   off for speed. *)
+let run ?(with_cache = false) reader mode =
+  let hdr = Format.header reader in
+  if hdr.variant = "ops" then
+    invalid_arg "Trace.Replay.run: ops traces replay with run_ops";
+  if Record.variant_of_mode mode <> hdr.variant then
+    invalid_arg
+      (Printf.sprintf "Trace.Replay.run: %s trace cannot serve mode %s"
+         hdr.variant (Api.mode_name mode));
+  Format.reset reader;
+  (* Pokes (heap contents, raw root snapshots) are only meaningful when
+     the replay allocates at the recorded addresses: replaying the
+     recording mode itself, or the safe/unsafe region pair, whose
+     allocation paths are address-identical.  Elsewhere contents are
+     never read back (no collector, no cleanup walk of data), so pokes
+     are skipped and only classified values are translated. *)
+  let apply_pokes =
+    Api.mode_name mode = hdr.mode
+    || match mode with Api.Region _ -> true | _ -> false
+  in
+  let rootq = Queue.create () in
+  let gc_roots () =
+    match Queue.take_opt rootq with
+    | Some roots -> roots
+    | None -> diverge "collection with no recorded root snapshot left"
+  in
+  let api = Api.create ~with_cache ~gc_roots mode in
+  let mem = Api.memory api in
+  let mut = Api.mutator api in
+  let obj_addr = Array.make (max (Format.objects reader) 1) 0 in
+  let reg_handle = Array.make (max (Format.regions reader) 1) 0 in
+  let next_obj = ref 0 and next_reg = ref 0 in
+  let push_obj addr =
+    obj_addr.(!next_obj) <- addr;
+    incr next_obj
+  in
+  let resolve = function
+    | Format.Raw v -> v
+    | Format.Obj (id, delta) -> obj_addr.(id) + delta
+    | Format.Reg rid -> reg_handle.(rid)
+  in
+  let apply = function
+    | Format.Malloc { size } -> push_obj (Api.malloc api size)
+    | Format.Free { id } -> Api.free api obj_addr.(id)
+    | Format.Newregion ->
+        reg_handle.(!next_reg) <- Api.newregion api;
+        incr next_reg
+    | Format.Ralloc { rid; layout } ->
+        push_obj (Api.ralloc api reg_handle.(rid) layout)
+    | Format.Rstralloc { rid; size } ->
+        push_obj (Api.rstralloc api reg_handle.(rid) size)
+    | Format.Rarrayalloc { rid; n; layout } ->
+        push_obj (Api.rarrayalloc api reg_handle.(rid) ~n layout)
+    | Format.Deleteregion { frame; slot; ok } ->
+        let got = Api.deleteregion api (Regions.Mutator.frame mut frame) slot in
+        if got <> ok then
+          diverge "deleteregion returned %b where the trace recorded %b" got ok
+    | Format.Poke { addr; v } -> if apply_pokes then Sim.Memory.poke mem addr v
+    | Format.Poke_byte { addr; v } ->
+        if apply_pokes then Sim.Memory.poke_byte mem addr v
+    | Format.Poke_bytes { addr; s } ->
+        if apply_pokes then Sim.Memory.poke_bytes mem addr s
+    | Format.Poke_block { addr; words } ->
+        if apply_pokes then
+          Array.iteri
+            (fun i v -> Sim.Memory.poke mem (addr + (4 * i)) v)
+            words
+    | Format.Clear { addr; bytes } ->
+        if apply_pokes then Sim.Memory.poke_fill mem addr bytes
+    | Format.Store_ptr { addr; v } -> (
+        (* Under regions the barrier is allocator-side work (refcount
+           maintenance that [deleteregion] outcomes depend on), so it
+           must really execute; elsewhere a pointer store is plain
+           mutator traffic and only the heap contents matter. *)
+        match mode with
+        | Api.Region _ -> Api.store_ptr api ~addr:(resolve addr) (resolve v)
+        | _ ->
+            if apply_pokes then Sim.Memory.poke mem (resolve addr) (resolve v))
+    | Format.Set_local { frame; slot; v } ->
+        Api.set_local api (Regions.Mutator.frame mut frame) slot (resolve v)
+    | Format.Set_local_ptr { frame; slot; v } ->
+        Api.set_local_ptr api (Regions.Mutator.frame mut frame) slot (resolve v)
+    | Format.Gc_roots roots -> Queue.add roots rootq
+    | Format.Mark _ -> ()
+    | Format.Realloc _ | Format.Poke_obj _ ->
+        diverge "ops record inside a workload trace"
+    | Format.Frame_push _ | Format.Frame_pop | Format.End ->
+        assert false (* handled by run_level *)
+  in
+  (* Plain pokes and pointer stores dominate every trace; decode both
+     fused (and, when they don't apply, into a no-op) instead of
+     through [apply].  [resolve_fused] is {!resolve} over unpacked
+     value components — immediate ints end to end. *)
+  let poke =
+    if apply_pokes then fun ~addr ~v -> Sim.Memory.poke mem addr v
+    else fun ~addr:_ ~v:_ -> ()
+  in
+  let resolve_fused kind a b =
+    if kind = 0 then a else if kind = 1 then obj_addr.(a) + b else reg_handle.(a)
+  in
+  let store =
+    match mode with
+    | Api.Region _ -> fun ~addr ~v -> Api.store_ptr api ~addr v
+    | _ -> poke
+  in
+  let rec run_level depth =
+    match Format.next_fused reader ~poke ~resolve:resolve_fused ~store with
+    | Format.End ->
+        if depth <> 0 then diverge "trace ended inside %d open frame(s)" depth
+    | Format.Frame_pop -> if depth = 0 then diverge "unmatched frame pop"
+    | Format.Frame_push { nslots; ptr_slots } ->
+        Api.with_frame api ~nslots ~ptr_slots (fun _ ->
+            run_level (depth + 1));
+        run_level depth
+    | r ->
+        apply r;
+        run_level depth
+  in
+  run_level 0;
+  Workloads.Results.collect api ~workload:hdr.workload
+    ~summary:(Format.summary reader)
+
+(* {2 ops traces} *)
+
+let copy_prefix mem ~src ~dst ~bytes =
+  let words = (bytes + 3) / 4 in
+  for i = 0 to words - 1 do
+    Sim.Memory.poke mem (dst + (4 * i)) (Sim.Memory.peek mem (src + (4 * i)))
+  done
+
+let run_ops reader (alloc : Alloc.Allocator.t) =
+  let hdr = Format.header reader in
+  if hdr.variant <> "ops" then
+    invalid_arg "Trace.Replay.run_ops: not an ops trace";
+  Format.reset reader;
+  let n = max (Format.objects reader) 1 in
+  let addr = Array.make n 0 and size = Array.make n 0 in
+  let rec loop () =
+    match Format.next reader with
+    | Format.End -> ()
+    | Format.Realloc { id; size = sz } ->
+        let old = addr.(id) and old_size = size.(id) in
+        let p = alloc.malloc sz in
+        if old <> 0 then (
+          copy_prefix alloc.memory ~src:old ~dst:p ~bytes:(min old_size sz);
+          alloc.free old);
+        addr.(id) <- p;
+        size.(id) <- sz;
+        loop ()
+    | Format.Free { id } ->
+        alloc.free addr.(id);
+        addr.(id) <- 0;
+        size.(id) <- 0;
+        loop ()
+    | Format.Poke_obj { id; word; v } ->
+        Sim.Memory.poke alloc.memory (addr.(id) + (4 * word)) v;
+        loop ()
+    | r ->
+        diverge "record %s in an ops trace"
+          (match r with Format.Malloc _ -> "Malloc" | _ -> "non-ops")
+  in
+  loop ()
+
+let interpret_ops (tr : Check.Trace.t) (alloc : Alloc.Allocator.t) =
+  let addr = Array.make 256 0 and size = Array.make 256 0 in
+  Array.iter
+    (fun op ->
+      match op with
+      | Check.Trace.Alloc { id; size = sz } | Check.Trace.Realloc { id; size = sz }
+        ->
+          let old = addr.(id) and old_size = size.(id) in
+          let p = alloc.malloc sz in
+          if old <> 0 then (
+            copy_prefix alloc.memory ~src:old ~dst:p ~bytes:(min old_size sz);
+            alloc.free old);
+          addr.(id) <- p;
+          size.(id) <- sz
+      | Check.Trace.Free { id } ->
+          alloc.free addr.(id);
+          addr.(id) <- 0;
+          size.(id) <- 0
+      | Check.Trace.Poke { id; word } ->
+          Sim.Memory.poke alloc.memory
+            (addr.(id) + (4 * word))
+            (Record.marker ~id ~word))
+    tr.ops

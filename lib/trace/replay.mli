@@ -1,0 +1,56 @@
+(** Replay: drive any allocator column from a recorded trace.
+
+    [run] re-executes a trace's allocator-visible operation stream —
+    mallocs, frees, region operations, frames, pointer-valued stores —
+    against a fresh facade in the requested mode, skipping the mutator
+    compute that produced it.  Allocator-owned work (allocation paths,
+    write barriers, stack scans, region cleanup, collections) runs for
+    real against the simulated machine, so every allocator-side
+    measurement — [alloc_instrs], [refcount_instrs],
+    [stack_scan_instrs], [cleanup_instrs], [os_bytes],
+    [emu_overhead_bytes], the requested-stats triple and the region
+    summary — is count-equivalent to the full run ([repro replay
+    --verify] checks this over the whole matrix).  Mutator-side
+    numbers ([cycles], [base_instrs], stalls) are {e not} reproduced:
+    figures that need them take full execution.
+
+    Heap contents are reproduced by cost-free pokes when the replay
+    shares the recording's address space (self-replay; safe ⇄ unsafe
+    regions), which is what keeps the conservative collector's
+    scanning — fed the recorded per-collection root snapshots —
+    deterministic.  Across address spaces (a gc-recorded trace
+    replayed under Sun/BSD/Lea) contents are unused and only
+    pointer-classified values are translated. *)
+
+exception Divergence of string
+(** The replayed allocator disagreed with the trace (a [deleteregion]
+    result flipped, a collection happened with no recorded roots, a
+    malformed frame structure...).  Indicates the replay-equivalence
+    assumption broke — a bug, not an input error. *)
+
+val run :
+  ?with_cache:bool -> Format.reader -> Workloads.Api.mode -> Workloads.Results.t
+(** [run reader mode] replays the trace against [mode] and collects
+    results, carrying the recorded run's summary line.
+
+    [with_cache] defaults to [false]: the cache simulator only prices
+    accesses into cycles and stalls — mutator-side numbers a replay
+    does not reproduce anyway — while every allocator-side count is
+    identical with it off, so replays skip it and run substantially
+    faster.  Pass [~with_cache:true] to mirror a full run's machine
+    configuration exactly.
+    @raise Invalid_argument when [mode] is not served by the trace's
+    variant (see {!Record.variant_of_mode}). *)
+
+(** {1 ops traces} *)
+
+val run_ops : Format.reader -> Alloc.Allocator.t -> unit
+(** Replay an ["ops"] trace ({!Record.write_ops}) against a bare
+    allocator: [Realloc] allocates into an id slot (copying the
+    overlapping prefix and freeing the old block when the slot was
+    live), [Free] releases it, [Poke_obj] writes the marker word. *)
+
+val interpret_ops : Check.Trace.t -> Alloc.Allocator.t -> unit
+(** The same semantics applied directly to a generated trace, without
+    the encode/decode round trip — the live side of the
+    record-vs-replay equivalence property. *)

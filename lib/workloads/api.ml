@@ -29,6 +29,36 @@ let all_modes =
 
 type region = int
 
+(* Allocation-trace recorder: one callback per operation that a replay
+   must reproduce.  The facade invokes these as pure observation —
+   after the simulated effect, charging nothing — so a recorded run's
+   measurements are identical to an unrecorded one.  [lib/trace]
+   supplies the implementation; keeping the type here lets the facade
+   stay below lib/trace in the dependency order. *)
+type recorder = {
+  rec_malloc : size:int -> addr:int -> unit;
+  rec_free : addr:int -> unit;
+  rec_newregion : r:region -> unit;
+  rec_ralloc : r:region -> layout:Regions.Cleanup.layout -> addr:int -> unit;
+  rec_rstralloc : r:region -> size:int -> addr:int -> unit;
+  rec_rarrayalloc :
+    r:region -> n:int -> layout:Regions.Cleanup.layout -> addr:int -> unit;
+  rec_deleteregion : frame:int -> slot:int -> r:region -> ok:bool -> unit;
+  rec_frame_push : nslots:int -> ptr_slots:int list -> unit;
+  rec_frame_pop : unit -> unit;
+  rec_store : addr:int -> int -> unit;
+  rec_store_byte : addr:int -> int -> unit;
+  rec_store_block : addr:int -> int array -> unit;
+  rec_store_bytes : addr:int -> string -> unit;
+  rec_clear : addr:int -> bytes:int -> unit;
+  rec_store_ptr : addr:int -> int -> unit;
+  rec_set_local : frame:int -> slot:int -> int -> unit;
+  rec_set_local_ptr : frame:int -> slot:int -> int -> unit;
+  rec_gc_roots : int array -> unit;
+  rec_phase : string -> bool -> unit;
+  rec_site : string -> bool -> unit;
+}
+
 type t = {
   mode : mode;
   mem : Sim.Memory.t;
@@ -43,19 +73,41 @@ type t = {
   mutable emu_overhead_max : int;
   root_providers : ((int -> unit) -> unit) list ref;
   tracer : Obs.Tracer.t;
+  recorder : recorder option;
 }
 
 let create ?machine ?(with_cache = true) ?(globals_words = 1024)
-    ?(offset_regions = true) ?(eager_locals = false) ?tracer mode =
+    ?(offset_regions = true) ?(eager_locals = false) ?tracer ?recorder
+    ?gc_roots mode =
   let mem = Sim.Memory.create ?machine ~with_cache () in
   (* Attach the tracer before any manager runs so region creation,
      page mapping and GC events from setup are observed too. *)
   (match tracer with Some tr -> Sim.Memory.set_tracer mem tr | None -> ());
   let mut = Regions.Mutator.create ~globals_words mem in
   let providers = ref [] in
+  (* Three root regimes: live iteration (normal runs); live iteration
+     snapshotted per collection (recording — the collector only asks
+     for roots when it collects, so one snapshot per collection
+     suffices and replays exactly); snapshots fed back from a trace
+     (replay, where the recorded program's bookkeeping no longer
+     exists).  Snapshot order is iteration order, so marking visits
+     addresses identically in all three. *)
   let roots f =
-    Regions.Mutator.iter_roots mut f;
-    List.iter (fun prov -> prov f) !providers
+    match gc_roots with
+    | Some next -> Array.iter f (next ())
+    | None -> (
+        let live f =
+          Regions.Mutator.iter_roots mut f;
+          List.iter (fun prov -> prov f) !providers
+        in
+        match recorder with
+        | None -> live f
+        | Some r ->
+            let buf = ref [] in
+            live (fun v -> buf := v :: !buf);
+            let arr = Array.of_list (List.rev !buf) in
+            r.rec_gc_roots arr;
+            Array.iter f arr)
   in
   let make_backend = function
     | Sun -> (Some (Alloc.Sun.create mem), None)
@@ -97,6 +149,7 @@ let create ?machine ?(with_cache = true) ?(globals_words = 1024)
       emu_overhead_max = 0;
       root_providers = providers;
       tracer = Sim.Memory.tracer mem;
+      recorder;
     }
   in
   (* The probe reads counters without charging the simulation: the
@@ -145,33 +198,80 @@ let kind t =
 let memory t = t.mem
 let mutator t = t.mut
 let cost t = Sim.Memory.cost t.mem
+
+(* Recorder dispatch.  [recd] is a single cold branch when recording is
+   off; [frame_index] resolves a frame value to its stack depth (the
+   form a trace can name), searching from the top since workloads
+   almost always touch the current frame.  The store-family entry
+   points below match on [t.recorder] inline instead of going through
+   [recd]: passing [recd] a closure would allocate it per store,
+   recording or not, and those calls sit on the workloads' hottest
+   path. *)
+let recd t f = match t.recorder with Some r -> f r | None -> ()
+
+let frame_index t fr =
+  let rec go i =
+    if i < 0 then invalid_arg "Api: recorded frame is not on the stack"
+    else if Regions.Mutator.frame t.mut i == fr then i
+    else go (i - 1)
+  in
+  go (Regions.Mutator.depth t.mut - 1)
+
 let load t = Sim.Memory.load t.mem
 let load_signed t = Sim.Memory.load_signed t.mem
-let store t = Sim.Memory.store t.mem
+
+let store t addr v =
+  Sim.Memory.store t.mem addr v;
+  match t.recorder with Some r -> r.rec_store ~addr v | None -> ()
+
 let load_byte t = Sim.Memory.load_byte t.mem
-let store_byte t = Sim.Memory.store_byte t.mem
+
+let store_byte t addr v =
+  Sim.Memory.store_byte t.mem addr v;
+  match t.recorder with Some r -> r.rec_store_byte ~addr v | None -> ()
+
 let load_block t = Sim.Memory.load_block t.mem
-let store_block t = Sim.Memory.store_block t.mem
-let store_bytes t = Sim.Memory.store_bytes t.mem
+
+let store_block t addr words =
+  Sim.Memory.store_block t.mem addr words;
+  match t.recorder with Some r -> r.rec_store_block ~addr words | None -> ()
+
+let store_bytes t addr s =
+  Sim.Memory.store_bytes t.mem addr s;
+  match t.recorder with Some r -> r.rec_store_bytes ~addr s | None -> ()
+
+let clear t addr bytes =
+  Sim.Memory.clear t.mem addr bytes;
+  match t.recorder with Some r -> r.rec_clear ~addr ~bytes | None -> ()
 
 let store_ptr t ~addr v =
-  match t.reg with
+  (match t.reg with
   | Some lib -> Regions.Region.write_ptr lib ~addr v
-  | None -> Sim.Memory.store t.mem addr v
+  | None -> Sim.Memory.store t.mem addr v);
+  match t.recorder with Some r -> r.rec_store_ptr ~addr v | None -> ()
 
 let work t n =
   Sim.Cost.instr (cost t) n;
   Obs.Tracer.tick t.tracer
 
 let with_frame t ~nslots ~ptr_slots f =
-  Regions.Mutator.with_frame t.mut ~nslots ~ptr_slots f
+  match t.recorder with
+  | None -> Regions.Mutator.with_frame t.mut ~nslots ~ptr_slots f
+  | Some r ->
+      r.rec_frame_push ~nslots ~ptr_slots;
+      let v = Regions.Mutator.with_frame t.mut ~nslots ~ptr_slots f in
+      r.rec_frame_pop ();
+      v
 
-let set_local t fr i v = Regions.Mutator.set_local t.mut fr i v
+let set_local t fr i v =
+  Regions.Mutator.set_local t.mut fr i v;
+  recd t (fun r -> r.rec_set_local ~frame:(frame_index t fr) ~slot:i v)
 
 let set_local_ptr t fr i v =
-  match t.reg with
+  (match t.reg with
   | Some lib -> Regions.Region.set_local_ptr lib fr i v
-  | None -> Regions.Mutator.set_local t.mut fr i v
+  | None -> Regions.Mutator.set_local t.mut fr i v);
+  recd t (fun r -> r.rec_set_local_ptr ~frame:(frame_index t fr) ~slot:i v)
 
 let get_local = Regions.Mutator.get_local
 
@@ -187,6 +287,7 @@ let malloc t size =
       let p = a.Alloc.Allocator.malloc size in
       Alloc.Stats.on_alloc t.req ~addr:p ~size;
       Obs.Tracer.malloc t.tracer ~addr:p ~bytes:size;
+      recd t (fun r -> r.rec_malloc ~size ~addr:p);
       p
   | _ -> unsupported t "malloc"
 
@@ -196,11 +297,13 @@ let free t addr =
       (* Frees are compiled out under the collector; only the logical
          accounting proceeds. *)
       Alloc.Stats.on_free t.req addr;
-      Obs.Tracer.free t.tracer ~addr
+      Obs.Tracer.free t.tracer ~addr;
+      recd t (fun r -> r.rec_free ~addr)
   | Direct _, Some a ->
       Alloc.Stats.on_free t.req addr;
       a.Alloc.Allocator.free addr;
-      Obs.Tracer.free t.tracer ~addr
+      Obs.Tracer.free t.tracer ~addr;
+      recd t (fun r -> r.rec_free ~addr)
   | _ -> unsupported t "free"
 
 (* ------------------------------------------------------------------ *)
@@ -218,54 +321,72 @@ let bump_emu_overhead t bytes =
   if t.emu_overhead > t.emu_overhead_max then t.emu_overhead_max <- t.emu_overhead
 
 let newregion t =
-  match (t.reg, t.emu) with
-  | Some lib, _ -> Regions.Region.newregion lib
-  | None, Some emu ->
-      let r = Regions.Emulation.newregion emu in
-      bump_emu_overhead t 12 (* region record + its malloc header *);
-      Obs.Tracer.region_create t.tracer r;
-      r
-  | None, None -> unsupported t "newregion"
+  let r =
+    match (t.reg, t.emu) with
+    | Some lib, _ -> Regions.Region.newregion lib
+    | None, Some emu ->
+        let r = Regions.Emulation.newregion emu in
+        bump_emu_overhead t 12 (* region record + its malloc header *);
+        Obs.Tracer.region_create t.tracer r;
+        r
+    | None, None -> unsupported t "newregion"
+  in
+  recd t (fun rc -> rc.rec_newregion ~r);
+  r
 
 let ralloc t r layout =
-  match (t.reg, t.emu) with
-  | Some lib, _ ->
-      let p = Regions.Region.ralloc lib r layout in
-      track_object t r p layout.Regions.Cleanup.size_bytes;
-      p
-  | None, Some emu ->
-      let p = Regions.Emulation.ralloc emu r layout.Regions.Cleanup.size_bytes in
-      track_object t r p layout.Regions.Cleanup.size_bytes;
-      bump_emu_overhead t Regions.Emulation.overhead_per_object;
-      p
-  | None, None -> unsupported t "ralloc"
+  let p =
+    match (t.reg, t.emu) with
+    | Some lib, _ ->
+        let p = Regions.Region.ralloc lib r layout in
+        track_object t r p layout.Regions.Cleanup.size_bytes;
+        p
+    | None, Some emu ->
+        let p =
+          Regions.Emulation.ralloc emu r layout.Regions.Cleanup.size_bytes
+        in
+        track_object t r p layout.Regions.Cleanup.size_bytes;
+        bump_emu_overhead t Regions.Emulation.overhead_per_object;
+        p
+    | None, None -> unsupported t "ralloc"
+  in
+  recd t (fun rc -> rc.rec_ralloc ~r ~layout ~addr:p);
+  p
 
 let rstralloc t r size =
-  match (t.reg, t.emu) with
-  | Some lib, _ ->
-      let p = Regions.Region.rstralloc lib r size in
-      track_object t r p size;
-      p
-  | None, Some emu ->
-      let p = Regions.Emulation.rstralloc emu r size in
-      track_object t r p size;
-      bump_emu_overhead t Regions.Emulation.overhead_per_object;
-      p
-  | None, None -> unsupported t "rstralloc"
+  let p =
+    match (t.reg, t.emu) with
+    | Some lib, _ ->
+        let p = Regions.Region.rstralloc lib r size in
+        track_object t r p size;
+        p
+    | None, Some emu ->
+        let p = Regions.Emulation.rstralloc emu r size in
+        track_object t r p size;
+        bump_emu_overhead t Regions.Emulation.overhead_per_object;
+        p
+    | None, None -> unsupported t "rstralloc"
+  in
+  recd t (fun rc -> rc.rec_rstralloc ~r ~size ~addr:p);
+  p
 
 let rarrayalloc t r ~n layout =
-  match (t.reg, t.emu) with
-  | Some lib, _ ->
-      let p = Regions.Region.rarrayalloc lib r ~n layout in
-      track_object t r p (n * layout.Regions.Cleanup.size_bytes);
-      p
-  | None, Some emu ->
-      let bytes = n * Regions.Cleanup.stride layout in
-      let p = Regions.Emulation.ralloc emu r bytes in
-      track_object t r p bytes;
-      bump_emu_overhead t Regions.Emulation.overhead_per_object;
-      p
-  | None, None -> unsupported t "rarrayalloc"
+  let p =
+    match (t.reg, t.emu) with
+    | Some lib, _ ->
+        let p = Regions.Region.rarrayalloc lib r ~n layout in
+        track_object t r p (n * layout.Regions.Cleanup.size_bytes);
+        p
+    | None, Some emu ->
+        let bytes = n * Regions.Cleanup.stride layout in
+        let p = Regions.Emulation.ralloc emu r bytes in
+        track_object t r p bytes;
+        bump_emu_overhead t Regions.Emulation.overhead_per_object;
+        p
+    | None, None -> unsupported t "rarrayalloc"
+  in
+  recd t (fun rc -> rc.rec_rarrayalloc ~r ~n ~layout ~addr:p);
+  p
 
 let forget_region t r =
   match Hashtbl.find_opt t.region_objects r with
@@ -281,11 +402,16 @@ let forget_region t r =
   | None -> if t.emu <> None then t.emu_overhead <- t.emu_overhead - 12
 
 let deleteregion t fr slot =
+  (* The frame index is resolved before the delete: a successful
+     delete cannot pop frames, but resolving first keeps the recorded
+     order identical to the executed one. *)
+  let fidx = match t.recorder with Some _ -> frame_index t fr | None -> 0 in
   match (t.reg, t.emu) with
   | Some lib, _ ->
       let r = Regions.Mutator.get_local fr slot in
       let ok = Regions.Region.deleteregion lib (Regions.Region.In_frame (fr, slot)) in
       if ok then forget_region t r;
+      recd t (fun rc -> rc.rec_deleteregion ~frame:fidx ~slot ~r ~ok);
       ok
   | None, Some emu ->
       let r = Regions.Mutator.get_local fr slot in
@@ -293,6 +419,7 @@ let deleteregion t fr slot =
       forget_region t r;
       Regions.Mutator.set_local t.mut fr slot 0;
       Obs.Tracer.region_delete t.tracer ~deleted:true r;
+      recd t (fun rc -> rc.rec_deleteregion ~frame:fidx ~slot ~r ~ok:true);
       true
   | None, None -> unsupported t "deleteregion"
 
@@ -317,5 +444,24 @@ let gc t = t.gc
 (* Observability *)
 
 let tracer t = t.tracer
-let phase t name f = Obs.Tracer.phase t.tracer name f
-let site t name f = Obs.Tracer.site t.tracer name f
+
+let marked t mark name g =
+  match t.recorder with
+  | None -> g ()
+  | Some r ->
+      mark r name true;
+      let v = g () in
+      mark r name false;
+      v
+
+let phase t name f =
+  marked t
+    (fun r -> r.rec_phase)
+    name
+    (fun () -> Obs.Tracer.phase t.tracer name f)
+
+let site t name f =
+  marked t
+    (fun r -> r.rec_site)
+    name
+    (fun () -> Obs.Tracer.site t.tracer name f)

@@ -29,13 +29,54 @@ val all_modes : mode list
 
 type t
 
+type region = int
+
+(** Allocation-trace recorder: the [?recorder] mirror of [?tracer].
+    The facade calls one hook per operation a replay must reproduce,
+    always {e after} the simulated effect and charging nothing — a
+    recorded run's measurements are byte-identical to an unrecorded
+    one.  [frame] arguments are stack depths (0 = oldest frame), the
+    form a trace can name across runs.  [Trace.Record] supplies the
+    implementation; the type lives here so the facade stays below
+    [lib/trace] in the dependency order. *)
+type recorder = {
+  rec_malloc : size:int -> addr:int -> unit;
+  rec_free : addr:int -> unit;
+  rec_newregion : r:region -> unit;
+  rec_ralloc : r:region -> layout:Regions.Cleanup.layout -> addr:int -> unit;
+  rec_rstralloc : r:region -> size:int -> addr:int -> unit;
+  rec_rarrayalloc :
+    r:region -> n:int -> layout:Regions.Cleanup.layout -> addr:int -> unit;
+  rec_deleteregion : frame:int -> slot:int -> r:region -> ok:bool -> unit;
+  rec_frame_push : nslots:int -> ptr_slots:int list -> unit;
+  rec_frame_pop : unit -> unit;
+  rec_store : addr:int -> int -> unit;
+  rec_store_byte : addr:int -> int -> unit;
+  rec_store_block : addr:int -> int array -> unit;
+  rec_store_bytes : addr:int -> string -> unit;
+  rec_clear : addr:int -> bytes:int -> unit;
+  rec_store_ptr : addr:int -> int -> unit;
+  rec_set_local : frame:int -> slot:int -> int -> unit;
+  rec_set_local_ptr : frame:int -> slot:int -> int -> unit;
+  rec_gc_roots : int array -> unit;
+      (** One snapshot of every conservative root, in iteration order,
+          taken at each collection (the only moment the collector asks). *)
+  rec_phase : string -> bool -> unit;  (** name, [true] = begin *)
+  rec_site : string -> bool -> unit;
+}
+
 (** [create mode] builds a fresh simulated machine with the requested
     memory manager.  [offset_regions] and [eager_locals] select the
     region-library ablations of {!Regions.Region.create}; they only
     matter under [Region] modes.  [tracer] attaches an observability
     tracer before the manager starts, so setup-time events (page maps,
     region creation) are captured too; the facade installs the
-    counter probe that feeds the tracer's time-series sampler. *)
+    counter probe that feeds the tracer's time-series sampler.
+    [recorder] attaches an allocation-trace recorder (same neutrality
+    guarantee as [tracer]).  [gc_roots] overrides the collector's root
+    set with externally supplied snapshots — one call per collection —
+    which is how a replayed run reproduces the roots of the recorded
+    program without its bookkeeping. *)
 val create :
   ?machine:Sim.Machine.t ->
   ?with_cache:bool ->
@@ -43,6 +84,8 @@ val create :
   ?offset_regions:bool ->
   ?eager_locals:bool ->
   ?tracer:Obs.Tracer.t ->
+  ?recorder:recorder ->
+  ?gc_roots:(unit -> int array) ->
   mode ->
   t
 val mode : t -> mode
@@ -72,6 +115,12 @@ val store_block : t -> int -> int array -> unit
 val store_bytes : t -> int -> string -> unit
 (** Bulk byte copy of a host string into simulated memory; same
     simulated cost as a {!store_byte} loop. *)
+
+val clear : t -> int -> int -> unit
+(** [clear t addr bytes] zeroes a word-aligned range at one
+    instruction per word ({!Sim.Memory.clear}).  Workloads use this
+    rather than reaching for the memory directly so the write is
+    visible to an attached recorder. *)
 
 val store_ptr : t -> addr:int -> int -> unit
 (** Pointer store: the write barrier of Figure 5 under safe regions, a
@@ -103,8 +152,6 @@ val free : t -> int -> unit
     frees); and updates requested-bytes accounting everywhere. *)
 
 (** {1 Regions (Emulated and Region modes)} *)
-
-type region = int
 
 val newregion : t -> region
 val ralloc : t -> region -> Regions.Cleanup.layout -> int

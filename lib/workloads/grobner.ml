@@ -232,7 +232,7 @@ let malloc_storage api _fr ctx =
   ctx.alloc_term <-
     (fun () ->
       let p = Api.malloc api size in
-      Sim.Memory.clear (Api.memory api) p size;
+      Api.clear api p size;
       scratch := p :: !scratch;
       p);
   ctx.link <- (fun addr v -> Api.store api addr v);
@@ -240,7 +240,7 @@ let malloc_storage api _fr ctx =
     basis_alloc =
       (fun () ->
         let p = Api.malloc api size in
-        Sim.Memory.clear (Api.memory api) p size;
+        Api.clear api p size;
         basis := p :: !basis;
         p);
     basis_link = (fun addr v -> Api.store api addr v);

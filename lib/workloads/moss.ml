@@ -105,7 +105,7 @@ let malloc_storage api _fr =
   in
   let clear_obj (l : Regions.Cleanup.layout) =
     let p = alloc l.Regions.Cleanup.size_bytes in
-    Sim.Memory.clear (Api.memory api) p l.Regions.Cleanup.size_bytes;
+    Api.clear api p l.Regions.Cleanup.size_bytes;
     p
   in
   {
@@ -115,7 +115,7 @@ let malloc_storage api _fr =
       (fun ~n l ->
         let stride = Regions.Cleanup.stride l in
         let p = alloc (n * stride) in
-        Sim.Memory.clear (Api.memory api) p (n * stride);
+        Api.clear api p (n * stride);
         p);
     large_raw = alloc;
     ptr = (fun ~addr v -> Api.store api addr v);

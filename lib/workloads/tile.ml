@@ -118,13 +118,13 @@ let malloc_storage api _fr =
   in
   let clear_into lst (l : Regions.Cleanup.layout) =
     let p = alloc_into lst l.Regions.Cleanup.size_bytes in
-    Sim.Memory.clear (Api.memory api) p l.Regions.Cleanup.size_bytes;
+    Api.clear api p l.Regions.Cleanup.size_bytes;
     p
   in
   let arr_into lst ~n (l : Regions.Cleanup.layout) =
     let stride = Regions.Cleanup.stride l in
     let p = alloc_into lst (n * stride) in
-    Sim.Memory.clear (Api.memory api) p (n * stride);
+    Api.clear api p (n * stride);
     p
   in
   {

@@ -1,0 +1,387 @@
+(* The trace record/replay engine: the binary format round-trips
+   byte-for-byte, damage (truncation, torn trailing records) is
+   rejected rather than misread, a recorded workload replays to the
+   same allocator-side counts as full execution, and the ops-trace
+   encode/decode round trip is observationally identical to direct
+   interpretation — for every allocator. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let tmp_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "trace-test-%d-%d.trace" (Unix.getpid ()) !n)
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file p s =
+  let oc = open_out_bin p in
+  output_string oc s;
+  close_out oc
+
+let hdr =
+  {
+    Trace.Format.workload = "synthetic";
+    variant = "malloc";
+    mode = "lea";
+    size = "quick";
+    seed = 42;
+    build_id = "test-build";
+  }
+
+(* A record stream exercising every constructor a workload trace can
+   contain, including a layout that appears twice (the reader interns
+   layouts by their encoded bytes — both sightings must decode to the
+   same value) and one that appears once. *)
+let sample_records =
+  let open Trace.Format in
+  let lay_a = Regions.Cleanup.layout ~size_bytes:12 ~ptr_offsets:[ 0; 8 ] in
+  let lay_b = Regions.Cleanup.layout ~size_bytes:40 ~ptr_offsets:[] in
+  [
+    Malloc { size = 40 };
+    Newregion;
+    Ralloc { rid = 0; layout = lay_a };
+    Rstralloc { rid = 0; size = 17 };
+    Rarrayalloc { rid = 0; n = 3; layout = lay_b };
+    Ralloc { rid = 0; layout = lay_a };
+    Frame_push { nslots = 2; ptr_slots = [ 0; 1 ] };
+    Set_local { frame = 0; slot = 0; v = Raw 5 };
+    Set_local_ptr { frame = 0; slot = 1; v = Obj (0, 4) };
+    Store_ptr { addr = Obj (0, 0); v = Reg 0 };
+    Poke { addr = 100; v = 42 };
+    Poke { addr = 104; v = -7 };
+    Poke_byte { addr = 101; v = 200 };
+    Poke_bytes { addr = 104; s = "hi\000there" };
+    Poke_block { addr = 108; words = [| 1; 2; 3 |] };
+    Clear { addr = 120; bytes = 16 };
+    Gc_roots [| 4; 8; 512 |];
+    Mark { name = "parse"; kind = Phase_begin };
+    Mark { name = "parse"; kind = Phase_end };
+    Deleteregion { frame = 0; slot = 0; ok = true };
+    Frame_pop;
+    Free { id = 0 };
+  ]
+
+let write_sample path =
+  let w = Trace.Format.create_writer ~path hdr in
+  List.iter (Trace.Format.emit w) sample_records;
+  Trace.Format.commit w ~summary:"synthetic summary"
+
+let drain r =
+  let rec go acc =
+    match Trace.Format.next r with
+    | Trace.Format.End -> List.rev acc
+    | rec_ -> go (rec_ :: acc)
+  in
+  go []
+
+let test_roundtrip () =
+  let path = tmp_path () in
+  write_sample path;
+  (match Trace.Format.open_file path with
+  | Error e -> Alcotest.failf "open failed: %s" e
+  | Ok r ->
+      let h = Trace.Format.header r in
+      check_str "workload survives" hdr.workload h.Trace.Format.workload;
+      check_str "variant survives" hdr.variant h.Trace.Format.variant;
+      check_int "seed survives" hdr.seed h.Trace.Format.seed;
+      check_str "summary survives" "synthetic summary" (Trace.Format.summary r);
+      check_int "record count" (List.length sample_records)
+        (Trace.Format.records r);
+      check_int "object count" 5 (Trace.Format.objects r);
+      check_int "region count" 1 (Trace.Format.regions r);
+      check_bool "records round-trip structurally" true
+        (drain r = sample_records);
+      (* reset rewinds to the first record. *)
+      Trace.Format.reset r;
+      check_bool "reset replays identically" true (drain r = sample_records));
+  Sys.remove path
+
+(* The specialized hot-path emitters promise byte-equivalence with the
+   generic [emit] — the reader cannot tell which was used. *)
+let test_specialized_emitters_byte_equal () =
+  let generic = tmp_path () and special = tmp_path () in
+  let open Trace.Format in
+  let lay = Regions.Cleanup.layout ~size_bytes:12 ~ptr_offsets:[ 0; 8 ] in
+  let w = create_writer ~path:generic hdr in
+  emit w (Malloc { size = 24 });
+  emit w (Poke { addr = 40; v = 99 });
+  emit w (Poke_byte { addr = 41; v = 3 });
+  emit w (Poke_bytes { addr = 44; s = "abc" });
+  emit w (Poke_block { addr = 48; words = [| 7; 8 |] });
+  emit w (Clear { addr = 60; bytes = 8 });
+  emit w (Gc_roots [| 1; 2 |]);
+  emit w (Free { id = 0 });
+  emit w Newregion;
+  emit w (Ralloc { rid = 0; layout = lay });
+  emit w (Rstralloc { rid = 0; size = 9 });
+  emit w (Rarrayalloc { rid = 0; n = 4; layout = lay });
+  emit w (Store_ptr { addr = Obj (1, 4); v = Reg 0 });
+  emit w (Set_local { frame = 1; slot = 2; v = Raw (-5) });
+  emit w (Set_local_ptr { frame = 1; slot = 3; v = Obj (2, 0) });
+  emit w (Deleteregion { frame = 0; slot = 1; ok = true });
+  commit w ~summary:"s";
+  let w = create_writer ~path:special hdr in
+  emit_malloc w ~size:24;
+  emit_poke w ~addr:40 ~v:99;
+  emit_poke_byte w ~addr:41 ~v:3;
+  emit_poke_bytes w ~addr:44 "abc";
+  emit_poke_block w ~addr:48 [| 7; 8 |];
+  emit_clear w ~addr:60 ~bytes:8;
+  emit_gc_roots w [| 1; 2 |];
+  emit_free w ~id:0;
+  emit_newregion w;
+  emit_ralloc w ~rid:0 lay;
+  emit_rstralloc w ~rid:0 ~size:9;
+  emit_rarrayalloc w ~rid:0 ~n:4 lay;
+  emit_store_ptr w ~addr:(Obj (1, 4)) ~v:(Reg 0);
+  emit_set_local w ~frame:1 ~slot:2 ~v:(Raw (-5));
+  emit_set_local_ptr w ~frame:1 ~slot:3 ~v:(Obj (2, 0));
+  emit_deleteregion w ~frame:0 ~slot:1 ~ok:true;
+  commit w ~summary:"s";
+  check_str "identical bytes" (read_file generic) (read_file special);
+  Sys.remove generic;
+  Sys.remove special
+
+(* [next_with_pokes] fuses plain-poke decoding into a callback; the
+   stream it delivers (pokes via the callback, everything else as
+   records) must match what [next] sees. *)
+let test_next_with_pokes () =
+  let path = tmp_path () in
+  write_sample path;
+  (match Trace.Format.open_file path with
+  | Error e -> Alcotest.failf "open failed: %s" e
+  | Ok r ->
+      let pokes = ref [] in
+      let poke ~addr ~v = pokes := (addr, v) :: !pokes in
+      let rec go acc =
+        match Trace.Format.next_with_pokes r ~poke with
+        | Trace.Format.End -> List.rev acc
+        | rec_ -> go (rec_ :: acc)
+      in
+      let rest = go [] in
+      check_bool "pokes delivered through the callback, in order" true
+        (List.rev !pokes = [ (100, 42); (104, -7) ]);
+      let expected =
+        List.filter
+          (function Trace.Format.Poke _ -> false | _ -> true)
+          sample_records
+      in
+      check_bool "non-poke records unchanged" true (rest = expected));
+  Sys.remove path
+
+(* [next_fused] additionally consumes [Store_ptr] records through
+   int-only callbacks; the packed components it delivers must agree
+   with the [value]s [next] decodes. *)
+let test_next_fused () =
+  let path = tmp_path () in
+  write_sample path;
+  (match Trace.Format.open_file path with
+  | Error e -> Alcotest.failf "open failed: %s" e
+  | Ok r ->
+      let pack kind a b = (kind lsl 40) lxor (a lsl 20) lxor b in
+      let pack_value =
+        let open Trace.Format in
+        function
+        | Raw v -> pack 0 v 0
+        | Obj (id, delta) -> pack 1 id delta
+        | Reg rid -> pack 2 rid 0
+      in
+      let pokes = ref [] and stores = ref [] in
+      let poke ~addr ~v = pokes := (addr, v) :: !pokes in
+      let store ~addr ~v = stores := (addr, v) :: !stores in
+      let rec go acc =
+        match Trace.Format.next_fused r ~poke ~resolve:pack ~store with
+        | Trace.Format.End -> List.rev acc
+        | rec_ -> go (rec_ :: acc)
+      in
+      let rest = go [] in
+      check_bool "pokes via the callback" true
+        (List.rev !pokes = [ (100, 42); (104, -7) ]);
+      let expected_stores =
+        List.filter_map
+          (function
+            | Trace.Format.Store_ptr { addr; v } ->
+                Some (pack_value addr, pack_value v)
+            | _ -> None)
+          sample_records
+      in
+      check_bool "store values delivered component-wise" true
+        (List.rev !stores = expected_stores);
+      let expected =
+        List.filter
+          (function
+            | Trace.Format.Poke _ | Trace.Format.Store_ptr _ -> false
+            | _ -> true)
+          sample_records
+      in
+      check_bool "other records unchanged" true (rest = expected));
+  Sys.remove path
+
+let expect_error label = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: damaged trace accepted" label
+
+let test_damage_rejected () =
+  let path = tmp_path () in
+  write_sample path;
+  let good = read_file path in
+  let damaged = tmp_path () in
+  let open_damaged s =
+    write_file damaged s;
+    Trace.Format.open_file damaged
+  in
+  (* Truncation anywhere — mid-header, mid-body, mid-trailer — must be
+     an open error, never a short read. *)
+  expect_error "empty file" (open_damaged "");
+  expect_error "header only"
+    (open_damaged (String.sub good 0 (min 20 (String.length good))));
+  expect_error "mid-body truncation"
+    (open_damaged (String.sub good 0 (String.length good / 2)));
+  expect_error "trailer cut"
+    (open_damaged (String.sub good 0 (String.length good - 5)));
+  expect_error "bad magic" (open_damaged ("XXXX" ^ String.sub good 4 (String.length good - 4)));
+  (* A torn trailing record: framing intact (magic, trailer) but the
+     last record's bytes are cut short.  The reader must raise
+     [Corrupt] at that record, not fabricate one.  Setting the final
+     body byte's continuation bit makes its varint run into the
+     trailer. *)
+  let b = Bytes.of_string good in
+  let len = Bytes.length b in
+  let end_off = Int64.to_int (Bytes.get_int64_le b (len - 12)) in
+  Bytes.set b (end_off - 1) '\xFF';
+  (match open_damaged (Bytes.to_string b) with
+  | Error _ -> ()  (* also acceptable: rejected at open *)
+  | Ok r -> (
+      match
+        let rec go () =
+          match Trace.Format.next r with
+          | Trace.Format.End -> ()
+          | _ -> go ()
+        in
+        go ()
+      with
+      | () -> Alcotest.fail "torn trailing record read to End"
+      | exception Trace.Format.Corrupt _ -> ()));
+  Sys.remove path;
+  Sys.remove damaged
+
+(* ------------------------------------------------------------------ *)
+(* Record -> replay count-equivalence.
+
+   One malloc-family row (cfrac) and one region-only row (mudlle,
+   whose traces are recorded under the emulated allocators) are
+   verified here with the same cross-check [repro replay --verify]
+   runs over the whole matrix: recording cells must match a plain run
+   on every field, replayed cells on every allocator-side field. *)
+
+let test_replay_equivalence workload () =
+  let cells, diffs =
+    Harness.Replaycheck.verify ~workload ~domains:2 Workloads.Workload.Quick
+  in
+  check_int "all report cells checked" 6 cells;
+  match diffs with
+  | [] -> ()
+  | d :: _ ->
+      Alcotest.failf "%d divergence(s); first: %a" (List.length diffs)
+        Harness.Replaycheck.pp_diff d
+
+(* ------------------------------------------------------------------ *)
+(* ops traces: encode/decode through the binary format must be
+   observationally identical to direct interpretation, for every
+   allocator design — same stats, same mapped footprint, same final
+   heap words. *)
+
+let allocators =
+  [
+    ("lea", Alloc.Lea.create);
+    ("bsd", Alloc.Bsd.create);
+    ("sun", Alloc.Sun.create);
+  ]
+
+let heap_words mem =
+  (* ops traces are small; the mapped extent is a few hundred kB. *)
+  let bytes = Sim.Memory.os_bytes mem + 65536 in
+  let rec go addr acc =
+    if addr >= bytes then List.rev acc
+    else
+      go (addr + 4)
+        (if Sim.Memory.is_mapped mem addr then
+           (addr, Sim.Memory.peek mem addr) :: acc
+         else acc)
+  in
+  go 0 []
+
+let stats_tuple (a : Alloc.Allocator.t) =
+  ( Alloc.Stats.allocs a.stats,
+    Alloc.Stats.frees a.stats,
+    Alloc.Stats.total_bytes a.stats,
+    Alloc.Stats.max_live_bytes a.stats,
+    Alloc.Stats.os_bytes a.stats )
+
+let prop_ops_roundtrip =
+  QCheck.Test.make ~count:30
+    ~name:"ops trace: write_ops |> run_ops == interpret_ops (all allocators)"
+    QCheck.(pair (0 -- 10_000) (1 -- 400))
+    (fun (seed, len) ->
+      let tr = Check.Trace.generate ~seed ~len in
+      let path = tmp_path () in
+      Trace.Record.write_ops ~out:path tr;
+      let r =
+        match Trace.Format.open_file path with
+        | Ok r -> r
+        | Error e -> QCheck.Test.fail_reportf "open failed: %s" e
+      in
+      Sys.remove path;
+      if Trace.Format.records r <> Array.length tr.Check.Trace.ops then
+        QCheck.Test.fail_reportf "record count %d <> ops %d"
+          (Trace.Format.records r)
+          (Array.length tr.Check.Trace.ops);
+      List.for_all
+        (fun (name, create) ->
+          let live_mem = Sim.Memory.create ~with_cache:false () in
+          let live = create live_mem in
+          Trace.Replay.interpret_ops tr live;
+          let replayed_mem = Sim.Memory.create ~with_cache:false () in
+          let replayed = create replayed_mem in
+          Trace.Format.reset r;
+          Trace.Replay.run_ops r replayed;
+          live.Alloc.Allocator.check_heap ();
+          replayed.Alloc.Allocator.check_heap ();
+          if stats_tuple live <> stats_tuple replayed then
+            QCheck.Test.fail_reportf "%s: allocator stats diverge (seed=%d)"
+              name seed;
+          if heap_words live_mem <> heap_words replayed_mem then
+            QCheck.Test.fail_reportf "%s: final heap words diverge (seed=%d)"
+              name seed;
+          true)
+        allocators)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "trace"
+    [
+      ( "format",
+        [
+          quick "write/read round-trip" test_roundtrip;
+          quick "specialized emitters are byte-equivalent"
+            test_specialized_emitters_byte_equal;
+          quick "fused poke decoding" test_next_with_pokes;
+          quick "fused store decoding" test_next_fused;
+          quick "truncated and torn traces rejected" test_damage_rejected;
+        ] );
+      ( "replay",
+        [
+          quick "cfrac row count-equivalent" (test_replay_equivalence "cfrac");
+          quick "mudlle row count-equivalent" (test_replay_equivalence "mudlle");
+        ] );
+      ("ops", [ QCheck_alcotest.to_alcotest prop_ops_roundtrip ]);
+    ]
