@@ -22,6 +22,71 @@ let opt_value name =
     Sys.argv;
   !r
 
+(* Generated-trace scaling columns (--gen): replay synthetic traces of
+   1M/10M/50M objects against every allocator column, each in a fresh
+   child process so peak RSS (VmHWM) is the replay's own footprint and
+   not this process's matrix-fill heap.  Excluded from --smoke: the
+   traces are hundreds of megabytes and the replays take minutes. *)
+let gen_scale = (not smoke) && Array.exists (fun a -> a = "--gen") Sys.argv
+
+(* Child half of a --gen measurement.  Re-invoked as
+   [main.exe --gen-child TRACE --gen-mode MODE]: replays the trace,
+   then prints "records wall_s vmhwm_kb sim_os_bytes" on stdout.  The
+   whole point of the fresh process is the clean VmHWM, so this runs
+   before any benchmark machinery touches the heap. *)
+let vmhwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> -1
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              Scanf.sscanf (String.sub line 6 (String.length line - 6))
+                " %d kB" (fun kb -> kb)
+            else scan ()
+        | exception End_of_file -> -1
+      in
+      let r = try scan () with Scanf.Scan_failure _ | Failure _ -> -1 in
+      close_in_noerr ic;
+      r
+
+let () =
+  match opt_value "--gen-child" with
+  | None -> ()
+  | Some trace_path ->
+      let mode_name =
+        match opt_value "--gen-mode" with
+        | Some m -> m
+        | None ->
+            prerr_endline "--gen-child requires --gen-mode";
+            exit 2
+      in
+      let mode =
+        match
+          List.find_opt
+            (fun m -> Workloads.Api.mode_name m = mode_name)
+            Workloads.Api.all_modes
+        with
+        | Some m -> m
+        | None ->
+            Printf.eprintf "--gen-mode: unknown mode %s\n" mode_name;
+            exit 2
+      in
+      (match Trace.Format.open_file trace_path with
+      | Error msg ->
+          Printf.eprintf "--gen-child: %s: %s\n" trace_path msg;
+          exit 3
+      | Ok rd ->
+          let t0 = Unix.gettimeofday () in
+          let r = Trace.Replay.run rd mode in
+          let wall = Unix.gettimeofday () -. t0 in
+          let records = Trace.Format.records rd in
+          Trace.Format.close rd;
+          Printf.printf "%d %.6f %d %d\n" records wall (vmhwm_kb ())
+            r.Workloads.Results.os_bytes);
+      exit 0
+
 let jobs =
   if smoke then 2
   else
@@ -350,6 +415,89 @@ let measure_trace_overhead () =
     trace_overhead_cells
 
 (* ------------------------------------------------------------------ *)
+(* Generated-trace scaling (--gen): host-side throughput and peak RSS
+   of replaying synthetic traces at object counts the full matrix
+   cannot reach.  Each measurement is a fresh child process (see
+   --gen-child above), so VmHWM is the replay's own peak; the bounded
+   streaming reader plus id-recycling should make it independent of
+   trace length, and these rows are the committed evidence. *)
+
+type gen_point = {
+  gp_objects : int;
+  gp_variant : string;  (* "malloc" or "region" *)
+  gp_mode : string;  (* allocator column *)
+  gp_records : int;
+  gp_wall_s : float;
+  gp_rss_kb : int;  (* child VmHWM; -1 when /proc is unavailable *)
+  gp_sim_os_bytes : int;  (* simulated allocator footprint *)
+}
+
+let gen_sizes = [ 1_000_000; 10_000_000; 50_000_000 ]
+
+let gen_columns =
+  [
+    ("malloc", [ "sun"; "bsd"; "lea"; "gc" ]);
+    ("region", [ "region"; "unsafe" ]);
+  ]
+
+let run_gen_child ~trace ~mode =
+  let out_r, out_w = Unix.pipe () in
+  let pid =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "--gen-child"; trace; "--gen-mode"; mode |]
+      Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let ic = Unix.in_channel_of_descr out_r in
+  let line = try input_line ic with End_of_file -> "" in
+  let _, status = Unix.waitpid [] pid in
+  close_in_noerr ic;
+  match status with
+  | Unix.WEXITED 0 -> (
+      try Scanf.sscanf line " %d %f %d %d" (fun r w k o -> Some (r, w, k, o))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+  | _ -> None
+
+let measure_gen_scaling () =
+  let progress s = Printf.eprintf "  %s\n%!" s in
+  (* Trace bytes are a pure function of the spec (no build id in the
+     slot address), so the content-addressed cache is used even under
+     --no-cache: regeneration is not what this measures, and the
+     artefacts run to hundreds of megabytes. *)
+  let cache = Results.Cache.create ?dir:cache_dir () in
+  List.concat_map
+    (fun n ->
+      List.concat_map
+        (fun (variant, modes) ->
+          let p = { Trace.Gen.default with Trace.Gen.objects = n; variant } in
+          let trace = Trace.Gen.ensure ~cache ~progress p in
+          List.filter_map
+            (fun mode ->
+              progress
+                (Printf.sprintf "replaying gen %s n=%d under %s ..." variant n
+                   mode);
+              match run_gen_child ~trace ~mode with
+              | None ->
+                  Printf.eprintf "  gen: replay of %s under %s failed; row \
+                                  skipped\n%!"
+                    trace mode;
+                  None
+              | Some (records, wall, rss_kb, os) ->
+                  Some
+                    {
+                      gp_objects = n;
+                      gp_variant = variant;
+                      gp_mode = mode;
+                      gp_records = records;
+                      gp_wall_s = wall;
+                      gp_rss_kb = rss_kb;
+                      gp_sim_os_bytes = os;
+                    })
+            modes)
+        gen_columns)
+    gen_sizes
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks (host wall-clock) *)
 
 open Bechamel
@@ -530,13 +678,13 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let emit_json dest (rt : report_timing) replay overheads micro =
+let emit_json dest (rt : report_timing) replay overheads gen_points micro =
   let b = Buffer.create 8192 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   let now = Unix.gettimeofday () in
   let tm = Unix.gmtime now in
   add "{\n";
-  add "  \"schema\": \"regions-repro/bench/v4\",\n";
+  add "  \"schema\": \"regions-repro/bench/v5\",\n";
   add "  \"generated_utc\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
     (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
     tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
@@ -630,6 +778,30 @@ let emit_json dest (rt : report_timing) replay overheads micro =
         (if i = noh - 1 then "" else ","))
     overheads;
   add "  ],\n";
+  (match gen_points with
+  | None -> add "  \"gen_replay\": { \"enabled\": false },\n"
+  | Some points ->
+      add "  \"gen_replay\": {\n";
+      add "    \"enabled\": true,\n";
+      add "    \"points\": [\n";
+      let np = List.length points in
+      List.iteri
+        (fun i gp ->
+          add
+            "      { \"objects\": %d, \"variant\": \"%s\", \"mode\": \"%s\", \
+             \"records\": %d, \"wall_s\": %.6f, \"records_per_s\": %.0f, \
+             \"rss_kb\": %s, \"sim_os_bytes\": %d }%s\n"
+            gp.gp_objects (json_escape gp.gp_variant) (json_escape gp.gp_mode)
+            gp.gp_records gp.gp_wall_s
+            (if gp.gp_wall_s > 0. then
+               float_of_int gp.gp_records /. gp.gp_wall_s
+             else 0.)
+            (if gp.gp_rss_kb < 0 then "null" else string_of_int gp.gp_rss_kb)
+            gp.gp_sim_os_bytes
+            (if i = np - 1 then "" else ","))
+        points;
+      add "    ]\n";
+      add "  },\n");
   add "  \"micro\": [\n";
   let nmicro = List.length micro in
   List.iteri
@@ -687,7 +859,24 @@ let () =
           (if oh.off_wall_s > 0. then oh.on_wall_s /. oh.off_wall_s else 0.)
           oh.events)
       overheads;
+  let gen_points = if gen_scale then Some (measure_gen_scaling ()) else None in
+  (match gen_points with
+  | Some points when not quiet ->
+      List.iter
+        (fun gp ->
+          Printf.printf
+            "  gen %-6s n=%-9d %-8s %9d rec  %7.2f s  %8.0f rec/s  rss %s  \
+             sim-os %dK\n"
+            gp.gp_variant gp.gp_objects gp.gp_mode gp.gp_records gp.gp_wall_s
+            (if gp.gp_wall_s > 0. then
+               float_of_int gp.gp_records /. gp.gp_wall_s
+             else 0.)
+            (if gp.gp_rss_kb < 0 then "n/a"
+             else Printf.sprintf "%dK" gp.gp_rss_kb)
+            (gp.gp_sim_os_bytes / 1024))
+        points
+  | _ -> ());
   let micro = if skip_micro then [] else run_micro () in
   match json_dest with
-  | Some dest -> emit_json dest rt replay overheads micro
+  | Some dest -> emit_json dest rt replay overheads gen_points micro
   | None -> ()

@@ -632,12 +632,15 @@ let docs_cmd =
   in
   let golden_arg =
     Arg.(
-      value & opt string "results/golden-quick.json"
+      value
+      & opt (some string) None
       & info [ "golden" ] ~docv:"FILE"
           ~doc:
             "Machine-readable golden results (written on regeneration, \
              compared measurement-by-measurement on --check; provenance is \
-             ignored, build ids legitimately differ between builds).")
+             ignored, build ids legitimately differ between builds).  \
+             Default: results/golden-quick.json, or \
+             results/golden-full.json under --full.")
   in
   let drift_dir_arg =
     Arg.(
@@ -649,10 +652,57 @@ let docs_cmd =
              results under $(docv) so CI can upload them as an artifact.")
   in
   let run check doc golden drift_dir jobs show_progress no_cache refresh
-      cache_dir =
-    let m = matrix ~cache:(not no_cache) ~refresh ?cache_dir false in
+      cache_dir full =
+    let golden =
+      match golden with
+      | Some g -> g
+      | None ->
+          if full then "results/golden-full.json"
+          else "results/golden-quick.json"
+    in
+    let m = matrix ~cache:(not no_cache) ~refresh ?cache_dir full in
     let on_cell = if show_progress then Some cell_progress else None in
     ignore (Harness.Matrix.run_all ~domains:jobs ?on_cell m);
+    if full then begin
+      (* The document's generated blocks are quick-run renders; at full
+         size only the machine-readable store is gated (the cron CI
+         job).  Rendering the doc from a full matrix would "drift" it
+         by construction. *)
+      let fresh = Harness.Matrix.store m in
+      report_cache_stats m;
+      if check then begin
+        match Results.Store.load golden with
+        | Error msg ->
+            Printf.eprintf "docs: %s: %s\n" golden msg;
+            exit 1
+        | Ok expected -> (
+            match Results.Store.diff ~expected ~actual:fresh with
+            | [] ->
+                Printf.printf "docs: %s (%d cells) is up to date\n" golden
+                  (Results.Store.length fresh)
+            | lines ->
+                Printf.eprintf
+                  "docs: committed full-size golden disagrees with \
+                   regeneration:\n";
+                List.iter (fun l -> Printf.eprintf "%s: %s\n" golden l) lines;
+                Option.iter
+                  (fun dir ->
+                    mkdir_p dir;
+                    let out = Filename.concat dir (Filename.basename golden) in
+                    Results.Store.save fresh out;
+                    Printf.eprintf "docs: regenerated copy under %s/\n" dir)
+                  drift_dir;
+                Printf.eprintf
+                  "docs: run `repro docs --full` and commit the result\n%!";
+                exit 1)
+      end
+      else begin
+        Results.Store.save fresh golden;
+        Printf.printf "docs: wrote %s (%d cells)\n" golden
+          (Results.Store.length fresh)
+      end;
+      exit 0
+    end;
     let current =
       try Harness.Docs.read_file doc
       with Sys_error msg ->
@@ -729,11 +779,14 @@ let docs_cmd =
               plan) per cell.  With $(b,--check), nothing is written: the \
               command exits non-zero with a line diff if the committed \
               document or golden file disagrees with fresh measurements — \
-              the CI docs gate.";
+              the CI docs gate.  With $(b,--full), the full-size matrix is \
+              run and only the golden store (results/golden-full.json) is \
+              written or checked: the document's blocks stay quick-run \
+              renders (this is the scheduled full-size CI gate).";
          ])
     Term.(
       const run $ check_arg $ doc_arg $ golden_arg $ drift_dir_arg $ jobs_arg
-      $ progress_arg $ no_cache_arg $ refresh_arg $ cache_dir_arg)
+      $ progress_arg $ no_cache_arg $ refresh_arg $ cache_dir_arg $ full_arg)
 
 let variant_arg =
   Arg.(
@@ -763,7 +816,8 @@ let print_trace_stats path =
         path hdr.Trace.Format.workload hdr.Trace.Format.variant
         hdr.Trace.Format.mode hdr.Trace.Format.size (Trace.Format.records rd)
         (Trace.Format.objects rd) (Trace.Format.regions rd)
-        (Unix.stat path).Unix.st_size
+        (Unix.stat path).Unix.st_size;
+      Trace.Format.close rd
 
 let record_cmd =
   let out_arg =
@@ -894,7 +948,11 @@ let replay_cmd =
               Printf.eprintf "replay: %s: %s\n" path msg;
               exit 2
           | Ok rd ->
-              let r = Trace.Replay.run rd mode in
+              let r =
+                Fun.protect
+                  ~finally:(fun () -> Trace.Format.close rd)
+                  (fun () -> Trace.Replay.run rd mode)
+              in
               Fmt.pr "%a@." Workloads.Results.pp r)
   in
   Cmd.v
@@ -916,6 +974,163 @@ let replay_cmd =
     Term.(
       const run $ workload_opt_arg $ mode_pos_arg $ verify_arg
       $ trace_file_arg $ jobs_arg $ full_arg)
+
+let gen_cmd =
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"SPEC"
+          ~doc:
+            "Full generator spec as one comma-separated $(b,key=value) \
+             string (the canonical form printed in the trace header).  \
+             Individual knobs below override its fields.")
+  in
+  let objects_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n"; "objects" ] ~docv:"N"
+          ~doc:"Total objects allocated over the trace (default 1000000).")
+  in
+  let gvariant_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "variant" ] ~docv:"VARIANT"
+          ~doc:
+            "$(b,malloc) (serves the heap columns: sun/bsd/lea/gc) or \
+             $(b,region) (safe/unsafe regions).  Default: malloc.")
+  in
+  let size_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "size" ] ~docv:"DIST"
+          ~doc:
+            "Object size distribution: $(b,table2), $(b,uniform:LO:HI) or \
+             $(b,heavy:LO:CAP).  Default: table2.")
+  in
+  let life_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "life" ] ~docv:"DIST"
+          ~doc:
+            "Lifetime distribution: $(b,lifo:BATCH) (region-friendly), \
+             $(b,exp:MEAN) or $(b,long:PCT:MEAN) (PCT% immortal).  \
+             Default: lifo:256.")
+  in
+  let stores_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stores" ] ~docv:"K"
+          ~doc:"Pointer stores emitted per allocation (default 1).")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed (default 1).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the trace here unconditionally.  Default: the \
+             content-addressed cache slot, reused if already generated.")
+  in
+  let run spec objects variant size life stores seed out cache_dir =
+    let p =
+      match spec with
+      | None -> Trace.Gen.default
+      | Some s -> (
+          match Trace.Gen.of_string s with
+          | Ok p -> p
+          | Error msg ->
+              Printf.eprintf "gen: bad --spec: %s\n" msg;
+              exit 2)
+    in
+    let field name conv v cur =
+      match v with
+      | None -> cur
+      | Some s -> (
+          match conv s with
+          | Ok x -> x
+          | Error msg ->
+              Printf.eprintf "gen: bad --%s: %s\n" name msg;
+              exit 2)
+    in
+    let p =
+      {
+        Trace.Gen.objects =
+          (match objects with None -> p.Trace.Gen.objects | Some n -> n);
+        variant =
+          (match variant with None -> p.Trace.Gen.variant | Some v -> v);
+        sizes =
+          field "size"
+            (fun s ->
+              Result.map
+                (fun (g : Trace.Gen.t) -> g.Trace.Gen.sizes)
+                (Trace.Gen.of_string ("size=" ^ s)))
+            size p.Trace.Gen.sizes;
+        lifetime =
+          field "life"
+            (fun s ->
+              Result.map
+                (fun (g : Trace.Gen.t) -> g.Trace.Gen.lifetime)
+                (Trace.Gen.of_string ("life=" ^ s)))
+            life p.Trace.Gen.lifetime;
+        stores =
+          (match stores with None -> p.Trace.Gen.stores | Some k -> k);
+        seed = (match seed with None -> p.Trace.Gen.seed | Some s -> s);
+      }
+    in
+    (* Re-validate the assembled params through the canonical parser so
+       knob combinations get the same checks as --spec. *)
+    let p =
+      match Trace.Gen.of_string (Trace.Gen.to_string p) with
+      | Ok p -> p
+      | Error msg ->
+          Printf.eprintf "gen: %s\n" msg;
+          exit 2
+    in
+    let path =
+      match out with
+      | Some out ->
+          progress (Printf.sprintf "generating %s ..." (Trace.Gen.to_string p));
+          Trace.Gen.generate ~out p;
+          out
+      | None ->
+          let cache = Results.Cache.create ?dir:cache_dir () in
+          Trace.Gen.ensure ~cache ~progress p
+    in
+    print_trace_stats path
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Generate a synthetic allocation trace from a distribution spec"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Emits a valid binary trace directly from parameterised size \
+              and lifetime distributions — no workload execution — so the \
+              replay columns ($(b,repro replay --trace-file)) can be \
+              driven at object counts the full matrix cannot reach.  \
+              Generation is deterministic: the same spec yields \
+              byte-identical traces on every host, so by default the \
+              trace lands in the content-addressed cache and is reused.  \
+              Generated traces mark their trailer with the recycled-ids \
+              flag; replay memory then scales with the peak $(i,live) \
+              object count, not the trace length.";
+         ])
+    Term.(
+      const run $ spec_arg $ objects_arg $ gvariant_arg $ size_arg $ life_arg
+      $ stores_arg $ seed_arg $ out_arg $ cache_dir_arg)
 
 let results_cmd =
   let a_arg =
@@ -949,6 +1164,7 @@ let results_cmd =
       "prov"; "build_id"; "schema"; "timestamp"; "host"; "wall_s";
       "fill_wall_s"; "seq_wall_s"; "render_wall_s"; "full_wall_s";
       "replay_wall_s"; "speedup"; "geomean_speedup"; "ns_per_op"; "cache";
+      "generated_utc"; "records_per_s"; "rss_kb";
     ]
   in
   let run `Compare a b =
@@ -1022,7 +1238,7 @@ let main =
           Regions' (PLDI 1998)")
     [
       exp_cmd; run_cmd; trace_cmd; list_cmd; creg_cmd; check_cmd; faults_cmd;
-      docs_cmd; record_cmd; replay_cmd; results_cmd;
+      docs_cmd; record_cmd; replay_cmd; gen_cmd; results_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -31,8 +31,10 @@ type t = {
   eager_locals : bool;
   stats : Alloc.Stats.t;
   rstats : Rstats.t;
-  mutable pool : int list;  (* free pages *)
+  mutable pool : int list;  (* free single pages *)
   mutable pool_len : int;
+  mutable free_blocks : (int * int) list;  (* free contiguous (addr, pages>=2) *)
+  mutable block_pages : int;  (* total pages held in [free_blocks] *)
   mutable pages_mapped : int;
   mutable page_map : int array;  (* page number -> region address *)
   mutable regions_created : int;
@@ -55,7 +57,7 @@ let os_bytes t =
   Alloc.Stats.os_bytes t.stats + (8 * t.pages_mapped)
 
 let live_pages t =
-  (t.pages_mapped - t.pool_len)
+  (t.pages_mapped - t.pool_len - t.block_pages)
 
 let pool_pages t = t.pool_len
 
@@ -103,6 +105,19 @@ let refcount t r = Sim.Memory.peek t.mem (r + off_rc)
 (* ------------------------------------------------------------------ *)
 (* Pages *)
 
+(* The simulated OS never unmaps, so boundedness comes entirely from
+   reuse: single pages cycle through [pool]; contiguous multi-page
+   extents freed by large-object reclamation keep their length in
+   [free_blocks] so later large allocations can claim them (best fit,
+   remainder split off).  When the small pool runs dry we peel pages
+   off a free block before asking the OS — a mix that shifts from
+   large-heavy to small-heavy must not keep mapping fresh pages while
+   old large extents sit idle. *)
+
+let pool_push t p =
+  t.pool <- p :: t.pool;
+  t.pool_len <- t.pool_len + 1
+
 let new_page t =
   match t.pool with
   | p :: rest ->
@@ -110,18 +125,61 @@ let new_page t =
       t.pool <- rest;
       t.pool_len <- t.pool_len - 1;
       p
-  | [] ->
-      Sim.Cost.instr (cost t) 20 (* OS call overhead *);
-      let p = Sim.Memory.map_pages t.mem 1 in
-      Alloc.Stats.on_map t.stats page_bytes;
-      t.pages_mapped <- t.pages_mapped + 1;
-      p
+  | [] -> (
+      match t.free_blocks with
+      | (addr, pages) :: rest ->
+          Sim.Cost.instr (cost t) 6;
+          t.block_pages <- t.block_pages - pages;
+          t.free_blocks <- rest;
+          let rem = pages - 1 in
+          if rem = 1 then pool_push t (addr + page_bytes)
+          else if rem > 1 then begin
+            t.free_blocks <- (addr + page_bytes, rem) :: t.free_blocks;
+            t.block_pages <- t.block_pages + rem
+          end;
+          addr
+      | [] ->
+          Sim.Cost.instr (cost t) 20 (* OS call overhead *);
+          let p = Sim.Memory.map_pages t.mem 1 in
+          Alloc.Stats.on_map t.stats page_bytes;
+          t.pages_mapped <- t.pages_mapped + 1;
+          p)
 
 let release_page t p =
   Sim.Cost.instr (cost t) 4;
   set_page_region t p 0;
-  t.pool <- p :: t.pool;
-  t.pool_len <- t.pool_len + 1
+  pool_push t p
+
+let release_block t addr pages =
+  Sim.Cost.instr (cost t) 4;
+  for i = 0 to pages - 1 do
+    set_page_region t (addr + (i * page_bytes)) 0
+  done;
+  if pages = 1 then pool_push t addr
+  else begin
+    t.free_blocks <- (addr, pages) :: t.free_blocks;
+    t.block_pages <- t.block_pages + pages
+  end
+
+(* Smallest free block of at least [pages] pages. *)
+let find_block t pages =
+  List.fold_left
+    (fun acc ((_, bp) as e) ->
+      if bp < pages then acc
+      else match acc with Some (_, ap) when ap <= bp -> acc | _ -> Some e)
+    None t.free_blocks
+
+let take_block t pages ((addr, bp) as e) =
+  Sim.Cost.instr (cost t) 8;
+  t.free_blocks <- List.filter (fun e' -> e' != e) t.free_blocks;
+  t.block_pages <- t.block_pages - bp;
+  let rem = bp - pages in
+  if rem = 1 then pool_push t (addr + (pages * page_bytes))
+  else if rem > 1 then begin
+    t.free_blocks <- (addr + (pages * page_bytes), rem) :: t.free_blocks;
+    t.block_pages <- t.block_pages + rem
+  end;
+  addr
 
 (* ------------------------------------------------------------------ *)
 (* Creation *)
@@ -141,6 +199,8 @@ let create ?(safe = true) ?(offset_regions = true) ?(eager_locals = false)
       rstats = Rstats.create ();
       pool = [];
       pool_len = 0;
+      free_blocks = [];
+      block_pages = 0;
       pages_mapped = 0;
       page_map = Array.make 1024 0;
       regions_created = 0;
@@ -346,12 +406,21 @@ let rstralloc t r size =
         addr
       end
       else begin
-        (* Large object: dedicated pages straight from the OS. *)
+        (* Large object: dedicated pages, reusing a freed extent when
+           one is big enough, mapping fresh from the OS otherwise. *)
         let pages = (data + page_bytes - 1) / page_bytes in
-        Sim.Cost.instr (cost t) 20;
-        let addr = Sim.Memory.map_pages t.mem pages in
-        Alloc.Stats.on_map t.stats (pages * page_bytes);
-        t.pages_mapped <- t.pages_mapped + pages;
+        let addr =
+          if pages = 1 then new_page t
+          else
+            match find_block t pages with
+            | Some e -> take_block t pages e
+            | None ->
+                Sim.Cost.instr (cost t) 20;
+                let a = Sim.Memory.map_pages t.mem pages in
+                Alloc.Stats.on_map t.stats (pages * page_bytes);
+                t.pages_mapped <- t.pages_mapped + pages;
+                a
+        in
         for i = 0 to pages - 1 do
           set_page_region t (addr + (i * page_bytes)) r
         done;
@@ -488,12 +557,7 @@ let release_region t r =
       List.iter (release_page t) npages;
       (match Hashtbl.find_opt t.large r with
       | Some l ->
-          List.iter
-            (fun (addr, pages) ->
-              for i = 0 to pages - 1 do
-                release_page t (addr + (i * page_bytes))
-              done)
-            !l;
+          List.iter (fun (addr, pages) -> release_block t addr pages) !l;
           Hashtbl.remove t.large r
       | None -> ());
       (match Hashtbl.find_opt t.objects r with

@@ -15,7 +15,7 @@ type small_block = {
 type large_block = {
   l_addr : int;
   l_pages : int;
-  l_bytes : int;  (* user size, rounded to a word *)
+  mutable l_bytes : int;  (* user size, rounded to a word *)
   mutable l_allocated : bool;
   mutable l_marked : bool;
 }
@@ -29,6 +29,7 @@ type t = {
   freelists : int array;  (* per class; links threaded through the heap *)
   mutable free_large : (int * large_block) list;  (* pages, block *)
   mutable heap_bytes : int;
+  mutable heap_at_gc : int;  (* heap size when the last collection finished *)
   mutable since_gc : int;
   trigger_min : int;
   fraction : float;
@@ -69,36 +70,49 @@ let carve_small t cls =
     t.freelists.(cls) <- o
   done
 
-let alloc_large t size =
-  let pages = ((size + 3) / 4 * 4 + page_bytes - 1) / page_bytes in
-  let reuse, rest =
-    List.partition (fun (p, _) -> p = pages) t.free_large
+let large_pages size = ((size + 3) / 4 * 4 + page_bytes - 1) / page_bytes
+
+(* Smallest free block that fits, exact fits first.  The real
+   collector serves a big-object request from any sufficiently large
+   free hblk, splitting off the remainder; the simulator allocates
+   into the larger block whole (its pages stay accounted to the block,
+   so nothing is lost — the next free returns them all).  Insisting on
+   an exact page-count match instead strands the mismatched part of
+   the free stock while fresh pages are mapped for the rest: an
+   unbounded, compounding heap leak on any large-object mix. *)
+let find_large t pages =
+  List.fold_left
+    (fun acc ((p, _) as e) ->
+      if p < pages then acc
+      else match acc with Some (bp, _) when bp <= p -> acc | _ -> Some e)
+    None t.free_large
+
+let take_large t size ((_, blk) as e) =
+  Sim.Cost.instr (cost t) 8;
+  t.free_large <- List.filter (fun e' -> e' != e) t.free_large;
+  blk.l_allocated <- true;
+  blk.l_marked <- false;
+  blk.l_bytes <- (size + 3) land lnot 3;
+  blk
+
+let map_large t size pages =
+  Sim.Cost.instr (cost t) 20;
+  let addr = Sim.Memory.map_pages t.mem pages in
+  Alloc.Stats.on_map t.stats (pages * page_bytes);
+  t.heap_bytes <- t.heap_bytes + (pages * page_bytes);
+  let blk =
+    {
+      l_addr = addr;
+      l_pages = pages;
+      l_bytes = (size + 3) land lnot 3;
+      l_allocated = true;
+      l_marked = false;
+    }
   in
-  match reuse with
-  | (_, blk) :: more ->
-      Sim.Cost.instr (cost t) 8;
-      t.free_large <- more @ rest;
-      blk.l_allocated <- true;
-      blk.l_marked <- false;
-      blk
-  | [] ->
-      Sim.Cost.instr (cost t) 20;
-      let addr = Sim.Memory.map_pages t.mem pages in
-      Alloc.Stats.on_map t.stats (pages * page_bytes);
-      t.heap_bytes <- t.heap_bytes + (pages * page_bytes);
-      let blk =
-        {
-          l_addr = addr;
-          l_pages = pages;
-          l_bytes = (size + 3) land lnot 3;
-          l_allocated = true;
-          l_marked = false;
-        }
-      in
-      for i = 0 to pages - 1 do
-        Hashtbl.replace t.blocks ((addr lsr 12) + i) (Large blk)
-      done;
-      blk
+  for i = 0 to pages - 1 do
+    Hashtbl.replace t.blocks ((addr lsr 12) + i) (Large blk)
+  done;
+  blk
 
 (* ------------------------------------------------------------------ *)
 (* Collection *)
@@ -184,6 +198,7 @@ let collect_into t =
       | Large _ -> ())
     t.blocks;
   t.live_last <- !live;
+  t.heap_at_gc <- t.heap_bytes;
   t.since_gc <- 0;
   Obs.Tracer.gc_end (Sim.Memory.tracer t.mem) ~live_bytes:!live
 
@@ -193,9 +208,19 @@ let collect t =
 (* ------------------------------------------------------------------ *)
 (* Allocation *)
 
+(* The trigger is sized off the heap as of the *last* collection, as
+   in the real collector (GC_collect_at_heapsize is set when a
+   collection finishes).  Sizing it off the current heap looks
+   equivalent but is not: when reclaim fails to keep up and the heap
+   expands between collections, a current-heap threshold rises in
+   lockstep with [since_gc] and is never crossed again — no
+   collection, so no reuse, so further expansion, terminally.  An
+   allocation-heavy trace with a tiny live set (any generated
+   high-churn column) runs the heap to simulated-memory exhaustion
+   under that feedback loop. *)
 let maybe_gc t =
   let threshold =
-    max t.trigger_min (int_of_float (t.fraction *. float_of_int t.heap_bytes))
+    max t.trigger_min (int_of_float (t.fraction *. float_of_int t.heap_at_gc))
   in
   if t.since_gc > threshold then collect_into t
 
@@ -204,9 +229,19 @@ let malloc t size =
   Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
       Sim.Cost.instr (cost t) 6;
       maybe_gc t;
+      (* Collect-before-expand, as in the real collector: a free-list
+         or free-block miss first tries a collection (if enough has
+         been allocated since the last one to plausibly help) and maps
+         fresh pages only if the miss persists.  Expanding directly on
+         a miss lets the heap — and with it the collection threshold —
+         ratchet upward under churn that a collection would have
+         absorbed, so the heap of a high-churn program never stops
+         growing. *)
       let user =
         if size <= max_small then begin
           let cls = class_of_size size in
+          if t.freelists.(cls) = 0 && t.since_gc > t.trigger_min then
+            collect_into t;
           if t.freelists.(cls) = 0 then carve_small t cls;
           let o = t.freelists.(cls) in
           t.freelists.(cls) <- Sim.Memory.load t.mem o;
@@ -219,7 +254,16 @@ let malloc t size =
           o
         end
         else begin
-          let blk = alloc_large t size in
+          let pages = large_pages size in
+          let blk =
+            match find_large t pages with
+            | Some e -> take_large t size e
+            | None ->
+                if t.since_gc > t.trigger_min then collect_into t;
+                (match find_large t pages with
+                | Some e -> take_large t size e
+                | None -> map_large t size pages)
+          in
           Sim.Memory.clear t.mem blk.l_addr blk.l_bytes;
           t.since_gc <- t.since_gc + blk.l_bytes;
           blk.l_addr
@@ -298,6 +342,7 @@ let create ?(trigger_min_bytes = 128 * 1024) ?(heap_fraction = 0.5) ~roots mem =
       freelists = Array.make num_classes 0;
       free_large = [];
       heap_bytes = 0;
+      heap_at_gc = 0;
       since_gc = 0;
       trigger_min = trigger_min_bytes;
       fraction = heap_fraction;

@@ -20,6 +20,7 @@ let blocks : (string * (Matrix.t -> string)) list =
     ("fig10", Fig10.md);
     ("fig11", Fig11.md);
     ("claims", Claims.md);
+    ("gentraces", Gentraces.md);
   ]
 
 (* Naive substring search — the documents are tens of kilobytes. *)

@@ -1,0 +1,13 @@
+(** Generated-trace scaling: the [gentraces] block of EXPERIMENTS.md.
+
+    Replays synthetic traces ({!Trace.Gen}) at two object counts under
+    every allocator column and renders the deterministic simulated
+    metrics — allocator instructions per object and the OS footprint's
+    (non-)growth as the trace gets 10x longer over the same bounded
+    live set.  Uses the matrix only for its disk cache handle, so the
+    multi-megabyte trace artefacts are content-addressed and reused
+    across docs runs.  The machine-dependent half of the scaling
+    evidence (wall clock, child-process peak RSS at up to 50M objects)
+    lives in the bench record, not in the document. *)
+
+val md : Matrix.t -> string

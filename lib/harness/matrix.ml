@@ -180,6 +180,7 @@ let ensure_trace t spec variant =
             match Trace.Format.open_file path with
             | Ok rd ->
                 let hdr = Trace.Format.header rd in
+                Trace.Format.close rd;
                 hdr.Trace.Format.workload = name
                 && hdr.Trace.Format.variant = variant
             | Error _ -> false
@@ -250,7 +251,11 @@ let run_replay_cell t spec mode ~workload ~mode_name =
               Fmt.failwith "unreadable trace for %s/%s: %s" workload variant
                 msg
         in
-        let r = Trace.Replay.run reader mode in
+        let r =
+          Fun.protect
+            ~finally:(fun () -> Trace.Format.close reader)
+            (fun () -> Trace.Replay.run reader mode)
+        in
         cell_store t ~plan:replay_plan r;
         r
 

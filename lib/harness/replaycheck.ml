@@ -122,7 +122,10 @@ let verify ?workload ?domains ?(progress = ignore) size =
               else
                 match
                   match Trace.Format.open_file tmp with
-                  | Ok rd -> Trace.Replay.run rd mode
+                  | Ok rd ->
+                      Fun.protect
+                        ~finally:(fun () -> Trace.Format.close rd)
+                        (fun () -> Trace.Replay.run rd mode)
                   | Error msg -> failwith ("unreadable trace: " ^ msg)
                 with
                 | replayed ->

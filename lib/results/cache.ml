@@ -73,6 +73,15 @@ let trace_path t ~workload ~variant ~size ~seed =
           size seed)
     ^ ".trace")
 
+(* Generated (synthetic) traces are fully determined by the generator
+   spec — no workload execution — so their address deliberately omits
+   the build id: a rebuild must not force multi-minute regeneration of
+   multi-GB artefacts.  The [gen] component is bumped whenever the
+   generator's output changes (it encodes the trace format version). *)
+let gen_trace_path t ~gen ~spec =
+  Filename.concat t.dir
+    (fnv1a64 (Printf.sprintf "gentrace-%s|%s" gen spec) ^ ".trace")
+
 let rec mkdir_p d =
   if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
     mkdir_p (Filename.dirname d);

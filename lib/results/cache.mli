@@ -42,6 +42,14 @@ val trace_path :
     owns the file's format and atomicity; a missing file means
     "record it". *)
 
+val gen_trace_path : t -> gen:string -> spec:string -> string
+(** Content-addressed slot for a generated (synthetic) trace
+    ([Trace.Gen]), keyed on the generator revision [gen] and the
+    canonical parameter string [spec] — deliberately {e not} on the
+    build id: a generated trace is a pure function of its spec, and a
+    rebuild must not invalidate multi-GB artefacts.  [gen] changes
+    whenever the generator's byte output would. *)
+
 val find :
   t -> workload:string -> mode:string -> size:string -> seed:int ->
   plan:string -> Cell.t option

@@ -22,7 +22,7 @@ type record =
   | Ralloc of { rid : int; layout : Regions.Cleanup.layout }
   | Rstralloc of { rid : int; size : int }
   | Rarrayalloc of { rid : int; n : int; layout : Regions.Cleanup.layout }
-  | Deleteregion of { frame : int; slot : int; ok : bool }
+  | Deleteregion of { rid : int; frame : int; slot : int; ok : bool }
   | Frame_push of { nslots : int; ptr_slots : int list }
   | Frame_pop
   | Poke of { addr : int; v : int }
@@ -40,7 +40,12 @@ type record =
 
 let magic = "RGTR"
 let end_magic = "RGEN"
-let version = 1
+
+(* v2: [Deleteregion] carries the region id, and the trailer carries
+   the replay table sizes ([oslots]/[rslots]) plus a flags varint
+   whose bit 0 marks the id-recycling discipline of generated
+   traces. *)
+let version = 2
 
 (* Record tags.  0 is the trailer. *)
 let t_malloc = 1
@@ -79,10 +84,13 @@ let unzigzag n = if n land 1 = 0 then n lsr 1 else lnot (n lsr 1)
    [Buffer]: the recorder emits a record per mutator store, and
    [Buffer.add_char]'s per-byte bounds check is most of that cost.
    Each emitter reserves its worst-case byte count once ([reserve])
-   and then stores unchecked. *)
+   and then stores unchecked.  The buffer is a fixed 64 KiB window
+   that is flushed and reused, never grown: variable-length payloads
+   (strings, root arrays, block pokes) reserve per element, so writer
+   memory is O(1) in the trace length. *)
 
 type writer = {
-  mutable wbuf : Bytes.t;
+  wbuf : Bytes.t;
   mutable wpos : int;
   oc : out_channel;
   tmp : string;
@@ -92,6 +100,9 @@ type writer = {
   mutable nobjects : int;
   mutable nregions : int;
   mutable objects_override : int option;
+  mutable oslots_override : int option;
+  mutable rslots_override : int option;
+  mutable recycled : bool;
   mutable closed : bool;
 }
 
@@ -101,13 +112,9 @@ let flush_buf w =
     w.wpos <- 0
   end
 
-(* Make room for [n] more bytes: flush, and (rarely — an oversized
-   roots array or string) grow the buffer. *)
-let reserve w n =
-  if w.wpos + n > Bytes.length w.wbuf then begin
-    flush_buf w;
-    if n > Bytes.length w.wbuf then w.wbuf <- Bytes.create n
-  end
+(* Make room for [n] more bytes.  Every reservation in this file is
+   far below the buffer size, so a flush always suffices. *)
+let reserve w n = if w.wpos + n > Bytes.length w.wbuf then flush_buf w
 
 let wbyte w c =
   Bytes.unsafe_set w.wbuf w.wpos (Char.unsafe_chr c);
@@ -129,12 +136,22 @@ let wuv w n =
 
 let wsv w n = wuv w (zigzag n)
 
-let wstr w s =
+(* Chunked raw copy through the fixed window. *)
+let wraw w s =
   let n = String.length s in
-  reserve w (10 + n);
-  wuv w n;
-  Bytes.blit_string s 0 w.wbuf w.wpos n;
-  w.wpos <- w.wpos + n
+  let k = ref 0 in
+  while !k < n do
+    if w.wpos = Bytes.length w.wbuf then flush_buf w;
+    let take = min (n - !k) (Bytes.length w.wbuf - w.wpos) in
+    Bytes.blit_string s !k w.wbuf w.wpos take;
+    w.wpos <- w.wpos + take;
+    k := !k + take
+  done
+
+let wstr w s =
+  reserve w 10;
+  wuv w (String.length s);
+  wraw w s
 
 let wvalue w = function
   | Raw v ->
@@ -171,6 +188,9 @@ let create_writer ~path hdr =
       nobjects = 0;
       nregions = 0;
       objects_override = None;
+      oslots_override = None;
+      rslots_override = None;
+      recycled = false;
       closed = false;
     }
   in
@@ -189,6 +209,11 @@ let create_writer ~path hdr =
 
 let set_object_count w n = w.objects_override <- Some n
 
+let set_recycled_slots w ~objects ~regions =
+  w.oslots_override <- Some objects;
+  w.rslots_override <- Some regions;
+  w.recycled <- true
+
 let sid w name =
   match Hashtbl.find_opt w.strings name with
   | Some id -> id
@@ -202,13 +227,17 @@ let sid w name =
 
 let wlayout w (l : Regions.Cleanup.layout) =
   let offs = l.Regions.Cleanup.ptr_offsets in
-  reserve w (20 + (10 * List.length offs));
+  reserve w 20;
   wuv w l.Regions.Cleanup.size_bytes;
   wuv w (List.length offs);
-  List.iter (wuv w) offs
+  List.iter
+    (fun o ->
+      reserve w 10;
+      wuv w o)
+    offs
 
 (* Reservations below are worst cases: 10 bytes covers any varint, 21
-   any [value]. *)
+   any [value]; array and string payloads reserve per element. *)
 let emit w r =
   (match r with
   | Malloc { size } ->
@@ -249,18 +278,23 @@ let emit w r =
       wuv w n;
       wlayout w layout;
       w.nobjects <- w.nobjects + 1
-  | Deleteregion { frame; slot; ok } ->
-      reserve w 31;
+  | Deleteregion { rid; frame; slot; ok } ->
+      reserve w 41;
       wbyte w t_deleteregion;
+      wuv w rid;
       wuv w frame;
       wuv w slot;
       wuv w (if ok then 1 else 0)
   | Frame_push { nslots; ptr_slots } ->
-      reserve w (21 + (10 * List.length ptr_slots));
+      reserve w 21;
       wbyte w t_frame_push;
       wuv w nslots;
       wuv w (List.length ptr_slots);
-      List.iter (wuv w) ptr_slots
+      List.iter
+        (fun s ->
+          reserve w 10;
+          wuv w s)
+        ptr_slots
   | Frame_pop ->
       reserve w 1;
       wbyte w t_frame_pop
@@ -280,11 +314,15 @@ let emit w r =
       wuv w addr;
       wstr w s
   | Poke_block { addr; words } ->
-      reserve w (21 + (10 * Array.length words));
+      reserve w 21;
       wbyte w t_poke_block;
       wuv w addr;
       wuv w (Array.length words);
-      Array.iter (wsv w) words
+      Array.iter
+        (fun v ->
+          reserve w 10;
+          wsv w v)
+        words
   | Poke_obj { id; word; v } ->
       reserve w 31;
       wbyte w t_poke_obj;
@@ -314,10 +352,14 @@ let emit w r =
       wuv w slot;
       wvalue w v
   | Gc_roots roots ->
-      reserve w (11 + (10 * Array.length roots));
+      reserve w 11;
       wbyte w t_gc_roots;
       wuv w (Array.length roots);
-      Array.iter (wsv w) roots
+      Array.iter
+        (fun v ->
+          reserve w 10;
+          wsv w v)
+        roots
   | Mark { name; kind } ->
       let id = sid w name in
       reserve w 21;
@@ -373,11 +415,15 @@ let emit_poke_bytes w ~addr s =
   w.nrecords <- w.nrecords + 1
 
 let emit_poke_block w ~addr words =
-  reserve w (21 + (10 * Array.length words));
+  reserve w 21;
   wbyte w t_poke_block;
   wuv w addr;
   wuv w (Array.length words);
-  Array.iter (wsv w) words;
+  Array.iter
+    (fun v ->
+      reserve w 10;
+      wsv w v)
+    words;
   w.nrecords <- w.nrecords + 1
 
 let emit_clear w ~addr ~bytes =
@@ -418,9 +464,10 @@ let emit_rarrayalloc w ~rid ~n layout =
   w.nobjects <- w.nobjects + 1;
   w.nrecords <- w.nrecords + 1
 
-let emit_deleteregion w ~frame ~slot ~ok =
-  reserve w 31;
+let emit_deleteregion w ~rid ~frame ~slot ~ok =
+  reserve w 41;
   wbyte w t_deleteregion;
+  wuv w rid;
   wuv w frame;
   wuv w slot;
   wuv w (if ok then 1 else 0);
@@ -450,23 +497,34 @@ let emit_set_local_ptr w ~frame ~slot ~v =
   w.nrecords <- w.nrecords + 1
 
 let emit_gc_roots w roots =
-  reserve w (11 + (10 * Array.length roots));
+  reserve w 11;
   wbyte w t_gc_roots;
   wuv w (Array.length roots);
-  Array.iter (wsv w) roots;
+  Array.iter
+    (fun v ->
+      reserve w 10;
+      wsv w v)
+    roots;
   w.nrecords <- w.nrecords + 1
 
 let commit w ~summary =
   if w.closed then invalid_arg "Trace.Format.commit: writer closed";
-  (* Trailer: tag 0, counts, summary, the trailer's own byte offset as
-     fixed-width LE64 (so the reader can seek to it), end magic. *)
+  (* Trailer: tag 0, counts, replay table sizes, flags, summary, the
+     trailer's own byte offset as fixed-width LE64 (so the reader can
+     seek to it), end magic. *)
   flush_buf w;
   let end_off = pos_out w.oc in
-  reserve w 31;
+  reserve w 61;
   wbyte w 0;
   wuv w w.nrecords;
-  wuv w (match w.objects_override with Some n -> n | None -> w.nobjects);
+  let objs =
+    match w.objects_override with Some n -> n | None -> w.nobjects
+  in
+  wuv w objs;
   wuv w w.nregions;
+  wuv w (match w.oslots_override with Some n -> n | None -> objs);
+  wuv w (match w.rslots_override with Some n -> n | None -> w.nregions);
+  wuv w (if w.recycled then 1 else 0);
   wstr w summary;
   reserve w 12;
   Bytes.set_int64_le w.wbuf w.wpos (Int64.of_int end_off);
@@ -486,33 +544,194 @@ let abort w =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Reader *)
+(* Reader
+
+   One decode engine over two sources: a whole-file string
+   ([In_memory], zero refills) or a channel streamed through a
+   fixed-size window ([Chan]).  The window [buf] holds body bytes
+   [base, base + limit) of the file; [pos] is the cursor within it.
+   [refill] is only entered with the window exhausted ([pos = limit]),
+   so the channel cursor always sits at [base + limit] and sequential
+   [input] calls keep the invariant without seeking.  Resident memory
+   is the chunk size, independent of the trace length. *)
+
+type src = In_memory | Chan of in_channel
 
 type reader = {
-  data : string;
+  src : src;
+  buf : Bytes.t;
+  mutable base : int;
+  mutable pos : int;
+  mutable limit : int;
   hdr : header;
   body_start : int;
   end_off : int;
   r_records : int;
   r_objects : int;
   r_regions : int;
+  r_oslots : int;
+  r_rslots : int;
+  r_recycled : bool;
   r_summary : string;
-  mutable pos : int;
   mutable strs : string array;
   mutable nstrs : int;
-  (* Layout intern table: encoded-bytes key -> constructed layout. *)
-  mutable lay_keys : string array;
+  (* Layout intern table, keyed on the decoded ints (byte-range keys
+     would not survive a refill). *)
+  mutable lay_sizes : int array;
+  mutable lay_offs : int array array;
   mutable lay_vals : Regions.Cleanup.layout array;
   mutable nlays : int;
+  mutable scratch : int array;
+  mutable closed : bool;
 }
 
-let get_byte r =
-  if r.pos >= r.end_off then corrupt "record runs past the trailer";
-  let c = Char.code r.data.[r.pos] in
-  r.pos <- r.pos + 1;
-  c
+(* Slide the window forward.  Returns [false] at the end of the body;
+   never reads past [end_off], so trailer bytes stay out of the
+   record stream. *)
+let refill r =
+  if r.closed then corrupt "read on a closed reader";
+  match r.src with
+  | In_memory -> false
+  | Chan ic ->
+      r.base <- r.base + r.limit;
+      r.pos <- 0;
+      r.limit <- 0;
+      let want = min (Bytes.length r.buf) (r.end_off - r.base) in
+      if want <= 0 then false
+      else begin
+        let got = input ic r.buf 0 want in
+        if got <= 0 then corrupt "truncated body (file shrank under the reader)";
+        r.limit <- got;
+        true
+      end
 
-(* Raw decoding over (string, pos ref) used for both header and body. *)
+(* At least one unconsumed byte available? *)
+let more r = r.pos < r.limit || refill r
+
+(* Body bytes not yet consumed (across future refills). *)
+let body_left r = r.end_off - (r.base + r.pos)
+
+(* Multi-byte continuation of [uv]: accumulator threading instead of a
+   [ref], so the decode hot path never allocates. *)
+let rec uv_slow r shift acc =
+  if r.pos >= r.limit && not (refill r) then corrupt "truncated varint";
+  let c = Char.code (Bytes.unsafe_get r.buf r.pos) in
+  r.pos <- r.pos + 1;
+  let acc = acc lor ((c land 0x7F) lsl shift) in
+  if c < 0x80 then acc
+  else if shift > 55 then corrupt "oversized varint"
+  else uv_slow r (shift + 7) acc
+
+let uv r =
+  (* One-byte fast path (the overwhelmingly common case). *)
+  let pos = r.pos in
+  if pos < r.limit then begin
+    let c = Char.code (Bytes.unsafe_get r.buf pos) in
+    r.pos <- pos + 1;
+    if c < 0x80 then c else uv_slow r 7 (c land 0x7F)
+  end
+  else uv_slow r 0 0
+
+let sv r = unzigzag (uv r)
+
+(* Element count of a variable-length payload: each element takes at
+   least one body byte, so anything larger than the remaining body is
+   corruption — checked before allocating, so a flipped count can
+   never drive an unbounded allocation. *)
+let count r =
+  let n = uv r in
+  if n > body_left r then corrupt "oversized element count";
+  n
+
+let str r =
+  let n = count r in
+  if n <= r.limit - r.pos then begin
+    let v = Bytes.sub_string r.buf r.pos n in
+    r.pos <- r.pos + n;
+    v
+  end
+  else begin
+    let out = Bytes.create n in
+    let k = ref 0 in
+    while !k < n do
+      if r.pos >= r.limit && not (refill r) then corrupt "truncated string";
+      let take = min (n - !k) (r.limit - r.pos) in
+      Bytes.blit r.buf r.pos out !k take;
+      r.pos <- r.pos + take;
+      k := !k + take
+    done;
+    Bytes.unsafe_to_string out
+  end
+
+let value r =
+  match uv r with
+  | 0 -> Raw (sv r)
+  | 1 ->
+      let id = uv r in
+      let delta = uv r in
+      Obj (id, delta)
+  | 2 -> Reg (uv r)
+  | k -> corrupt "unknown value kind %d" k
+
+(* Layouts repeat endlessly — a workload has a handful of object
+   shapes — so intern them: the offsets are decoded into a scratch
+   array and compared against each known layout; each distinct layout
+   is validated and sorted once per reader, and the hot decode path
+   allocates nothing. *)
+let layout r =
+  let size_bytes = uv r in
+  let n = count r in
+  if n > Array.length r.scratch then r.scratch <- Array.make (max 8 (2 * n)) 0;
+  let sc = r.scratch in
+  for i = 0 to n - 1 do
+    sc.(i) <- uv r
+  done;
+  let matches i =
+    r.lay_sizes.(i) = size_bytes
+    && Array.length r.lay_offs.(i) = n
+    &&
+    let offs = r.lay_offs.(i) in
+    let rec eq j = j >= n || (Array.unsafe_get offs j = Array.unsafe_get sc j && eq (j + 1)) in
+    eq 0
+  in
+  let rec find i =
+    if i >= r.nlays then -1 else if matches i then i else find (i + 1)
+  in
+  let i = find 0 in
+  if i >= 0 then r.lay_vals.(i)
+  else begin
+    let offs = Array.sub sc 0 n in
+    let l =
+      (* Decoded fields that fail layout validation (negative size,
+         out-of-range offsets) are corruption of this record, not a
+         caller error — the contract is [Corrupt] for malformed
+         records. *)
+      try Regions.Cleanup.layout ~size_bytes ~ptr_offsets:(Array.to_list offs)
+      with Invalid_argument msg -> corrupt "bad layout: %s" msg
+    in
+    if r.nlays >= Array.length r.lay_sizes then begin
+      let cap = max 8 (2 * Array.length r.lay_sizes) in
+      let ss = Array.make cap 0
+      and os = Array.make cap [||]
+      and vs = Array.make cap l in
+      Array.blit r.lay_sizes 0 ss 0 r.nlays;
+      Array.blit r.lay_offs 0 os 0 r.nlays;
+      Array.blit r.lay_vals 0 vs 0 r.nlays;
+      r.lay_sizes <- ss;
+      r.lay_offs <- os;
+      r.lay_vals <- vs
+    end;
+    r.lay_sizes.(r.nlays) <- size_bytes;
+    r.lay_offs.(r.nlays) <- offs;
+    r.lay_vals.(r.nlays) <- l;
+    r.nlays <- r.nlays + 1;
+    l
+  end
+
+(* --- opening ------------------------------------------------------ *)
+
+(* Raw decoding over (string, pos ref), used for header and trailer
+   bytes pulled out by the envelope check. *)
 let ruv s pos limit =
   let n = ref 0 and shift = ref 0 and cont = ref true in
   while !cont do
@@ -533,97 +752,151 @@ let rstr s pos limit =
   pos := !pos + n;
   v
 
-(* Multi-byte continuation of [uv]: accumulator threading instead of a
-   [ref], so the decode hot path never allocates. *)
-let rec uv_slow r pos shift acc =
-  if pos >= r.end_off then corrupt "truncated varint";
-  let c = Char.code (String.unsafe_get r.data pos) in
-  let acc = acc lor ((c land 0x7F) lsl shift) in
-  if c < 0x80 then begin
-    r.pos <- pos + 1;
-    acc
-  end
-  else if shift > 55 then corrupt "oversized varint"
-  else uv_slow r (pos + 1) (shift + 7) acc
+let default_chunk = 1 lsl 18
 
-let uv r =
-  (* One-byte fast path (the overwhelmingly common case). *)
-  let pos = r.pos in
-  if pos >= r.end_off then corrupt "truncated varint";
-  let c = Char.code (String.unsafe_get r.data pos) in
-  if c < 0x80 then begin
-    r.pos <- pos + 1;
-    c
-  end
-  else uv_slow r (pos + 1) 7 (c land 0x7F)
+(* A trailer is a handful of varints plus the summary line; cap how
+   much a corrupt backpointer can make us read. *)
+let trailer_cap = 1 lsl 20
+let header_cap = 1 lsl 16
 
-let sv r = unzigzag (uv r)
+(* Validate magic / version / end magic / backpointer through a
+   positioned read function, reading O(1) bytes — this is the cheap
+   seek-to-end seal check, shared by both open paths. *)
+let validate_envelope ~len ~read_at =
+  if len < 4 + 1 + 12 then corrupt "file too short";
+  let head = read_at 0 5 in
+  if String.sub head 0 4 <> magic then corrupt "bad magic";
+  if Char.code head.[4] <> version then
+    corrupt "unsupported trace version %d" (Char.code head.[4]);
+  let tail = read_at (len - 12) 12 in
+  if String.sub tail 8 4 <> end_magic then
+    corrupt "missing end magic (truncated or torn trace)";
+  let end_off = Int64.to_int (String.get_int64_le tail 0) in
+  if end_off < 5 || end_off >= len - 12 then corrupt "bad trailer offset";
+  if len - 12 - end_off > trailer_cap then
+    corrupt "bad trailer offset (oversized trailer)";
+  end_off
 
-let str r =
-  let pos = ref r.pos in
-  let v = rstr r.data pos r.end_off in
-  r.pos <- !pos;
-  v
+type envelope = {
+  e_hdr : header;
+  e_body_start : int;
+  e_end_off : int;
+  e_records : int;
+  e_objects : int;
+  e_regions : int;
+  e_oslots : int;
+  e_rslots : int;
+  e_recycled : bool;
+  e_summary : string;
+}
 
-let value r =
-  match uv r with
-  | 0 -> Raw (sv r)
-  | 1 ->
-      let id = uv r in
-      let delta = uv r in
-      Obj (id, delta)
-  | 2 -> Reg (uv r)
-  | k -> corrupt "unknown value kind %d" k
+let read_envelope ~len ~read_at =
+  let end_off = validate_envelope ~len ~read_at in
+  (* Trailer *)
+  let tdata = read_at end_off (len - 12 - end_off) in
+  let tlimit = String.length tdata in
+  let tpos = ref 0 in
+  if Char.code tdata.[0] <> 0 then corrupt "trailer tag mismatch";
+  incr tpos;
+  let e_records = ruv tdata tpos tlimit in
+  let e_objects = ruv tdata tpos tlimit in
+  let e_regions = ruv tdata tpos tlimit in
+  let e_oslots = ruv tdata tpos tlimit in
+  let e_rslots = ruv tdata tpos tlimit in
+  let flags = ruv tdata tpos tlimit in
+  let e_summary = rstr tdata tpos tlimit in
+  if !tpos <> tlimit then corrupt "trailing bytes after trailer";
+  (* Header (bounded read: headers are a few short strings) *)
+  let hdata = read_at 5 (min header_cap (end_off - 5)) in
+  let hlimit = String.length hdata in
+  let hpos = ref 0 in
+  let workload = rstr hdata hpos hlimit in
+  let variant = rstr hdata hpos hlimit in
+  let mode = rstr hdata hpos hlimit in
+  let size = rstr hdata hpos hlimit in
+  let seed = ruv hdata hpos hlimit in
+  let build_id = rstr hdata hpos hlimit in
+  {
+    e_hdr = { workload; variant; mode; size; seed; build_id };
+    e_body_start = 5 + !hpos;
+    e_end_off = end_off;
+    e_records;
+    e_objects;
+    e_regions;
+    e_oslots;
+    e_rslots;
+    e_recycled = flags land 1 <> 0;
+    e_summary;
+  }
 
-(* Layouts repeat endlessly — a workload has a handful of object
-   shapes — so intern them by their encoded bytes: each distinct
-   layout is validated and sorted once per reader, and the hot decode
-   path is a varint skip plus a byte compare, with no allocation. *)
-let layout r =
-  let start = r.pos in
-  let size_bytes = uv r in
-  let n = uv r in
-  for _ = 1 to n do ignore (uv r) done;
-  let len = r.pos - start in
-  let matches k =
-    String.length k = len
-    &&
-    let rec eq i =
-      i >= len
-      || String.unsafe_get k i = String.unsafe_get r.data (start + i)
-         && eq (i + 1)
-    in
-    eq 0
-  in
-  let rec find i =
-    if i >= r.nlays then -1
-    else if matches r.lay_keys.(i) then i
-    else find (i + 1)
-  in
-  let i = find 0 in
-  if i >= 0 then r.lay_vals.(i)
-  else begin
-    (* First sighting: re-decode the offsets and construct for real. *)
-    r.pos <- start;
-    ignore (uv r);
-    let n = uv r in
-    let offs = List.init n (fun _ -> uv r) in
-    let l = Regions.Cleanup.layout ~size_bytes ~ptr_offsets:offs in
-    if r.nlays >= Array.length r.lay_keys then begin
-      let cap = max 8 (2 * Array.length r.lay_keys) in
-      let ks = Array.make cap "" and vs = Array.make cap l in
-      Array.blit r.lay_keys 0 ks 0 r.nlays;
-      Array.blit r.lay_vals 0 vs 0 r.nlays;
-      r.lay_keys <- ks;
-      r.lay_vals <- vs
-    end;
-    r.lay_keys.(r.nlays) <- String.sub r.data start len;
-    r.lay_vals.(r.nlays) <- l;
-    r.nlays <- r.nlays + 1;
-    l
-  end
+let reader_of_envelope e ~src ~buf ~base ~pos ~limit =
+  {
+    src;
+    buf;
+    base;
+    pos;
+    limit;
+    hdr = e.e_hdr;
+    body_start = e.e_body_start;
+    end_off = e.e_end_off;
+    r_records = e.e_records;
+    r_objects = e.e_objects;
+    r_regions = e.e_regions;
+    r_oslots = e.e_oslots;
+    r_rslots = e.e_rslots;
+    r_recycled = e.e_recycled;
+    r_summary = e.e_summary;
+    strs = Array.make 16 "";
+    nstrs = 0;
+    lay_sizes = [||];
+    lay_offs = [||];
+    lay_vals = [||];
+    nlays = 0;
+    scratch = Array.make 8 0;
+    closed = false;
+  }
 
-let open_file path =
+let open_file ?(chunk = default_chunk) path =
+  let chunk = max 1 chunk in
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic -> (
+      try
+        let len = in_channel_length ic in
+        let read_at off n =
+          seek_in ic off;
+          really_input_string ic n
+        in
+        let e = read_envelope ~len ~read_at in
+        seek_in ic e.e_body_start;
+        Ok
+          (reader_of_envelope e ~src:(Chan ic) ~buf:(Bytes.create chunk)
+             ~base:e.e_body_start ~pos:0 ~limit:0)
+      with
+      | Corrupt msg ->
+          close_in_noerr ic;
+          Error (Printf.sprintf "%s: %s" path msg)
+      | End_of_file ->
+          close_in_noerr ic;
+          Error (Printf.sprintf "%s: truncated file" path)
+      | Sys_error msg ->
+          close_in_noerr ic;
+          Error msg)
+
+let of_string ~name data =
+  try
+    let len = String.length data in
+    let read_at off n = String.sub data off n in
+    let e = read_envelope ~len ~read_at in
+    (* [buf] is never written: [refill] returns before touching it
+       when the source is [In_memory]. *)
+    Ok
+      (reader_of_envelope e ~src:In_memory
+         ~buf:(Bytes.unsafe_of_string data) ~base:0 ~pos:e.e_body_start
+         ~limit:e.e_end_off)
+  with Corrupt msg -> Error (Printf.sprintf "%s: %s" name msg)
+
+let open_in_memory path =
   match
     let ic = open_in_bin path in
     Fun.protect
@@ -631,66 +904,36 @@ let open_file path =
       (fun () -> really_input_string ic (in_channel_length ic))
   with
   | exception Sys_error msg -> Error msg
-  | data -> (
-      try
-        let len = String.length data in
-        if len < 4 + 1 + 12 then corrupt "file too short";
-        if String.sub data 0 4 <> magic then corrupt "bad magic";
-        if Char.code data.[4] <> version then
-          corrupt "unsupported trace version %d" (Char.code data.[4]);
-        if String.sub data (len - 4) 4 <> end_magic then
-          corrupt "missing end magic (truncated or torn trace)";
-        let end_off =
-          Int64.to_int (Bytes.get_int64_le (Bytes.of_string (String.sub data (len - 12) 8)) 0)
-        in
-        if end_off < 5 || end_off >= len - 12 then corrupt "bad trailer offset";
-        (* Header *)
-        let pos = ref 5 in
-        let workload = rstr data pos end_off in
-        let variant = rstr data pos end_off in
-        let mode = rstr data pos end_off in
-        let size = rstr data pos end_off in
-        let seed = ruv data pos end_off in
-        let build_id = rstr data pos end_off in
-        let body_start = !pos in
-        (* Trailer *)
-        let tpos = ref end_off in
-        if Char.code data.[!tpos] <> 0 then corrupt "trailer tag mismatch";
-        incr tpos;
-        let limit = len - 12 in
-        let r_records = ruv data tpos limit in
-        let r_objects = ruv data tpos limit in
-        let r_regions = ruv data tpos limit in
-        let r_summary = rstr data tpos limit in
-        if !tpos <> limit then corrupt "trailing bytes after trailer";
-        Ok
-          {
-            data;
-            hdr = { workload; variant; mode; size; seed; build_id };
-            body_start;
-            end_off;
-            r_records;
-            r_objects;
-            r_regions;
-            r_summary;
-            pos = body_start;
-            strs = Array.make 16 "";
-            nstrs = 0;
-            lay_keys = [||];
-            lay_vals = [||];
-            nlays = 0;
-          }
-      with Corrupt msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | exception End_of_file -> Error (Printf.sprintf "%s: truncated file" path)
+  | data -> of_string ~name:path data
+
+let close r =
+  if not r.closed then begin
+    r.closed <- true;
+    r.pos <- 0;
+    r.limit <- 0;
+    match r.src with Chan ic -> close_in_noerr ic | In_memory -> ()
+  end
 
 let header r = r.hdr
 let summary r = r.r_summary
 let records r = r.r_records
 let objects r = r.r_objects
 let regions r = r.r_regions
+let obj_slots r = r.r_oslots
+let reg_slots r = r.r_rslots
+let recycled r = r.r_recycled
 
 let reset r =
-  r.pos <- r.body_start;
-  r.nstrs <- 0
+  if r.closed then invalid_arg "Trace.Format.reset: reader closed";
+  r.nstrs <- 0;
+  match r.src with
+  | In_memory -> r.pos <- r.body_start
+  | Chan ic ->
+      seek_in ic r.body_start;
+      r.base <- r.body_start;
+      r.pos <- 0;
+      r.limit <- 0
 
 let add_str r s =
   if r.nstrs = Array.length r.strs then begin
@@ -702,9 +945,10 @@ let add_str r s =
   r.nstrs <- r.nstrs + 1
 
 let rec next r =
-  if r.pos >= r.end_off then End
-  else
-    let tag = get_byte r in
+  if not (more r) then End
+  else begin
+    let tag = Char.code (Bytes.unsafe_get r.buf r.pos) in
+    r.pos <- r.pos + 1;
     if tag = t_malloc then Malloc { size = uv r }
     else if tag = t_free then Free { id = uv r }
     else if tag = t_realloc then
@@ -726,13 +970,14 @@ let rec next r =
       let l = layout r in
       Rarrayalloc { rid; n; layout = l }
     else if tag = t_deleteregion then
+      let rid = uv r in
       let frame = uv r in
       let slot = uv r in
       let ok = uv r <> 0 in
-      Deleteregion { frame; slot; ok }
+      Deleteregion { rid; frame; slot; ok }
     else if tag = t_frame_push then
       let nslots = uv r in
-      let n = uv r in
+      let n = count r in
       let ptr_slots = List.init n (fun _ -> uv r) in
       Frame_push { nslots; ptr_slots }
     else if tag = t_frame_pop then Frame_pop
@@ -750,7 +995,7 @@ let rec next r =
       Poke_bytes { addr; s }
     else if tag = t_poke_block then
       let addr = uv r in
-      let n = uv r in
+      let n = count r in
       let words = Array.init n (fun _ -> sv r) in
       Poke_block { addr; words }
     else if tag = t_poke_obj then
@@ -777,7 +1022,7 @@ let rec next r =
       let v = value r in
       Set_local_ptr { frame; slot; v }
     else if tag = t_gc_roots then
-      let n = uv r in
+      let n = count r in
       Gc_roots (Array.init n (fun _ -> sv r))
     else if tag = t_mark then begin
       let id = uv r in
@@ -797,14 +1042,15 @@ let rec next r =
       next r
     end
     else corrupt "unknown record tag %d" tag
+  end
 
 (* Fused decode for the replay hot path: plain [Poke] records — the
    bulk of every trace — are delivered straight to [poke] without
    materialising a [record]; the first record of any other kind is
    decoded by [next] and returned. *)
 let rec next_with_pokes r ~poke =
-  if r.pos >= r.end_off then End
-  else if Char.code (String.unsafe_get r.data r.pos) = t_poke then begin
+  if not (more r) then End
+  else if Char.code (Bytes.unsafe_get r.buf r.pos) = t_poke then begin
     r.pos <- r.pos + 1;
     let addr = uv r in
     let v = sv r in
@@ -827,9 +1073,9 @@ let fused_value r resolve =
   | k -> corrupt "unknown value kind %d" k
 
 let rec next_fused r ~poke ~resolve ~store =
-  if r.pos >= r.end_off then End
+  if not (more r) then End
   else
-    let tag = Char.code (String.unsafe_get r.data r.pos) in
+    let tag = Char.code (Bytes.unsafe_get r.buf r.pos) in
     if tag = t_poke then begin
       r.pos <- r.pos + 1;
       let addr = uv r in

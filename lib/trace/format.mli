@@ -5,17 +5,21 @@
     stream of variable-length records — the allocator-visible
     operations of one run, plus the heap stores and collection-time
     root snapshots a replay needs — and a trailer carrying the record
-    and id counts and the run's summary string, sealed with an end
-    magic so truncated or torn files are rejected at open.
+    and id counts, the replay id-table sizes, and the run's summary
+    string, sealed with an end magic so truncated or torn files are
+    rejected at open.
 
     Integers are LEB128 varints (zigzag where a field can be
     negative); phase/site names are interned, each defined once inline
     by a string-definition record.  The writer streams through a
-    buffer into [path ^ ".tmp.<pid>"] and commits with an atomic
-    rename, like every other artefact in this repo.  The reader maps
-    the whole file into one string up front and then decodes with a
-    moving cursor: no per-record I/O, no copies, a few words per
-    decoded record. *)
+    fixed-size buffer into [path ^ ".tmp.<pid>"] and commits with an
+    atomic rename, like every other artefact in this repo; writer
+    memory is O(1) in the trace length.  The reader streams too: the
+    envelope (magic, version, trailer, end magic) is validated by a
+    cheap seek-to-end, and the record body is then decoded through a
+    fixed-size refill window, so resident memory is the chunk size —
+    independent of how many records the trace holds.  Records are
+    decoded across chunk boundaries transparently. *)
 
 exception Corrupt of string
 (** Raised by the reader on a malformed or truncated stream. *)
@@ -47,7 +51,9 @@ type record =
   | Ralloc of { rid : int; layout : Regions.Cleanup.layout }
   | Rstralloc of { rid : int; size : int }
   | Rarrayalloc of { rid : int; n : int; layout : Regions.Cleanup.layout }
-  | Deleteregion of { frame : int; slot : int; ok : bool }
+  | Deleteregion of { rid : int; frame : int; slot : int; ok : bool }
+      (** [rid] names the deleted region so replays of recycled traces
+          can return its object ids to the free pool. *)
   | Frame_push of { nslots : int; ptr_slots : int list }
   | Frame_pop
   | Poke of { addr : int; v : int }
@@ -81,6 +87,13 @@ val set_object_count : writer -> int -> unit
 (** Override the trailer's object count (ops traces, whose abstract
     ids are not allocation-sequential). *)
 
+val set_recycled_slots : writer -> objects:int -> regions:int -> unit
+(** Mark the trace as using the id-recycling discipline (generated
+    traces: a freed object's id — and a deleted region's — is reused,
+    newest first) and record the replay table sizes: the high-water
+    marks of simultaneously live ids, which is what bounds a replay's
+    memory instead of the total allocation count. *)
+
 (** {2 Hot-path emitters}
 
     Byte-for-byte equivalent to {!emit} of the corresponding record,
@@ -101,7 +114,7 @@ val emit_newregion : writer -> unit
 val emit_ralloc : writer -> rid:int -> Regions.Cleanup.layout -> unit
 val emit_rstralloc : writer -> rid:int -> size:int -> unit
 val emit_rarrayalloc : writer -> rid:int -> n:int -> Regions.Cleanup.layout -> unit
-val emit_deleteregion : writer -> frame:int -> slot:int -> ok:bool -> unit
+val emit_deleteregion : writer -> rid:int -> frame:int -> slot:int -> ok:bool -> unit
 val emit_store_ptr : writer -> addr:value -> v:value -> unit
 val emit_set_local : writer -> frame:int -> slot:int -> v:value -> unit
 val emit_set_local_ptr : writer -> frame:int -> slot:int -> v:value -> unit
@@ -118,18 +131,45 @@ val abort : writer -> unit
 
 type reader
 
-val open_file : string -> (reader, string) result
-(** Loads and validates the envelope: magic, version, header, end
-    magic, trailer.  A truncated or torn file is an [Error]. *)
+val open_file : ?chunk:int -> string -> (reader, string) result
+(** Validates the envelope with a bounded header read and a
+    seek-to-end (end magic, LE64 trailer backpointer, trailer), then
+    streams the body through a [chunk]-byte refill window (default
+    256 KiB; clamped to at least 1).  A truncated or torn file is an
+    [Error].  The reader holds the file open: {!close} it when
+    done. *)
+
+val open_in_memory : string -> (reader, string) result
+(** Same validation, but the whole file is slurped into one string up
+    front and decoded in place, with zero refills — the PR-6 reader.
+    Replay is source-compatible with both; the streaming reader is the
+    default because its memory is independent of trace length. *)
+
+val close : reader -> unit
+(** Release the underlying file handle (idempotent).  Reading a closed
+    reader raises {!Corrupt}. *)
 
 val header : reader -> header
 val summary : reader -> string
 val records : reader -> int
 
 val objects : reader -> int
-(** Allocations in the trace (the replay's id-table size). *)
+(** Total allocations in the trace. *)
 
 val regions : reader -> int
+(** Total regions created in the trace. *)
+
+val obj_slots : reader -> int
+(** The replay's object-id table size: equal to {!objects} for
+    recorded traces, the live high-water mark for recycled (generated)
+    ones. *)
+
+val reg_slots : reader -> int
+(** The replay's region-id table size (see {!obj_slots}). *)
+
+val recycled : reader -> bool
+(** Whether the trace uses the id-recycling discipline
+    ({!set_recycled_slots}). *)
 
 val reset : reader -> unit
 (** Rewind to the first record. *)

@@ -175,19 +175,23 @@ let recorder_of st =
         add_obj st ~addr ~bytes:(n * Regions.Cleanup.stride layout) (Some rid));
     rec_deleteregion =
       (fun ~frame ~slot ~r ~ok ->
-        Format.emit_deleteregion st.w ~frame ~slot ~ok;
-        if ok then
-          match rid_of st r with
-          | exception Not_found -> ()
-          | rid ->
+        (* The rid travels in the record (inert for sequential-id
+           recorded traces, load-bearing for recycled generated ones). *)
+        match rid_of st r with
+        | exception Not_found ->
+            Format.emit_deleteregion st.w ~rid:0 ~frame ~slot ~ok
+        | rid ->
+            Format.emit_deleteregion st.w ~rid ~frame ~slot ~ok;
+            if ok then begin
               st.reg_rid.(r lsr 2) <- 0;
-              (match Hashtbl.find_opt st.region_objs rid with
+              match Hashtbl.find_opt st.region_objs rid with
               | None -> ()
               | Some bases ->
                   List.iter
                     (fun b -> ignore (remove_obj st ~base:b))
                     !bases;
-                  Hashtbl.remove st.region_objs rid));
+                  Hashtbl.remove st.region_objs rid
+            end);
     rec_frame_push =
       (fun ~nslots ~ptr_slots -> emit (Frame_push { nslots; ptr_slots }));
     rec_frame_pop = (fun () -> emit Frame_pop);

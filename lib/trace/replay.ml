@@ -27,21 +27,83 @@ let run ?(with_cache = false) reader mode =
     Api.mode_name mode = hdr.mode
     || match mode with Api.Region _ -> true | _ -> false
   in
+  (* Recycled (generated) traces reuse freed ids, newest first, and
+     size the id tables by their live high-water marks; recorded
+     traces keep the sequential discipline.  The trailer flag decides,
+     so replay memory for synthetic columns is O(max live), not
+     O(total allocations). *)
+  let recycled = Format.recycled reader in
+  let oslots = max (Format.obj_slots reader) 1 in
+  let rslots = max (Format.reg_slots reader) 1 in
+  let obj_addr = Array.make oslots 0 in
+  let reg_handle = Array.make rslots 0 in
+  let next_obj = ref 0 and next_reg = ref 0 in
+  (* Recycling state: LIFO free stacks, per-region id lists (newest
+     first) and a live map feeding the collector's root fallback. *)
+  let free_ids = if recycled then Array.make oslots 0 else [||] in
+  let free_top = ref 0 in
+  let free_rids = if recycled then Array.make rslots 0 else [||] in
+  let free_rtop = ref 0 in
+  let live = if recycled then Bytes.make oslots '\000' else Bytes.empty in
+  let region_ids = if recycled then Array.make rslots [] else [||] in
   let rootq = Queue.create () in
   let gc_roots () =
     match Queue.take_opt rootq with
     | Some roots -> roots
-    | None -> diverge "collection with no recorded root snapshot left"
+    | None ->
+        if not recycled then
+          diverge "collection with no recorded root snapshot left"
+        else begin
+          (* Generated traces carry no snapshots (collection points
+             are not knowable at generation time): every live object
+             is a root, so exactly the freed ones get reclaimed. *)
+          let n = ref 0 in
+          for i = 0 to oslots - 1 do
+            if Bytes.unsafe_get live i <> '\000' then incr n
+          done;
+          let out = Array.make !n 0 in
+          let k = ref 0 in
+          for i = 0 to oslots - 1 do
+            if Bytes.unsafe_get live i <> '\000' then begin
+              out.(!k) <- obj_addr.(i);
+              incr k
+            end
+          done;
+          out
+        end
   in
   let api = Api.create ~with_cache ~gc_roots mode in
   let mem = Api.memory api in
   let mut = Api.mutator api in
-  let obj_addr = Array.make (max (Format.objects reader) 1) 0 in
-  let reg_handle = Array.make (max (Format.regions reader) 1) 0 in
-  let next_obj = ref 0 and next_reg = ref 0 in
+  let alloc_id () =
+    if recycled && !free_top > 0 then begin
+      decr free_top;
+      free_ids.(!free_top)
+    end
+    else begin
+      let id = !next_obj in
+      if id >= oslots then diverge "object id overflow (%d slots)" oslots;
+      incr next_obj;
+      id
+    end
+  in
   let push_obj addr =
-    obj_addr.(!next_obj) <- addr;
-    incr next_obj
+    let id = alloc_id () in
+    obj_addr.(id) <- addr;
+    if recycled then Bytes.set live id '\001'
+  in
+  let push_region_obj rid addr =
+    let id = alloc_id () in
+    obj_addr.(id) <- addr;
+    if recycled then begin
+      Bytes.set live id '\001';
+      region_ids.(rid) <- id :: region_ids.(rid)
+    end
+  in
+  let release_id id =
+    Bytes.set live id '\000';
+    free_ids.(!free_top) <- id;
+    incr free_top
   in
   let resolve = function
     | Format.Raw v -> v
@@ -50,20 +112,40 @@ let run ?(with_cache = false) reader mode =
   in
   let apply = function
     | Format.Malloc { size } -> push_obj (Api.malloc api size)
-    | Format.Free { id } -> Api.free api obj_addr.(id)
+    | Format.Free { id } ->
+        Api.free api obj_addr.(id);
+        if recycled then release_id id
     | Format.Newregion ->
-        reg_handle.(!next_reg) <- Api.newregion api;
-        incr next_reg
+        let rid =
+          if recycled && !free_rtop > 0 then begin
+            decr free_rtop;
+            free_rids.(!free_rtop)
+          end
+          else begin
+            let rid = !next_reg in
+            if rid >= rslots then
+              diverge "region id overflow (%d slots)" rslots;
+            incr next_reg;
+            rid
+          end
+        in
+        reg_handle.(rid) <- Api.newregion api
     | Format.Ralloc { rid; layout } ->
-        push_obj (Api.ralloc api reg_handle.(rid) layout)
+        push_region_obj rid (Api.ralloc api reg_handle.(rid) layout)
     | Format.Rstralloc { rid; size } ->
-        push_obj (Api.rstralloc api reg_handle.(rid) size)
+        push_region_obj rid (Api.rstralloc api reg_handle.(rid) size)
     | Format.Rarrayalloc { rid; n; layout } ->
-        push_obj (Api.rarrayalloc api reg_handle.(rid) ~n layout)
-    | Format.Deleteregion { frame; slot; ok } ->
+        push_region_obj rid (Api.rarrayalloc api reg_handle.(rid) ~n layout)
+    | Format.Deleteregion { rid; frame; slot; ok } ->
         let got = Api.deleteregion api (Regions.Mutator.frame mut frame) slot in
         if got <> ok then
-          diverge "deleteregion returned %b where the trace recorded %b" got ok
+          diverge "deleteregion returned %b where the trace recorded %b" got ok;
+        if recycled && got then begin
+          List.iter release_id region_ids.(rid);
+          region_ids.(rid) <- [];
+          free_rids.(!free_rtop) <- rid;
+          incr free_rtop
+        end
     | Format.Poke { addr; v } -> if apply_pokes then Sim.Memory.poke mem addr v
     | Format.Poke_byte { addr; v } ->
         if apply_pokes then Sim.Memory.poke_byte mem addr v

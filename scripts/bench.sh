@@ -20,6 +20,11 @@ usage: scripts/bench.sh [-h] [n]
 Environment:
   JOBS=N   domains for the parallel matrix fill (default 4)
   FULL=1   use the full-size benchmark inputs
+  GEN=1    also run the generated-trace scaling columns (--gen):
+           replay synthetic 1M/10M/50M-object traces against every
+           allocator column in fresh child processes, recording
+           throughput and peak RSS (the bounded-memory evidence in
+           the JSON's "gen_replay" section; adds several minutes)
 EOF
 }
 
@@ -44,4 +49,4 @@ dune build bench/main.exe
 # --no-cache: trajectory numbers must be cold-run wall clocks, not
 # cell-cache hits.
 exec dune exec --no-build bench/main.exe -- \
-  --json "BENCH_${n}.json" -j "$jobs" --no-cache ${FULL:+--full}
+  --json "BENCH_${n}.json" -j "$jobs" --no-cache ${FULL:+--full} ${GEN:+--gen}

@@ -65,7 +65,7 @@ let sample_records =
     Gc_roots [| 4; 8; 512 |];
     Mark { name = "parse"; kind = Phase_begin };
     Mark { name = "parse"; kind = Phase_end };
-    Deleteregion { frame = 0; slot = 0; ok = true };
+    Deleteregion { rid = 0; frame = 0; slot = 0; ok = true };
     Frame_pop;
     Free { id = 0 };
   ]
@@ -102,7 +102,8 @@ let test_roundtrip () =
         (drain r = sample_records);
       (* reset rewinds to the first record. *)
       Trace.Format.reset r;
-      check_bool "reset replays identically" true (drain r = sample_records));
+      check_bool "reset replays identically" true (drain r = sample_records);
+      Trace.Format.close r);
   Sys.remove path
 
 (* The specialized hot-path emitters promise byte-equivalence with the
@@ -127,7 +128,7 @@ let test_specialized_emitters_byte_equal () =
   emit w (Store_ptr { addr = Obj (1, 4); v = Reg 0 });
   emit w (Set_local { frame = 1; slot = 2; v = Raw (-5) });
   emit w (Set_local_ptr { frame = 1; slot = 3; v = Obj (2, 0) });
-  emit w (Deleteregion { frame = 0; slot = 1; ok = true });
+  emit w (Deleteregion { rid = 0; frame = 0; slot = 1; ok = true });
   commit w ~summary:"s";
   let w = create_writer ~path:special hdr in
   emit_malloc w ~size:24;
@@ -145,7 +146,7 @@ let test_specialized_emitters_byte_equal () =
   emit_store_ptr w ~addr:(Obj (1, 4)) ~v:(Reg 0);
   emit_set_local w ~frame:1 ~slot:2 ~v:(Raw (-5));
   emit_set_local_ptr w ~frame:1 ~slot:3 ~v:(Obj (2, 0));
-  emit_deleteregion w ~frame:0 ~slot:1 ~ok:true;
+  emit_deleteregion w ~rid:0 ~frame:0 ~slot:1 ~ok:true;
   commit w ~summary:"s";
   check_str "identical bytes" (read_file generic) (read_file special);
   Sys.remove generic;
@@ -175,7 +176,8 @@ let test_next_with_pokes () =
           (function Trace.Format.Poke _ -> false | _ -> true)
           sample_records
       in
-      check_bool "non-poke records unchanged" true (rest = expected));
+      check_bool "non-poke records unchanged" true (rest = expected);
+      Trace.Format.close r);
   Sys.remove path
 
 (* [next_fused] additionally consumes [Store_ptr] records through
@@ -223,7 +225,8 @@ let test_next_fused () =
             | _ -> true)
           sample_records
       in
-      check_bool "other records unchanged" true (rest = expected));
+      check_bool "other records unchanged" true (rest = expected);
+      Trace.Format.close r);
   Sys.remove path
 
 let expect_error label = function
@@ -270,9 +273,265 @@ let test_damage_rejected () =
         go ()
       with
       | () -> Alcotest.fail "torn trailing record read to End"
-      | exception Trace.Format.Corrupt _ -> ()));
+      | exception Trace.Format.Corrupt _ -> Trace.Format.close r));
   Sys.remove path;
   Sys.remove damaged
+
+(* ------------------------------------------------------------------ *)
+(* Streaming reader == in-memory reader, on arbitrary traces and
+   chunk sizes down to a single byte.  The streaming reader's refill
+   window cuts records, strings and varints at every possible byte
+   boundary; the decoded stream must not care. *)
+
+(* A deterministic pseudo-random record list covering every
+   constructor, with field values spread across the varint size
+   classes (one-byte, multi-byte, negative). *)
+let random_records seed len =
+  let open Trace.Format in
+  let s = ref (((seed * 2654435761) land 0x3FFFFFFF) + 1) in
+  let rnd m =
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s mod m
+  in
+  let lay () =
+    Regions.Cleanup.layout
+      ~size_bytes:(4 + (4 * rnd 8))
+      ~ptr_offsets:(if rnd 2 = 0 then [] else [ 0 ])
+  in
+  let value () =
+    match rnd 3 with
+    | 0 -> Raw (rnd 100_000 - 50_000)
+    | 1 -> Obj (rnd 64, 4 * rnd 16)
+    | _ -> Reg (rnd 8)
+  in
+  List.init len (fun _ ->
+      match rnd 18 with
+      | 0 -> Malloc { size = 1 + rnd 5000 }
+      | 1 -> Free { id = rnd 64 }
+      | 2 -> Poke { addr = 4 * rnd 100_000; v = rnd 100_000 - 50_000 }
+      | 3 -> Poke_byte { addr = rnd 100_000; v = rnd 256 }
+      | 4 ->
+          Poke_bytes
+            {
+              addr = rnd 100_000;
+              s = String.init (rnd 12) (fun i -> Char.chr (((i * 37) + rnd 256) land 0xFF));
+            }
+      | 5 -> Poke_block { addr = 4 * rnd 100_000; words = Array.init (rnd 6) (fun i -> i - 2) }
+      | 6 -> Clear { addr = 4 * rnd 100_000; bytes = 4 * rnd 32 }
+      | 7 -> Gc_roots (Array.init (rnd 5) (fun i -> 4 * (i + rnd 1000)))
+      | 8 -> Newregion
+      | 9 -> Ralloc { rid = rnd 8; layout = lay () }
+      | 10 -> Rstralloc { rid = rnd 8; size = 1 + rnd 300 }
+      | 11 -> Rarrayalloc { rid = rnd 8; n = 1 + rnd 5; layout = lay () }
+      | 12 -> Store_ptr { addr = value (); v = value () }
+      | 13 -> Frame_push { nslots = 1 + rnd 4; ptr_slots = [ 0 ] }
+      | 14 -> Set_local { frame = rnd 4; slot = rnd 4; v = value () }
+      | 15 -> Set_local_ptr { frame = rnd 4; slot = rnd 4; v = value () }
+      | 16 -> Deleteregion { rid = rnd 8; frame = rnd 4; slot = rnd 4; ok = rnd 2 = 0 }
+      | _ -> Mark { name = "m"; kind = (if rnd 2 = 0 then Phase_begin else Phase_end) })
+
+(* Fully decode a reader through the fused hot path, capturing every
+   callback delivery, so two readers can be compared on the exact
+   stream replay consumes. *)
+let fused_stream r =
+  let pack kind a b = (kind lsl 40) lxor (a lsl 20) lxor b in
+  let pokes = ref [] and stores = ref [] in
+  let poke ~addr ~v = pokes := (addr, v) :: !pokes in
+  let store ~addr ~v = stores := (addr, v) :: !stores in
+  let rec go acc =
+    match Trace.Format.next_fused r ~poke ~resolve:pack ~store with
+    | Trace.Format.End -> List.rev acc
+    | rec_ -> go (rec_ :: acc)
+  in
+  let rest = go [] in
+  (rest, List.rev !pokes, List.rev !stores)
+
+let prop_streaming_equals_in_memory =
+  QCheck.Test.make ~count:40
+    ~name:"streaming reader == in-memory reader (any records, any chunk)"
+    QCheck.(triple (0 -- 10_000) (0 -- 300) (1 -- 64))
+    (fun (seed, len, chunk) ->
+      let records = random_records seed len in
+      let path = tmp_path () in
+      let w = Trace.Format.create_writer ~path hdr in
+      List.iter (Trace.Format.emit w) records;
+      Trace.Format.commit w ~summary:"prop";
+      let streamed =
+        match Trace.Format.open_file ~chunk path with
+        | Ok r -> r
+        | Error e -> QCheck.Test.fail_reportf "streaming open failed: %s" e
+      in
+      let in_mem =
+        match Trace.Format.open_in_memory path with
+        | Ok r -> r
+        | Error e -> QCheck.Test.fail_reportf "in-memory open failed: %s" e
+      in
+      Sys.remove path;
+      let finish () = Trace.Format.close streamed in
+      if Trace.Format.header streamed <> Trace.Format.header in_mem then
+        QCheck.Test.fail_reportf "headers differ (seed=%d)" seed;
+      if Trace.Format.records streamed <> Trace.Format.records in_mem then
+        QCheck.Test.fail_reportf "record counts differ (seed=%d)" seed;
+      if Trace.Format.summary streamed <> Trace.Format.summary in_mem then
+        QCheck.Test.fail_reportf "summaries differ (seed=%d)" seed;
+      let a = drain streamed and b = drain in_mem in
+      if a <> b then
+        QCheck.Test.fail_reportf "record streams differ (seed=%d chunk=%d)"
+          seed chunk;
+      if b <> records then
+        QCheck.Test.fail_reportf "decoded stream <> written records (seed=%d)"
+          seed;
+      Trace.Format.reset streamed;
+      Trace.Format.reset in_mem;
+      if fused_stream streamed <> fused_stream in_mem then
+        QCheck.Test.fail_reportf "fused streams differ (seed=%d chunk=%d)" seed
+          chunk;
+      finish ();
+      true)
+
+(* Single-bit corruption anywhere in the file: the streaming reader
+   must answer with an open error, a [Corrupt] while reading, or a
+   clean bounded stream — never a hang or an unbounded allocation (a
+   flipped element count is checked against the remaining body before
+   any buffer is sized, format.ml's [count]). *)
+let prop_bitflip_bounded =
+  let base =
+    lazy
+      (let path = tmp_path () in
+       let w = Trace.Format.create_writer ~path hdr in
+       List.iter (Trace.Format.emit w) (random_records 7 200);
+       Trace.Format.commit w ~summary:"bitflip base";
+       let data = read_file path in
+       Sys.remove path;
+       data)
+  in
+  QCheck.Test.make ~count:150
+    ~name:"streaming reader: single bit-flips error out, never hang"
+    QCheck.(pair (0 -- 1_000_000) (1 -- 97))
+    (fun (flip, chunk) ->
+      let good = Lazy.force base in
+      let b = Bytes.of_string good in
+      let bit = flip mod (8 * Bytes.length b) in
+      let i = bit / 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+      let path = tmp_path () in
+      write_file path (Bytes.to_string b);
+      let verdict =
+        match Trace.Format.open_file ~chunk path with
+        | Error _ -> true (* rejected at open *)
+        | Ok r ->
+            let bound = (8 * Bytes.length b) + 16 in
+            let rec go n =
+              if n > bound then false (* more records than body bytes: loop *)
+              else
+                match Trace.Format.next r with
+                | Trace.Format.End -> true
+                | _ -> go (n + 1)
+            in
+            let ok = try go 0 with Trace.Format.Corrupt _ -> true in
+            Trace.Format.close r;
+            ok
+      in
+      Sys.remove path;
+      verdict)
+
+(* ------------------------------------------------------------------ *)
+(* The synthetic generator (Trace.Gen): same spec, same bytes — on
+   every host and build — plus distribution sanity on what it wrote,
+   and replayability of its output on every column family. *)
+
+let gen_params spec =
+  match Trace.Gen.of_string spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad gen spec %S: %s" spec e
+
+let test_gen_deterministic () =
+  let p = gen_params "n=20000,size=heavy:16:65536,life=exp:400,stores=2,seed=9" in
+  let a = tmp_path () and b = tmp_path () in
+  Trace.Gen.generate ~out:a p;
+  Trace.Gen.generate ~out:b p;
+  check_str "same spec, byte-identical traces" (read_file a) (read_file b);
+  let p' = { p with Trace.Gen.seed = 10 } in
+  Trace.Gen.generate ~out:b p';
+  check_bool "different seed, different bytes" false (read_file a = read_file b);
+  Sys.remove a;
+  Sys.remove b
+
+(* Distribution sanity: every size respects the spec's bounds and the
+   uniform mean lands near the middle; exponential lifetimes actually
+   interleave deaths with allocations rather than batching them all at
+   the end. *)
+let test_gen_histogram () =
+  let n = 20_000 in
+  let p = gen_params (Printf.sprintf "n=%d,size=uniform:16:64,life=exp:300" n) in
+  let path = tmp_path () in
+  Trace.Gen.generate ~out:path p;
+  (match Trace.Format.open_file path with
+  | Error e -> Alcotest.failf "open failed: %s" e
+  | Ok r ->
+      check_int "trailer object count" n (Trace.Format.objects r);
+      check_bool "recycled-ids flag set" true (Trace.Format.recycled r);
+      check_bool "id table bounded by live set, not trace length" true
+        (Trace.Format.obj_slots r < n / 4);
+      let sizes = ref [] and mallocs = ref 0 and frees_before_last = ref 0 in
+      let rec go () =
+        match Trace.Format.next r with
+        | Trace.Format.End -> ()
+        | Trace.Format.Malloc { size } ->
+            incr mallocs;
+            sizes := size :: !sizes;
+            go ()
+        | Trace.Format.Free _ ->
+            if !mallocs < n then incr frees_before_last;
+            go ()
+        | _ -> go ()
+      in
+      go ();
+      Trace.Format.close r;
+      check_int "one malloc per object" n !mallocs;
+      List.iter
+        (fun s ->
+          if s < 16 || s > 64 then
+            Alcotest.failf "size %d outside uniform:16:64" s)
+        !sizes;
+      let mean =
+        float_of_int (List.fold_left ( + ) 0 !sizes) /. float_of_int n
+      in
+      check_bool "uniform mean near 40" true (mean > 36. && mean < 44.);
+      check_bool "exponential deaths interleave with allocation" true
+        (!frees_before_last > n / 2));
+  Sys.remove path
+
+let test_gen_replays_on_columns () =
+  let run spec modes =
+    let p = gen_params spec in
+    let path = tmp_path () in
+    Trace.Gen.generate ~out:path p;
+    List.iter
+      (fun mode ->
+        match Trace.Format.open_file path with
+        | Error e -> Alcotest.failf "open failed: %s" e
+        | Ok r ->
+            let res = Trace.Replay.run r mode in
+            Trace.Format.close r;
+            check_int
+              (Printf.sprintf "%s: every allocation replayed" spec)
+              p.Trace.Gen.objects res.Workloads.Results.req_allocs)
+      modes;
+    Sys.remove path
+  in
+  run "n=20000,variant=malloc,size=table2,life=lifo:64,stores=1"
+    [
+      Workloads.Api.Direct Workloads.Api.Sun;
+      Workloads.Api.Direct Workloads.Api.Bsd;
+      Workloads.Api.Direct Workloads.Api.Lea;
+      Workloads.Api.Direct Workloads.Api.Gc;
+    ];
+  run "n=20000,variant=region,size=table2,life=long:5:200,stores=1"
+    [
+      Workloads.Api.Region { safe = true };
+      Workloads.Api.Region { safe = false };
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Record -> replay count-equivalence.
@@ -363,7 +622,10 @@ let prop_ops_roundtrip =
             QCheck.Test.fail_reportf "%s: final heap words diverge (seed=%d)"
               name seed;
           true)
-        allocators)
+        allocators
+      |> fun ok ->
+      Trace.Format.close r;
+      ok)
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
@@ -377,6 +639,15 @@ let () =
           quick "fused poke decoding" test_next_with_pokes;
           quick "fused store decoding" test_next_fused;
           quick "truncated and torn traces rejected" test_damage_rejected;
+          QCheck_alcotest.to_alcotest prop_streaming_equals_in_memory;
+          QCheck_alcotest.to_alcotest prop_bitflip_bounded;
+        ] );
+      ( "gen",
+        [
+          quick "same spec, byte-identical output" test_gen_deterministic;
+          quick "distribution sanity" test_gen_histogram;
+          quick "generated traces replay on every column family"
+            test_gen_replays_on_columns;
         ] );
       ( "replay",
         [
