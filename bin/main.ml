@@ -73,6 +73,27 @@ let progress_arg =
           "Print one line to stderr per completed matrix cell (workload, \
            mode, simulated cycles, host wall ms).  Stdout is unchanged.")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Enable the global metrics registry for this run and dump its \
+           snapshot (counters, gauges, histograms) as JSON on stderr at \
+           the end.  Off by default; report bytes are identical either \
+           way.")
+
+(* Enable the registry up front, hand back the stderr dump to run at
+   the end.  Stdout is untouched, like the cache-stats line. *)
+let with_metrics metrics =
+  if metrics then Obs.Metrics.set_enabled Obs.Metrics.default true;
+  fun () ->
+    if metrics then
+      prerr_endline
+        (Results.Json.to_string ~indent:true
+           (Results.Trend.metrics_json
+              (Obs.Metrics.snapshot Obs.Metrics.default)))
+
 let trace_arg =
   Arg.(
     value
@@ -250,7 +271,8 @@ let exp_cmd =
       & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-plan seed (with --plan).")
   in
   let run name full jobs show_progress trace_dir resume timeout_s retries
-      quarantine no_cache refresh cache_dir replay plan_spec seed =
+      quarantine no_cache refresh cache_dir replay plan_spec seed metrics =
+    let dump_metrics = with_metrics metrics in
     let plan =
       match plan_spec with
       | None -> None
@@ -276,14 +298,16 @@ let exp_cmd =
     if name = "all" then
       run_all m jobs ~show_progress ?trace_dir ?resume ?timeout_s ~retries
         ?quarantine ()
-    else run_experiment name m ()
+    else run_experiment name m ();
+    dump_metrics ()
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
     Term.(
       const run $ name_arg $ full_arg $ jobs_arg $ progress_arg $ trace_arg
       $ resume_arg $ timeout_arg $ retries_arg $ quarantine_arg $ no_cache_arg
-      $ refresh_arg $ cache_dir_arg $ replay_arg $ plan_arg $ seed_arg)
+      $ refresh_arg $ cache_dir_arg $ replay_arg $ plan_arg $ seed_arg
+      $ metrics_arg)
 
 let workload_arg =
   Arg.(
@@ -894,66 +918,132 @@ let replay_cmd =
             "Replay this previously recorded trace ($(b,repro record)) \
              instead of recording a fresh temporary one.")
   in
-  let run workload mode verify trace_file jobs full =
+  let timeline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"DIR"
+          ~doc:
+            "Attach a heap-timeline profiler to the replay and write one \
+             $(b,MODE.csv) per replayed column into DIR (memory curves \
+             over the allocation-event clock at bounded profiling \
+             memory).  With $(b,--trace-file) and no MODE, every column \
+             the trace's variant serves is replayed.")
+  in
+  let run workload mode verify trace_file timeline_dir metrics jobs full =
     let size = size_of_full full in
+    let dump_metrics = with_metrics metrics in
     if verify then begin
       let checked, diffs =
         Harness.Replaycheck.verify ?workload ~domains:jobs ~progress size
       in
-      if diffs = [] then
+      if diffs = [] then begin
         Printf.printf
           "replay verify: %d cells, every allocator-side measurement \
            count-equivalent\n"
-          checked
+          checked;
+        dump_metrics ()
+      end
       else begin
         Printf.printf "replay verify: %d divergence(s) over %d cells:\n"
           (List.length diffs) checked;
         List.iter (fun d -> Fmt.pr "  %a@." Harness.Replaycheck.pp_diff d) diffs;
+        dump_metrics ();
         exit 1
       end
     end
-    else
-      let mode =
-        match mode with
-        | Some m -> m
-        | None ->
-            Printf.eprintf "replay: MODE is required without --verify\n";
+    else begin
+      (* One replay of [path] against [mode], optionally profiled. *)
+      let replay_one ?timeline path mode =
+        match Trace.Format.open_file path with
+        | Error msg ->
+            Printf.eprintf "replay: %s: %s\n" path msg;
             exit 2
+        | Ok rd ->
+            Fun.protect
+              ~finally:(fun () -> Trace.Format.close rd)
+              (fun () -> Trace.Replay.run ?timeline rd mode)
       in
-      let path, cleanup =
-        match trace_file with
-        | Some p -> (p, fun () -> ())
-        | None ->
-            let workload =
-              match workload with
-              | Some w -> w
-              | None ->
-                  Printf.eprintf
-                    "replay: WORKLOAD is required without --trace-file\n";
-                  exit 2
-            in
-            let spec = Workloads.Workload.find workload in
-            let tmp = Filename.temp_file "repro-replay" ".trace" in
-            progress
-              (Printf.sprintf "recording %s (%s trace) ..." workload
-                 (Trace.Record.variant_of_mode mode));
-            ignore
-              (Trace.Record.record ~out:tmp
-                 ~variant:(Trace.Record.variant_of_mode mode) spec size);
-            (tmp, fun () -> try Sys.remove tmp with Sys_error _ -> ())
+      let write_timeline dir mode tl =
+        Harness.Tracefiles.mkdir_p dir;
+        let out =
+          Filename.concat dir (Workloads.Api.mode_name mode ^ ".csv")
+        in
+        Obs.Timeline.write_csv tl out;
+        Printf.printf "timeline: %s (%d samples @ every %d events)\n" out
+          (Obs.Timeline.length tl)
+          (Obs.Timeline.interval tl)
       in
-      Fun.protect ~finally:cleanup (fun () ->
-          match Trace.Format.open_file path with
-          | Error msg ->
-              Printf.eprintf "replay: %s: %s\n" path msg;
-              exit 2
-          | Ok rd ->
-              let r =
-                Fun.protect
-                  ~finally:(fun () -> Trace.Format.close rd)
-                  (fun () -> Trace.Replay.run rd mode)
+      (match mode with
+      | Some mode ->
+          let path, cleanup =
+            match trace_file with
+            | Some p -> (p, fun () -> ())
+            | None ->
+                let workload =
+                  match workload with
+                  | Some w -> w
+                  | None ->
+                      Printf.eprintf
+                        "replay: WORKLOAD is required without --trace-file\n";
+                      exit 2
+                in
+                let spec = Workloads.Workload.find workload in
+                let tmp = Filename.temp_file "repro-replay" ".trace" in
+                progress
+                  (Printf.sprintf "recording %s (%s trace) ..." workload
+                     (Trace.Record.variant_of_mode mode));
+                ignore
+                  (Trace.Record.record ~out:tmp
+                     ~variant:(Trace.Record.variant_of_mode mode) spec size);
+                (tmp, fun () -> try Sys.remove tmp with Sys_error _ -> ())
+          in
+          Fun.protect ~finally:cleanup (fun () ->
+              let timeline =
+                Option.map (fun _ -> Obs.Timeline.create ()) timeline_dir
               in
+              let r = replay_one ?timeline path mode in
+              (match (timeline_dir, timeline) with
+              | Some dir, Some tl -> write_timeline dir mode tl
+              | _ -> ());
               Fmt.pr "%a@." Workloads.Results.pp r)
+      | None -> (
+          (* No MODE: profile every column the trace's variant serves —
+             only meaningful for a pre-recorded trace with --timeline. *)
+          match (trace_file, timeline_dir) with
+          | Some path, Some dir ->
+              let variant =
+                match Trace.Format.open_file path with
+                | Error msg ->
+                    Printf.eprintf "replay: %s: %s\n" path msg;
+                    exit 2
+                | Ok rd ->
+                    Fun.protect
+                      ~finally:(fun () -> Trace.Format.close rd)
+                      (fun () -> (Trace.Format.header rd).Trace.Format.variant)
+              in
+              let modes =
+                List.filter
+                  (fun m -> Trace.Record.variant_of_mode m = variant)
+                  Workloads.Api.all_modes
+              in
+              List.iter
+                (fun mode ->
+                  let tl = Obs.Timeline.create () in
+                  let r = replay_one ~timeline:tl path mode in
+                  Printf.printf "%-16s %s\n"
+                    (Workloads.Api.mode_name mode)
+                    r.Workloads.Results.summary;
+                  write_timeline dir mode tl)
+                modes
+          | _ ->
+              Printf.eprintf
+                "replay: MODE is required without --verify (pass \
+                 --trace-file FILE --timeline DIR to profile every column \
+                 the trace serves)\n";
+              exit 2));
+      dump_metrics ()
+    end
   in
   Cmd.v
     (Cmd.info "replay"
@@ -969,11 +1059,14 @@ let replay_cmd =
               requested stats, region summaries) are count-equivalent to \
               full execution; mutator-side cycles and stalls are not \
               reproduced.  $(b,--verify) proves the equivalence \
-              empirically, cell by cell.";
+              empirically, cell by cell.  $(b,--timeline DIR) attaches \
+              the bounded-memory heap profiler and writes one CSV per \
+              replayed column; $(b,--metrics) enables the global metrics \
+              registry and dumps its snapshot as JSON on stderr.";
          ])
     Term.(
       const run $ workload_opt_arg $ mode_pos_arg $ verify_arg
-      $ trace_file_arg $ jobs_arg $ full_arg)
+      $ trace_file_arg $ timeline_arg $ metrics_arg $ jobs_arg $ full_arg)
 
 let gen_cmd =
   let spec_arg =
@@ -1157,16 +1250,6 @@ let results_cmd =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  (* Keys that legitimately differ between two honest runs of the same
-     code: identity/provenance and host wall-clock. *)
-  let volatile_keys =
-    [
-      "prov"; "build_id"; "schema"; "timestamp"; "host"; "wall_s";
-      "fill_wall_s"; "seq_wall_s"; "render_wall_s"; "full_wall_s";
-      "replay_wall_s"; "speedup"; "geomean_speedup"; "ns_per_op"; "cache";
-      "generated_utc"; "records_per_s"; "rss_kb";
-    ]
-  in
   let run `Compare a b =
     match (Results.Store.load a, Results.Store.load b) with
     | Ok ea, Ok eb -> (
@@ -1200,7 +1283,7 @@ let results_cmd =
                   exit 2)
         in
         let ja = parse a ra and jb = parse b rb in
-        match Results.Json.diff ~ignore_keys:volatile_keys ja jb with
+        match Results.Json.diff ~ignore_keys:Results.Volatile.keys ja jb with
         | [] ->
             Printf.printf
               "results compare: %s and %s agree (volatile keys ignored)\n" a b
@@ -1230,6 +1313,81 @@ let results_cmd =
          ])
     Term.(const run $ sub_arg $ a_arg $ b_arg)
 
+let perf_cmd =
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Regression gate: exit non-zero if any tracked metric \
+             degraded beyond the threshold between the two newest bench \
+             records carrying it.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "threshold" ] ~docv:"FRAC"
+          ~doc:
+            "Relative degradation that trips $(b,--check) (default 0.5, \
+             i.e. 50%: bench records come from whatever host ran them, \
+             so the default only catches regressions far outside host \
+             noise).")
+  in
+  let dir_arg =
+    Arg.(
+      value & opt dir "."
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Directory holding the BENCH_N.json records (default: .).")
+  in
+  let run check threshold dir =
+    match Results.Trend.load_dir dir with
+    | Error msg ->
+        Printf.eprintf "perf: %s\n" msg;
+        exit 2
+    | Ok [] ->
+        Printf.eprintf "perf: no BENCH_<N>.json records under %s\n" dir;
+        exit 2
+    | Ok points ->
+        if check then (
+          match Results.Trend.check ~threshold points with
+          | [] ->
+              Printf.printf
+                "perf check: %d bench record(s), %d tracked metric(s), no \
+                 regression beyond %.0f%%\n"
+                (List.length points)
+                (List.length Results.Trend.tracked)
+                (threshold *. 100.)
+          | regs ->
+              Printf.printf "perf check: %d regression(s) beyond %.0f%%:\n"
+                (List.length regs) (threshold *. 100.);
+              List.iter
+                (fun (r : Results.Trend.regression) ->
+                  let pv, pf = r.r_prev and lv, lf = r.r_last in
+                  Printf.printf "  %s: %g (%s) -> %g (%s), %+.0f%%\n"
+                    r.r_metric pv pf lv lf (r.r_change *. 100.))
+                regs;
+              exit 1)
+        else print_string (Results.Trend.table points)
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:"Cross-run performance trend over the committed bench records"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Parses every committed $(b,BENCH_N.json) (all schema \
+              generations) into one timeseries and renders the metric \
+              trend table — the same render that sits behind the \
+              $(b,perftrend) block of EXPERIMENTS.md.  With $(b,--check), \
+              acts as the CI regression gate over the tracked metrics \
+              (quick-report wall clock, replay geomean speedup, gen-replay \
+              peak RSS): for each, the two newest records carrying it are \
+              compared and a degradation beyond $(b,--threshold) fails \
+              the run.";
+         ])
+    Term.(const run $ check_arg $ threshold_arg $ dir_arg)
+
 let main =
   Cmd.group
     (Cmd.info "repro" ~version:"1.0"
@@ -1238,7 +1396,7 @@ let main =
           Regions' (PLDI 1998)")
     [
       exp_cmd; run_cmd; trace_cmd; list_cmd; creg_cmd; check_cmd; faults_cmd;
-      docs_cmd; record_cmd; replay_cmd; gen_cmd; results_cmd;
+      docs_cmd; record_cmd; replay_cmd; gen_cmd; results_cmd; perf_cmd;
     ]
 
 let () = exit (Cmd.eval main)

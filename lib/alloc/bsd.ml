@@ -71,8 +71,11 @@ let free t user =
       Sim.Memory.store t.mem (c + 4) (Sim.Memory.load t.mem head);
       Sim.Memory.store t.mem head c)
 
+(* Introspection, not allocation work: a cost-free peek (the
+   [check_invariants] idiom), so tests and the replay timeline's
+   fragmentation probe never perturb simulated counts. *)
 let usable_size t user =
-  let b = Sim.Memory.load t.mem (user - 4) land lnot in_use_tag in
+  let b = Sim.Memory.peek t.mem (user - 4) land lnot in_use_tag in
   (1 lsl b) - 4
 
 (* Invariant checking (cost-free peeks): every chunk on a bucket's

@@ -178,7 +178,11 @@ let free t user =
       Stats.on_free t.stats user;
       release t c (size_of h) ~prev_free:(h land pinuse = 0))
 
-let usable_size t user = chunk_size t (user - 4) - 4
+(* Introspection, not allocation work: reads the header with a
+   cost-free peek (like [check_invariants]) so callers — tests, the
+   fuzzer, the replay timeline's fragmentation probe — never perturb
+   simulated counts. *)
+let usable_size t user = size_of (Sim.Memory.peek t.mem (user - 4)) - 4
 
 (* ------------------------------------------------------------------ *)
 (* Invariant checking: the [check_heap] of every chunk-heap allocator

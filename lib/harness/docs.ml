@@ -21,6 +21,15 @@ let blocks : (string * (Matrix.t -> string)) list =
     ("fig11", Fig11.md);
     ("claims", Claims.md);
     ("gentraces", Gentraces.md);
+    ("timeline", Timelines.md);
+    ( "perftrend",
+      fun _ ->
+        (* The trend table depends only on the committed BENCH_N.json
+           files, never on the matrix, so it is as deterministic as the
+           simulated blocks and sits behind the same --check gate. *)
+        match Results.Trend.load_dir "." with
+        | Ok points -> Results.Trend.table points
+        | Error msg -> failwith (Printf.sprintf "perftrend: %s" msg) );
   ]
 
 (* Naive substring search — the documents are tens of kilobytes. *)

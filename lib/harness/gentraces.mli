@@ -10,4 +10,9 @@
     evidence (wall clock, child-process peak RSS at up to 50M objects)
     lives in the bench record, not in the document. *)
 
+val columns : (string * Workloads.Api.mode) list
+(** The allocator columns replayed from generated traces, as
+    [(generator variant, mode)] — shared with the heap-timeline block
+    ({!Timelines}) so both sections describe the same comparison. *)
+
 val md : Matrix.t -> string

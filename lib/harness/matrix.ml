@@ -311,6 +311,21 @@ let workloads = Workloads.Workload.all
 
 type cell_timing = { workload : string; mode : string; wall_s : float }
 
+(* Scheduler-side registry series (host observability only; simulated
+   counts are untouched).  Incremented from worker domains — the
+   registry's atomics are the synchronisation. *)
+let m_cells =
+  Obs.Metrics.counter Obs.Metrics.default "matrix_cells_scheduled_total"
+
+let m_retries =
+  Obs.Metrics.counter Obs.Metrics.default "matrix_cell_retries_total"
+
+let m_watchdog =
+  Obs.Metrics.counter Obs.Metrics.default "matrix_watchdog_fired_total"
+
+let m_wall_ms =
+  Obs.Metrics.histogram Obs.Metrics.default "matrix_cell_wall_ms"
+
 (* Work-stealing loop shared by [run_all] and the tests.  Exceptions
    are hardened: a failing body sets an abort flag (so the other
    workers stop picking up new indices), every domain is joined, and
@@ -424,9 +439,11 @@ let run_all ?domains ?on_cell t =
   in
   let run_cell i =
     let spec, mode = cells.(i) in
+    Obs.Metrics.inc m_cells;
     let t0 = Unix.gettimeofday () in
     let r = run_cell_collect t spec mode in
     let wall = Unix.gettimeofday () -. t0 in
+    Obs.Metrics.observe m_wall_ms (int_of_float (wall *. 1000.));
     let timing =
       {
         workload = spec.Workloads.Workload.name;
@@ -544,7 +561,10 @@ let run_attempt ~timeout_s f =
             Domain.join d;
             Printexc.raise_with_backtrace e bt
         | None ->
-            if Unix.gettimeofday () > deadline then raise (Cell_timeout limit)
+            if Unix.gettimeofday () > deadline then begin
+              Obs.Metrics.inc m_watchdog;
+              raise (Cell_timeout limit)
+            end
             else begin
               Unix.sleepf 0.02;
               wait ()
@@ -631,13 +651,18 @@ let run_all_supervised ?domains ?on_cell sup t =
         let name = spec.Workloads.Workload.name
         and mode_name = Workloads.Api.mode_name mode in
         let rec attempt k =
+          Obs.Metrics.inc m_cells;
           let t0 = Unix.gettimeofday () in
           match
             run_attempt ~timeout_s:sup.timeout_s (fun () ->
                 run_cell_collect t spec mode)
           with
-          | r -> Ok (r, Unix.gettimeofday () -. t0)
+          | r ->
+              let wall = Unix.gettimeofday () -. t0 in
+              Obs.Metrics.observe m_wall_ms (int_of_float (wall *. 1000.));
+              Ok (r, wall)
           | exception e when k < sup.retries && transient e ->
+              Obs.Metrics.inc m_retries;
               t.progress
                 (Fmt.str "%s/%s attempt %d failed (%s); retrying ..." name
                    mode_name (k + 1) (Printexc.to_string e));

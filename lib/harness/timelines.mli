@@ -1,0 +1,7 @@
+(** Heap-timeline block of EXPERIMENTS.md: per-column sparklines of the
+    simulated OS footprint over the allocation-event clock, sampled by
+    {!Obs.Timeline} during a generated-trace replay.  Deterministic
+    simulated counts only, so the block round-trips
+    [repro docs --check].  Columns are shared with {!Gentraces}. *)
+
+val md : Matrix.t -> string

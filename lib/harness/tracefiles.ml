@@ -52,9 +52,22 @@ let run_traced ?(sample_cycles = default_sample_cycles) ?capacity ~out spec
         Obs.Ring.drain (Obs.Tracer.ring tracer);
         r)
   in
+  (* Name the process after the cell and give each mode a stable pid
+     and sort index, so a directory of per-column exports opens in
+     Perfetto as labelled, consistently ordered tracks. *)
+  let pid =
+    let rec idx i = function
+      | [] -> 0
+      | m :: _ when m = mode -> i
+      | _ :: tl -> idx (i + 1) tl
+    in
+    1 + idx 0 Workloads.Api.all_modes
+  in
   write_file files.trace_json
-    (Obs.Export.chrome_json_of tracer (fun f ->
-         Obs.Spill.read_file files.events_bin f));
+    (Obs.Export.chrome_json_of ~pid ~process_sort_index:pid
+       ~process_name:(stem spec mode ^ " (simulated UltraSparc-I)")
+       tracer
+       (fun f -> Obs.Spill.read_file files.events_bin f));
   write_file files.heap_csv (Obs.Export.heap_csv tracer);
   write_file files.sites_txt
     (Obs.Export.sites_txt tracer ^ "\n" ^ Obs.Export.site_table tracer);

@@ -20,12 +20,13 @@ let json_escape s =
 (* Chrome trace_event JSON (the "JSON Array Format" Perfetto loads).
    Simulated cycles map 1:1 to trace microseconds. *)
 
-let add_event b ~first ~name ~cat ~ph ~ts ~args =
+let add_event b ~pid ~first ~name ~cat ~ph ~ts ~args =
   if not !first then Buffer.add_string b ",\n";
   first := false;
   Buffer.add_string b
-    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%d,\"pid\":1,\"tid\":1"
-       (json_escape name) cat ph ts);
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%d,\"pid\":%d,\"tid\":1"
+       (json_escape name) cat ph ts pid);
   (match ph with "i" -> Buffer.add_string b ",\"s\":\"t\"" | _ -> ());
   (match args with
   | [] -> ()
@@ -42,15 +43,28 @@ let add_event b ~first ~name ~cat ~ph ~ts ~args =
 let int_arg n = string_of_int n
 let str_arg s = Printf.sprintf "\"%s\"" (json_escape s)
 
-let chrome_json_of t iter =
+let chrome_json_of ?(pid = 1) ?(process_name = "simulated UltraSparc-I")
+    ?(thread_name = "mutator") ?process_sort_index t iter =
   let b = Buffer.create 65536 in
   let first = ref true in
+  (* Every event below inherits this export's pid, so multi-column
+     exports (one call per allocator column) land as named processes
+     in Perfetto rather than bare pids. *)
+  let add_event b ~first ~name ~cat ~ph ~ts ~args =
+    add_event b ~pid ~first ~name ~cat ~ph ~ts ~args
+  in
   Buffer.add_string b
     "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"regions-repro/obs\"},\"traceEvents\":[\n";
   add_event b ~first ~name:"process_name" ~cat:"__metadata" ~ph:"M" ~ts:0
-    ~args:[ ("name", str_arg "simulated UltraSparc-I") ];
+    ~args:[ ("name", str_arg process_name) ];
   add_event b ~first ~name:"thread_name" ~cat:"__metadata" ~ph:"M" ~ts:0
-    ~args:[ ("name", str_arg "mutator") ];
+    ~args:[ ("name", str_arg thread_name) ];
+  (match process_sort_index with
+  | Some i ->
+      add_event b ~first ~name:"process_sort_index" ~cat:"__metadata" ~ph:"M"
+        ~ts:0
+        ~args:[ ("sort_index", int_arg i) ]
+  | None -> ());
   let site_arg site =
     if site = 0 then [] else [ ("site", str_arg (Tracer.site_name t site)) ]
   in

@@ -10,11 +10,22 @@ val chrome_json : Tracer.t -> string
     trace microsecond. *)
 
 val chrome_json_of :
+  ?pid:int ->
+  ?process_name:string ->
+  ?thread_name:string ->
+  ?process_sort_index:int ->
   Tracer.t ->
   ((kind:int -> time:int -> site:int -> a:int -> b:int -> unit) -> unit) ->
   string
 (** Like {!chrome_json} but over an explicit event iterator — e.g.
-    replaying a {!Spill} file for runs larger than the ring. *)
+    replaying a {!Spill} file for runs larger than the ring.
+
+    [pid]/[process_name]/[thread_name] (defaults [1] /
+    ["simulated UltraSparc-I"] / ["mutator"]) name the process the
+    events land under: exporting each allocator column with its own
+    pid and name shows labelled tracks in Perfetto instead of bare
+    pids.  [process_sort_index], when given, emits the matching
+    metadata record so columns keep a stable display order. *)
 
 val heap_csv : Tracer.t -> string
 (** The sampler's cumulative rows, one per line. *)

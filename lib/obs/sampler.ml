@@ -102,10 +102,17 @@ let get t i =
       stores = t.buf.(o + 10);
     } )
 
-(* The closing sample: unconditional, so the series always ends on the
-   final counter values and interval deltas sum to the run's totals. *)
+(* The closing sample: the series must always end on the final counter
+   values so interval deltas sum to the run's totals.  When the last
+   sample already sits at [now] but the counters advanced since (work
+   at a standing clock), overwrite it instead of duplicating the
+   cycle. *)
 let finish t ~now p =
-  if t.n = 0 || fst (get t (t.n - 1)) < now then store t ~now p;
+  if t.n = 0 || fst (get t (t.n - 1)) < now then store t ~now p
+  else if snd (get t (t.n - 1)) <> p then begin
+    t.n <- t.n - 1;
+    store t ~now p
+  end;
   t.next <- max t.next (((now / t.interval) + 1) * t.interval)
 
 let iter t f =

@@ -46,9 +46,11 @@ val record : t -> now:int -> probe -> unit
     [now]. *)
 
 val finish : t -> now:int -> probe -> unit
-(** Unconditionally store the closing sample (unless one was already
-    taken at exactly [now]), so the series ends on the final counter
-    values. *)
+(** Store the closing sample so the series always ends on the final
+    counter values.  A sample already taken at exactly [now] is kept if
+    the counters have not moved since, and overwritten (never
+    duplicated) if they have — interval deltas therefore partition the
+    run's totals. *)
 
 val length : t -> int
 

@@ -44,6 +44,16 @@ let current_build_id () =
       Atomic.set self_build_id (Some id);
       id
 
+(* Registry series for the cache hot paths (disabled-by-default, like
+   all of lib/obs; [repro serve] will export these). *)
+let m_hits = Obs.Metrics.counter Obs.Metrics.default "results_cache_hits_total"
+let m_misses =
+  Obs.Metrics.counter Obs.Metrics.default "results_cache_misses_total"
+let m_hit_bytes =
+  Obs.Metrics.counter Obs.Metrics.default "results_cache_hit_bytes_total"
+let m_stored_bytes =
+  Obs.Metrics.counter Obs.Metrics.default "results_cache_stored_bytes_total"
+
 type t = { dir : string; build_id : string }
 
 let create ?dir ?build_id () =
@@ -89,8 +99,12 @@ let rec mkdir_p d =
   end
 
 let find t ~workload ~mode ~size ~seed ~plan =
+  let miss v =
+    Obs.Metrics.inc m_misses;
+    v
+  in
   let p = path t (key t ~workload ~mode ~size ~seed ~plan) in
-  if not (Sys.file_exists p) then None
+  if not (Sys.file_exists p) then miss None
   else
     match
       let ic = open_in_bin p in
@@ -98,10 +112,10 @@ let find t ~workload ~mode ~size ~seed ~plan =
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     with
-    | exception Sys_error _ -> None
+    | exception Sys_error _ -> miss None
     | s -> (
         match Cell.of_string s with
-        | Error _ -> None  (* damaged or older schema: treat as a miss *)
+        | Error _ -> miss None  (* damaged or older schema: treat as a miss *)
         | Ok c ->
             (* Guard against an FNV collision or a hand-copied file:
                the stored identity must match what was asked for. *)
@@ -112,8 +126,12 @@ let find t ~workload ~mode ~size ~seed ~plan =
               && c.Cell.prov.Cell.seed = seed
               && c.Cell.prov.Cell.plan = plan
               && c.Cell.prov.Cell.build_id = t.build_id
-            then Some c
-            else None)
+            then begin
+              Obs.Metrics.inc m_hits;
+              Obs.Metrics.add m_hit_bytes (String.length s);
+              Some c
+            end
+            else miss None)
 
 let store t (c : Cell.t) =
   mkdir_p t.dir;
@@ -129,6 +147,10 @@ let store t (c : Cell.t) =
   match open_out_bin tmp with
   | exception Sys_error _ -> ()  (* unwritable cache is a soft failure *)
   | oc ->
-      output_string oc (Cell.to_string c);
+      let s = Cell.to_string c in
+      output_string oc s;
       close_out oc;
-      (try Sys.rename tmp final with Sys_error _ -> ())
+      (try
+         Sys.rename tmp final;
+         Obs.Metrics.add m_stored_bytes (String.length s)
+       with Sys_error _ -> ())

@@ -107,7 +107,7 @@ let diff ~expected ~actual =
           List.iter
             (fun (path, a, b) ->
               say "%s/%s: %s: golden %s, regenerated %s" w m path a b)
-            (Json.diff ~ignore_keys:[ "provenance" ] (Cell.to_json c)
+            (Json.diff ~ignore_keys:Volatile.provenance (Cell.to_json c)
                (Cell.to_json c')))
     (to_list expected);
   List.iter

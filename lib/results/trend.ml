@@ -1,0 +1,282 @@
+(* Bench-trajectory parsing and the perf-regression gate.
+
+   Each schema generation added sections without renaming old ones
+   (v1: report + micro; v2: + trace_overhead; v4: + replay; v5: +
+   gen_replay), so one extractor covers the whole committed history:
+   every section contributes metrics when present and nothing when
+   absent. *)
+
+type point = {
+  file : string;
+  index : int;
+  schema : string;
+  generated_utc : string;
+  metrics : (string * float) list;
+}
+
+let geomean = function
+  | [] -> None
+  | xs when List.exists (fun x -> x <= 0.0) xs -> None
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      Some (exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. n))
+
+let parse ~file text =
+  match Json.of_string text with
+  | Error e -> Error (Printf.sprintf "%s: %s" file e)
+  | Ok j ->
+      let index =
+        match
+          Scanf.sscanf_opt (Filename.basename file) "BENCH_%d.json" Fun.id
+        with
+        | Some n -> n
+        | None -> 0
+      in
+      let str k = Option.bind (Json.member k j) Json.to_str in
+      let metrics = ref [] in
+      let put name v = metrics := (name, v) :: !metrics in
+      let fnum path j =
+        match path with
+        | [] -> Json.to_float j
+        | _ ->
+            List.fold_left
+              (fun acc k -> Option.bind acc (Json.member k))
+              (Some j) path
+            |> Fun.flip Option.bind Json.to_float
+      in
+      let opt name path = Option.iter (put name) (fnum path j) in
+      opt "report.total_wall_s" [ "report"; "total_wall_s" ];
+      opt "report.fill_wall_s" [ "report"; "fill_wall_s" ];
+      opt "report.sequential_fill_wall_s"
+        [ "report"; "sequential_fill_wall_s" ];
+      opt "report.parallel_speedup" [ "report"; "parallel_speedup" ];
+      opt "report.render_wall_s" [ "report"; "render_wall_s" ];
+      let list k j = Option.bind (Json.member k j) Json.to_list in
+      (* Per-cell walls fold into one geomean so the 37-cell section
+         trends as a single comparable number. *)
+      (match Option.bind (Json.member "report" j) (list "cells") with
+      | Some cells ->
+          List.filter_map (fnum [ "wall_s" ]) cells
+          |> geomean
+          |> Option.iter (put "report.cells_geomean_wall_s")
+      | None -> ());
+      (match Json.member "replay" j with
+      | Some r ->
+          Option.iter (put "replay.geomean_speedup") (fnum [ "geomean_speedup" ] r);
+          Option.iter
+            (put "replay.strategy_geomean_speedup")
+            (fnum [ "strategy_geomean_speedup" ] r);
+          Option.iter
+            (put "replay.replay_fill_wall_s")
+            (fnum [ "replay_fill_wall_s" ] r)
+      | None -> ());
+      (match list "trace_overhead" j with
+      | Some rows ->
+          List.filter_map (fnum [ "overhead_ratio" ]) rows
+          |> geomean
+          |> Option.iter (put "trace.overhead_ratio_geomean")
+      | None -> ());
+      (match Option.bind (Json.member "gen_replay" j) (list "points") with
+      | Some pts ->
+          let max_of path =
+            match List.filter_map (fnum path) pts with
+            | [] -> None
+            | xs -> Some (List.fold_left max neg_infinity xs)
+          in
+          Option.iter (put "gen_replay.max_rss_kb") (max_of [ "rss_kb" ]);
+          Option.iter
+            (put "gen_replay.peak_records_per_s")
+            (max_of [ "records_per_s" ]);
+          Option.iter
+            (put "gen_replay.max_sim_os_bytes")
+            (max_of [ "sim_os_bytes" ])
+      | None -> ());
+      (match list "micro" j with
+      | Some ms ->
+          List.iter
+            (fun m ->
+              match
+                ( Option.bind (Json.member "name" m) Json.to_str,
+                  fnum [ "ns_per_run" ] m )
+              with
+              | Some name, Some v ->
+                  put (Printf.sprintf "micro.%s.ns_per_run" name) v
+              | _ -> ())
+            ms
+      | None -> ());
+      Ok
+        {
+          file = Filename.basename file;
+          index;
+          schema = Option.value ~default:"?" (str "schema");
+          generated_utc = Option.value ~default:"?" (str "generated_utc");
+          metrics =
+            List.sort (fun (a, _) (b, _) -> compare a b) !metrics;
+        }
+
+let load_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> parse ~file:path text
+  | exception Sys_error e -> Error e
+
+let load_dir dir =
+  let entries =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           Scanf.sscanf_opt f "BENCH_%d.json%!" Fun.id <> None)
+    |> List.sort compare
+  in
+  let rec go acc = function
+    | [] -> Ok (List.sort (fun a b -> compare a.index b.index) acc)
+    | f :: rest -> (
+        match load_file (Filename.concat dir f) with
+        | Ok p -> go (p :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] entries
+
+let metric p name = List.assoc_opt name p.metrics
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate *)
+
+type direction = Lower_better | Higher_better
+
+let tracked =
+  [
+    ("report.total_wall_s", Lower_better);
+    ("replay.geomean_speedup", Higher_better);
+    ("gen_replay.max_rss_kb", Lower_better);
+  ]
+
+type regression = {
+  r_metric : string;
+  r_prev : float * string;
+  r_last : float * string;
+  r_change : float;
+}
+
+let check ?(threshold = 0.5) points =
+  let points = List.rev points (* newest first *) in
+  List.filter_map
+    (fun (name, dir) ->
+      match
+        List.filter_map
+          (fun p -> Option.map (fun v -> (v, p.file)) (metric p name))
+          points
+      with
+      | (last, lf) :: (prev, pf) :: _ when prev <> 0.0 ->
+          let change =
+            match dir with
+            | Lower_better -> (last -. prev) /. prev
+            | Higher_better -> (prev -. last) /. prev
+          in
+          if change > threshold then
+            Some
+              {
+                r_metric = name;
+                r_prev = (prev, pf);
+                r_last = (last, lf);
+                r_change = change;
+              }
+          else None
+      | _ -> None)
+    tracked
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let noisy name =
+  List.exists
+    (fun k -> name = k || String.ends_with ~suffix:k name)
+    Volatile.keys
+
+let fmt_val v =
+  if Float.abs v >= 1000.0 || (Float.is_integer v && Float.abs v < 1e15)
+  then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3g" v
+
+let table points =
+  let b = Buffer.create 4096 in
+  let names =
+    List.concat_map (fun p -> List.map fst p.metrics) points
+    |> List.sort_uniq compare
+  in
+  Buffer.add_string b "| metric |";
+  List.iter (fun p -> Buffer.add_string b (Printf.sprintf " B%d |" p.index)) points;
+  Buffer.add_string b " Δ last |\n|---|";
+  List.iter (fun _ -> Buffer.add_string b "---:|") points;
+  Buffer.add_string b "---:|\n";
+  List.iter
+    (fun name ->
+      let dir = List.assoc_opt name tracked in
+      let mark =
+        (match dir with
+        | Some Lower_better -> " ↓gate"
+        | Some Higher_better -> " ↑gate"
+        | None -> "")
+        ^ if noisy name then " †" else ""
+      in
+      Buffer.add_string b (Printf.sprintf "| `%s`%s |" name mark);
+      List.iter
+        (fun p ->
+          Buffer.add_string b
+            (match metric p name with
+            | Some v -> Printf.sprintf " %s |" (fmt_val v)
+            | None -> " — |"))
+        points;
+      let delta =
+        match
+          List.rev points
+          |> List.filter_map (fun p -> metric p name)
+        with
+        | last :: prev :: _ when prev <> 0.0 ->
+            Printf.sprintf "%+.1f%%" ((last -. prev) /. prev *. 100.0)
+        | _ -> "—"
+      in
+      Buffer.add_string b (Printf.sprintf " %s |\n" delta))
+    names;
+  Buffer.add_string b
+    "\n† host wall-clock / rate: value depends on the machine that ran \
+     the bench, trend across rows of one machine only.  Gated metrics \
+     (`repro perf --check`) are marked with their improvement \
+     direction.\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Metrics-snapshot encoding *)
+
+let metrics_json (series : Obs.Metrics.series list) =
+  let one (s : Obs.Metrics.series) =
+    let base =
+      [
+        ("name", Json.String s.name);
+        ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.labels));
+      ]
+    in
+    let value =
+      match s.value with
+      | Obs.Metrics.Counter_v n ->
+          [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+      | Obs.Metrics.Gauge_v v ->
+          [ ("type", Json.String "gauge"); ("value", Json.Float v) ]
+      | Obs.Metrics.Histogram_v { buckets; sum; count } ->
+          [
+            ("type", Json.String "histogram");
+            ("count", Json.Int count);
+            ("sum", Json.Int sum);
+            ( "buckets",
+              Json.List
+                (List.map
+                   (fun (b, n) -> Json.List [ Json.Int b; Json.Int n ])
+                   buckets) );
+          ]
+    in
+    Json.Obj (base @ value)
+  in
+  Json.Obj [ ("metrics", Json.List (List.map one series)) ]

@@ -1,0 +1,69 @@
+(** Cross-run performance observatory over the committed [BENCH_N.json]
+    trajectory.
+
+    The bench records (schemas v1–v5) were write-only until now: each
+    PR appended one, nothing read them back.  [Trend] parses every
+    schema generation into one flat timeseries of named metrics,
+    renders the markdown trend table behind the [perftrend] generated
+    block, and drives the [repro perf --check] regression gate in CI.
+
+    Parsing is total over the committed history: a metric absent from
+    an older schema is simply absent from that point (v1 has no
+    replay section, only v5 has [gen_replay]), and the gate compares
+    the two newest points that actually carry a metric. *)
+
+type point = {
+  file : string;  (** basename, e.g. ["BENCH_3.json"] *)
+  index : int;  (** the N of [BENCH_N.json] *)
+  schema : string;
+  generated_utc : string;
+  metrics : (string * float) list;  (** sorted by metric name *)
+}
+
+val parse : file:string -> string -> (point, string) result
+(** Parse one bench record from its JSON text. *)
+
+val load_file : string -> (point, string) result
+
+val load_dir : string -> (point list, string) result
+(** All [BENCH_<N>.json] in a directory, sorted by N.  Any file that
+    fails to parse fails the whole load (the trend store must ingest
+    the entire committed trajectory). *)
+
+val metric : point -> string -> float option
+
+(** {1 Regression gate} *)
+
+type direction = Lower_better | Higher_better
+
+val tracked : (string * direction) list
+(** The gated metrics: quick-report wall, replay geomean speedup,
+    gen-replay peak RSS. *)
+
+type regression = {
+  r_metric : string;
+  r_prev : float * string;  (** value, file *)
+  r_last : float * string;
+  r_change : float;  (** signed fraction, positive = degraded *)
+}
+
+val check : ?threshold:float -> point list -> regression list
+(** Degradations beyond [threshold] (default 0.5: wall clocks and RSS
+    come from whatever host ran the bench, so the default gate only
+    trips on regressions far outside host noise; CI can tighten it
+    with [--threshold]).  For each tracked metric the two newest
+    points carrying it are compared; metrics with fewer than two
+    points pass vacuously. *)
+
+(** {1 Rendering} *)
+
+val table : point list -> string
+(** Markdown trend table: one row per metric ever observed, one column
+    per bench record, [Δ] column for the newest-vs-previous change.
+    Host-noisy metrics (volatile keys) are marked; gated metrics carry
+    the gate direction.  Deterministic given the files. *)
+
+val metrics_json : Obs.Metrics.series list -> Json.t
+(** Deterministic encoding of a metrics-registry snapshot
+    ({!Obs.Metrics.snapshot}): the export format the future
+    [repro serve] daemon will speak. *)

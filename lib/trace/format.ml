@@ -583,7 +583,18 @@ type reader = {
   mutable nlays : int;
   mutable scratch : int array;
   mutable closed : bool;
+  mutable counted : bool;
+      (** this pass's records already added to the decode metric *)
 }
+
+(* Registry series for the streaming decoder — both on cold paths
+   (one refill per chunk, one count per completed pass), so the fused
+   per-record hot loop stays untouched. *)
+let m_refills =
+  Obs.Metrics.counter Obs.Metrics.default "trace_reader_refills_total"
+
+let m_records =
+  Obs.Metrics.counter Obs.Metrics.default "trace_records_decoded_total"
 
 (* Slide the window forward.  Returns [false] at the end of the body;
    never reads past [end_off], so trailer bytes stay out of the
@@ -602,6 +613,7 @@ let refill r =
         let got = input ic r.buf 0 want in
         if got <= 0 then corrupt "truncated body (file shrank under the reader)";
         r.limit <- got;
+        Obs.Metrics.inc m_refills;
         true
       end
 
@@ -854,6 +866,7 @@ let reader_of_envelope e ~src ~buf ~base ~pos ~limit =
     nlays = 0;
     scratch = Array.make 8 0;
     closed = false;
+    counted = false;
   }
 
 let open_file ?(chunk = default_chunk) path =
@@ -924,9 +937,20 @@ let obj_slots r = r.r_oslots
 let reg_slots r = r.r_rslots
 let recycled r = r.r_recycled
 
+(* End of one decode pass: fold the pass's record count into the
+   registry exactly once (replays hit [End] once per pass; the guard
+   keeps repeated polls honest). *)
+let at_end r =
+  if not r.counted then begin
+    r.counted <- true;
+    Obs.Metrics.add m_records r.r_records
+  end;
+  End
+
 let reset r =
   if r.closed then invalid_arg "Trace.Format.reset: reader closed";
   r.nstrs <- 0;
+  r.counted <- false;
   match r.src with
   | In_memory -> r.pos <- r.body_start
   | Chan ic ->
@@ -945,7 +969,7 @@ let add_str r s =
   r.nstrs <- r.nstrs + 1
 
 let rec next r =
-  if not (more r) then End
+  if not (more r) then at_end r
   else begin
     let tag = Char.code (Bytes.unsafe_get r.buf r.pos) in
     r.pos <- r.pos + 1;
@@ -1049,7 +1073,7 @@ let rec next r =
    materialising a [record]; the first record of any other kind is
    decoded by [next] and returned. *)
 let rec next_with_pokes r ~poke =
-  if not (more r) then End
+  if not (more r) then at_end r
   else if Char.code (Bytes.unsafe_get r.buf r.pos) = t_poke then begin
     r.pos <- r.pos + 1;
     let addr = uv r in
@@ -1073,7 +1097,7 @@ let fused_value r resolve =
   | k -> corrupt "unknown value kind %d" k
 
 let rec next_fused r ~poke ~resolve ~store =
-  if not (more r) then End
+  if not (more r) then at_end r
   else
     let tag = Char.code (Bytes.unsafe_get r.buf r.pos) in
     if tag = t_poke then begin

@@ -4,11 +4,18 @@ exception Divergence of string
 
 let diverge fmt = Printf.ksprintf (fun s -> raise (Divergence s)) fmt
 
+let m_replays =
+  Obs.Metrics.counter Obs.Metrics.default "trace_replays_total"
+
+let m_records_per_s =
+  Obs.Metrics.gauge Obs.Metrics.default "trace_replay_records_per_s"
+
 (* The cache simulator only turns accesses into cycle/stall costs —
    mutator-side numbers replay does not reproduce — and every
    allocator-side count is identical without it, so replays default it
    off for speed. *)
-let run ?(with_cache = false) reader mode =
+let run ?(with_cache = false) ?timeline reader mode =
+  Obs.Metrics.inc m_replays;
   let hdr = Format.header reader in
   if hdr.variant = "ops" then
     invalid_arg "Trace.Replay.run: ops traces replay with run_ops";
@@ -75,6 +82,48 @@ let run ?(with_cache = false) reader mode =
   let api = Api.create ~with_cache ~gc_roots mode in
   let mem = Api.memory api in
   let mut = Api.mutator api in
+  (* Heap-timeline plumbing.  Held-byte accounting is incremental —
+     O(1) per allocation event, two int arrays bounded by the id
+     tables — and built exclusively from cost-free introspection
+     ([usable_size] peeks, OCaml-side stats), so an attached timeline
+     changes no simulated count.  [tl_on] guards every touch: with no
+     timeline the replay allocates none of this state. *)
+  let tl_on = timeline <> None in
+  let held_now = ref 0 in
+  let held_sz = if tl_on then Array.make oslots 0 else [||] in
+  let region_held = if tl_on then Array.make rslots 0 else [||] in
+  let round4 n = (n + 3) land lnot 3 in
+  (* Bytes the manager holds for one object: the usable size plus the
+     header word under the malloc columns (size-class and chunk
+     rounding — internal fragmentation), the word-rounded request
+     under region and emulated columns (their waste is page-level,
+     i.e. external).  The collector's holdings are read from its
+     allocator-side stats instead (frees land at collections), so its
+     per-object entry here is never consulted. *)
+  let usable =
+    match (mode, Api.allocator api) with
+    | Api.Direct b, Some a when b <> Api.Gc ->
+        fun addr _size -> a.Alloc.Allocator.usable_size addr + 4
+    | _ -> fun _addr size -> round4 size
+  in
+  let tl_note =
+    match timeline with
+    | Some tl ->
+        let req = Api.requested_stats api in
+        let held =
+          match (mode, Api.allocator api) with
+          | Api.Direct Api.Gc, Some a ->
+              fun () -> Alloc.Stats.live_bytes a.Alloc.Allocator.stats
+          | _ -> fun () -> !held_now
+        in
+        Obs.Timeline.set_probe tl (fun () ->
+            ( Alloc.Stats.allocs req - Alloc.Stats.frees req,
+              Alloc.Stats.live_bytes req,
+              held (),
+              Api.os_bytes api ));
+        fun () -> Obs.Timeline.note tl
+    | None -> Fun.id
+  in
   let alloc_id () =
     if recycled && !free_top > 0 then begin
       decr free_top;
@@ -87,17 +136,29 @@ let run ?(with_cache = false) reader mode =
       id
     end
   in
-  let push_obj addr =
+  let push_obj addr size =
     let id = alloc_id () in
     obj_addr.(id) <- addr;
-    if recycled then Bytes.set live id '\001'
+    if recycled then Bytes.set live id '\001';
+    if tl_on then begin
+      let h = usable addr size in
+      held_sz.(id) <- h;
+      held_now := !held_now + h;
+      tl_note ()
+    end
   in
-  let push_region_obj rid addr =
+  let push_region_obj rid addr size =
     let id = alloc_id () in
     obj_addr.(id) <- addr;
     if recycled then begin
       Bytes.set live id '\001';
       region_ids.(rid) <- id :: region_ids.(rid)
+    end;
+    if tl_on then begin
+      let h = usable addr size in
+      region_held.(rid) <- region_held.(rid) + h;
+      held_now := !held_now + h;
+      tl_note ()
     end
   in
   let release_id id =
@@ -111,9 +172,10 @@ let run ?(with_cache = false) reader mode =
     | Format.Reg rid -> reg_handle.(rid)
   in
   let apply = function
-    | Format.Malloc { size } -> push_obj (Api.malloc api size)
+    | Format.Malloc { size } -> push_obj (Api.malloc api size) size
     | Format.Free { id } ->
         Api.free api obj_addr.(id);
+        if tl_on then held_now := !held_now - held_sz.(id);
         if recycled then release_id id
     | Format.Newregion ->
         let rid =
@@ -131,15 +193,23 @@ let run ?(with_cache = false) reader mode =
         in
         reg_handle.(rid) <- Api.newregion api
     | Format.Ralloc { rid; layout } ->
-        push_region_obj rid (Api.ralloc api reg_handle.(rid) layout)
+        push_region_obj rid
+          (Api.ralloc api reg_handle.(rid) layout)
+          layout.Regions.Cleanup.size_bytes
     | Format.Rstralloc { rid; size } ->
-        push_region_obj rid (Api.rstralloc api reg_handle.(rid) size)
+        push_region_obj rid (Api.rstralloc api reg_handle.(rid) size) size
     | Format.Rarrayalloc { rid; n; layout } ->
-        push_region_obj rid (Api.rarrayalloc api reg_handle.(rid) ~n layout)
+        push_region_obj rid
+          (Api.rarrayalloc api reg_handle.(rid) ~n layout)
+          (n * layout.Regions.Cleanup.size_bytes)
     | Format.Deleteregion { rid; frame; slot; ok } ->
         let got = Api.deleteregion api (Regions.Mutator.frame mut frame) slot in
         if got <> ok then
           diverge "deleteregion returned %b where the trace recorded %b" got ok;
+        if tl_on && got then begin
+          held_now := !held_now - region_held.(rid);
+          region_held.(rid) <- 0
+        end;
         if recycled && got then begin
           List.iter release_id region_ids.(rid);
           region_ids.(rid) <- [];
@@ -207,7 +277,13 @@ let run ?(with_cache = false) reader mode =
         apply r;
         run_level depth
   in
+  let t0 = Unix.gettimeofday () in
   run_level 0;
+  (let dt = Unix.gettimeofday () -. t0 in
+   if dt > 0.0 then
+     Obs.Metrics.set m_records_per_s
+       (float_of_int (Format.records reader) /. dt));
+  (match timeline with Some tl -> Obs.Timeline.finish tl | None -> ());
   Workloads.Results.collect api ~workload:hdr.workload
     ~summary:(Format.summary reader)
 

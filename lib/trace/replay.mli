@@ -29,7 +29,11 @@ exception Divergence of string
     assumption broke — a bug, not an input error. *)
 
 val run :
-  ?with_cache:bool -> Format.reader -> Workloads.Api.mode -> Workloads.Results.t
+  ?with_cache:bool ->
+  ?timeline:Obs.Timeline.t ->
+  Format.reader ->
+  Workloads.Api.mode ->
+  Workloads.Results.t
 (** [run reader mode] replays the trace against [mode] and collects
     results, carrying the recorded run's summary line.
 
@@ -39,6 +43,16 @@ val run :
     identical with it off, so replays skip it and run substantially
     faster.  Pass [~with_cache:true] to mirror a full run's machine
     configuration exactly.
+
+    [timeline] attaches a heap profiler ({!Obs.Timeline}): the replay
+    installs a probe over the facade's requested stats, the manager's
+    holdings and the simulated OS, and clocks it on every allocation
+    event.  Held bytes are usable sizes (cost-free peeks) under
+    Sun/BSD/Lea, uncollected bytes under the collector, and
+    word-rounded requested bytes under region/emulated columns — all
+    simulated quantities, so the resulting curve is byte-identical
+    across hosts.  Omitted, the replay touches no profiling state at
+    all.
     @raise Invalid_argument when [mode] is not served by the trace's
     variant (see {!Record.variant_of_mode}). *)
 

@@ -502,6 +502,70 @@ let test_gen_histogram () =
         (!frees_before_last > n / 2));
   Sys.remove path
 
+(* Timeline profiling during replay: deterministic (same trace, same
+   column => byte-identical CSV), bounded (at most [capacity] samples
+   however long the trace), and pure observation — the replayed
+   simulated counts are byte-identical with and without a timeline. *)
+let test_timeline_replay_deterministic () =
+  let p = gen_params "n=30000,variant=malloc,size=table2,life=lifo:256" in
+  let path = tmp_path () in
+  Trace.Gen.generate ~out:path p;
+  let replay ?timeline mode =
+    match Trace.Format.open_file path with
+    | Error e -> Alcotest.failf "open failed: %s" e
+    | Ok r ->
+        Fun.protect
+          ~finally:(fun () -> Trace.Format.close r)
+          (fun () -> Trace.Replay.run ?timeline r mode)
+  in
+  List.iter
+    (fun mode ->
+      let capacity = 64 in
+      let run () =
+        let tl = Obs.Timeline.create ~capacity () in
+        let r = replay ~timeline:tl mode in
+        (Obs.Timeline.to_csv tl, Format.asprintf "%a" Workloads.Results.pp r)
+      in
+      let csv1, with_tl = run () in
+      let csv2, _ = run () in
+      check_str "same trace and column, same CSV" csv1 csv2;
+      check_bool "bounded samples" true
+        (List.length (String.split_on_char '\n' (String.trim csv1)) - 1
+        <= capacity);
+      let bare = Format.asprintf "%a" Workloads.Results.pp (replay mode) in
+      check_str "profiling is pure observation" bare with_tl)
+    [
+      Workloads.Api.Direct Workloads.Api.Lea;
+      Workloads.Api.Direct Workloads.Api.Gc;
+    ];
+  Sys.remove path
+
+(* Fragmentation accounting inside the sampled rows: live <= held under
+   the malloc columns (usable size can only round up) and the external
+   component is exactly os - held. *)
+let test_timeline_frag_invariants () =
+  let p = gen_params "n=30000,variant=malloc,size=table2,life=lifo:256" in
+  let path = tmp_path () in
+  Trace.Gen.generate ~out:path p;
+  (match Trace.Format.open_file path with
+  | Error e -> Alcotest.failf "open failed: %s" e
+  | Ok r ->
+      let tl = Obs.Timeline.create ~capacity:64 () in
+      let (_ : Workloads.Results.t) =
+        Fun.protect
+          ~finally:(fun () -> Trace.Format.close r)
+          (fun () ->
+            Trace.Replay.run ~timeline:tl r
+              (Workloads.Api.Direct Workloads.Api.Lea))
+      in
+      check_bool "sampled something" true (Obs.Timeline.length tl > 0);
+      Obs.Timeline.iter tl
+        (fun ~events:_ ~live_allocs ~live_bytes ~held_bytes ~os_bytes ->
+          check_bool "live allocs non-negative" true (live_allocs >= 0);
+          check_bool "held covers live" true (held_bytes >= live_bytes);
+          check_bool "os covers held" true (os_bytes >= held_bytes)));
+  Sys.remove path
+
 let test_gen_replays_on_columns () =
   let run spec modes =
     let p = gen_params spec in
@@ -648,6 +712,13 @@ let () =
           quick "distribution sanity" test_gen_histogram;
           quick "generated traces replay on every column family"
             test_gen_replays_on_columns;
+        ] );
+      ( "timeline",
+        [
+          quick "deterministic, bounded, pure observation"
+            test_timeline_replay_deterministic;
+          quick "fragmentation accounting invariants"
+            test_timeline_frag_invariants;
         ] );
       ( "replay",
         [
