@@ -21,10 +21,35 @@ let jobs_arg =
            (default: the runtime's recommended domain count; 1 = the \
            old sequential path).  Output is byte-identical either way.")
 
+(* Advisory exclusion on shared stores: a batch run and a live [repro
+   serve] daemon over the same cache directory (or journal) must not
+   interleave writes.  Locks are held for the process lifetime; the OS
+   releases them on any exit, including kill -9.  Second acquirers get
+   the holder's name instead of silent interleaving. *)
+let held_locks : (string, Results.Lockfile.t) Hashtbl.t = Hashtbl.create 4
+
+let acquire_lock path =
+  if not (Hashtbl.mem held_locks path) then
+    match Results.Lockfile.acquire ~owner:"repro" path with
+    | Ok l -> Hashtbl.replace held_locks path l
+    | Error msg ->
+        Printf.eprintf
+          "repro: %s\n\
+          \  (a `repro serve` daemon or another run owns this store; \
+           stop it or pass a different --cache-dir)\n\
+           %!"
+          msg;
+        exit 2
+
 let matrix ?trace_dir ?(cache = true) ?(refresh = false) ?cache_dir ?plan
     ?seed ?replay full =
   let disk =
-    if cache then Some (Results.Cache.create ?dir:cache_dir ()) else None
+    if cache then begin
+      let d = Results.Cache.create ?dir:cache_dir () in
+      acquire_lock (Filename.concat (Results.Cache.dir d) "LOCK");
+      Some d
+    end
+    else None
   in
   Harness.Matrix.create ~progress ?trace_dir ?disk ~refresh ?plan ?seed
     ?replay (size_of_full full)
@@ -141,6 +166,7 @@ let run_all m jobs ~show_progress ?trace_dir ?resume ?timeout_s ?(retries = 0)
     resume <> None || timeout_s <> None || retries > 0 || quarantine <> None
   in
   if supervised then begin
+    Option.iter (fun j -> acquire_lock (j ^ ".lock")) resume;
     let sup =
       {
         Harness.Matrix.default_supervision with
@@ -1388,6 +1414,413 @@ let perf_cmd =
          ])
     Term.(const run $ check_arg $ threshold_arg $ dir_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / serveload *)
+
+let socket_arg ~default =
+  Arg.(
+    value & opt string default
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path (keep it short: the OS caps \
+           socket paths at ~100 bytes, so /tmp beats deep build \
+           trees).")
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains running cold cells.")
+  in
+  let max_clients_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:
+            "Concurrent connections; beyond this, new connections get \
+             one Overloaded frame and a close.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound on distinct in-flight cold cells; beyond \
+             this a cold request is answered Overloaded immediately.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt (some float) (Some 60.)
+      & info [ "timeout-s" ] ~docv:"S"
+          ~doc:
+            "Per-attempt cell watchdog (a request deadline caps it \
+             further).  0 disables.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra attempts per cold cell for transient failures, with \
+             exponential backoff.")
+  in
+  let write_timeout_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "write-timeout-s" ] ~docv:"S"
+          ~doc:
+            "Drop a client that accepts no response bytes for this \
+             long (slow-client protection).")
+  in
+  let cache_max_mb_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cache-max-mb" ] ~docv:"MB"
+          ~doc:
+            "Size-cap the cell cache: periodic sweeps evict \
+             least-recently-served entries (mtime LRU) until under the \
+             cap.")
+  in
+  let journal_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "Keyed crash-consistent journal (default: \
+             $(b,<cache-dir>/serve.journal)).  Recovered into the cache \
+             on startup.")
+  in
+  let drain_timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "drain-timeout-s" ] ~docv:"S"
+          ~doc:"Hard bound on the SIGTERM graceful drain.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"PATH"
+          ~doc:"Write the final metrics snapshot (JSON) here on exit.")
+  in
+  let run socket cache_dir journal workers max_clients max_queue timeout_s
+      retries write_timeout_s cache_max_mb drain_timeout_s metrics_out =
+    let cache_dir =
+      match cache_dir with Some d -> d | None -> Results.Cache.default_dir ()
+    in
+    let journal =
+      match journal with
+      | Some j -> j
+      | None -> Filename.concat cache_dir "serve.journal"
+    in
+    let cfg =
+      {
+        (Serve.Daemon.default_config ~socket ~cache_dir ~journal) with
+        Serve.Daemon.workers;
+        max_clients;
+        max_queue;
+        cell_timeout_s =
+          (match timeout_s with Some t when t > 0. -> Some t | _ -> None);
+        retries;
+        write_timeout_s;
+        cache_max_mb;
+        drain_timeout_s;
+        metrics_out;
+        log = (fun s -> Printf.eprintf "serve: %s\n%!" s);
+      }
+    in
+    match Serve.Daemon.run cfg with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "serve: %s\n" msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Crash-safe concurrent cell daemon over a Unix-domain socket"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Accepts (workload, mode, size, seed, fault-plan) cell \
+              requests over a length-prefixed framed protocol, dedupes \
+              identical in-flight requests, serves warm cells at O(read) \
+              from the content-addressed cache, and runs cold cells on a \
+              worker-domain pool under the batch harness's supervision \
+              (watchdog, transient-only retries, fsync'd journal).  \
+              kill -9 at any instant loses nothing durable: a restart \
+              recovers journaled cells byte-identically.  SIGTERM drains \
+              gracefully.  The cache directory and journal are held \
+              under advisory locks; concurrent $(b,repro experiment) \
+              runs on the same store fail fast with a diagnostic.";
+         ])
+    Term.(
+      const run $ socket_arg ~default:"/tmp/repro-serve.sock" $ cache_dir_arg
+      $ journal_arg $ workers_arg $ max_clients_arg $ max_queue_arg
+      $ timeout_arg $ retries_arg $ write_timeout_arg $ cache_max_mb_arg
+      $ drain_timeout_arg $ metrics_out_arg)
+
+let serveload_cmd =
+  let clients_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "clients" ] ~docv:"N"
+          ~doc:
+            "Concurrent synthetic clients (OS threads); total requests \
+             ride through them.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Total request slots (ignored with --duration-s).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "duration-s" ] ~docv:"S"
+          ~doc:"Soak mode: run for this long instead of a fixed count.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Chaos seed: request mix, garbage frames, disconnects and \
+             their timing all derive from it.")
+  in
+  let kill_arg =
+    Arg.(
+      value & opt_all float []
+      & info [ "kill" ] ~docv:"T"
+          ~doc:
+            "kill -9 the daemon T seconds into the run and restart it \
+             (repeatable).")
+  in
+  let p_garbage_arg =
+    Arg.(
+      value & opt float 0.03
+      & info [ "p-garbage" ] ~docv:"P"
+          ~doc:"Per-slot probability of sending an unframeable frame.")
+  in
+  let p_disconnect_arg =
+    Arg.(
+      value & opt float 0.03
+      & info [ "p-disconnect" ] ~docv:"P"
+          ~doc:"Per-slot probability of hanging up mid-frame.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt float 60.
+      & info [ "budget-s" ] ~docv:"S"
+          ~doc:
+            "Per-request resolve budget; a slot still unresolved past \
+             it counts as a hung client and fails the run.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-s" ] ~docv:"S"
+          ~doc:"deadline_s field sent with every request.")
+  in
+  let workloads_mix_arg =
+    Arg.(
+      value & opt string "cfrac"
+      & info [ "workloads" ] ~docv:"CSV"
+          ~doc:"Workloads in the request mix.")
+  in
+  let modes_mix_arg =
+    Arg.(
+      value & opt string "sun,gc,region"
+      & info [ "modes" ] ~docv:"CSV" ~doc:"Modes in the request mix.")
+  in
+  let mix_plan_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "mix-plan" ] ~docv:"SPEC"
+          ~doc:
+            "Also include every mix cell under this fault plan (e.g. a \
+             denial ramp $(b,ramp=0:0.002)) — fault-plan cells must \
+             resolve like any other.")
+  in
+  let bench_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "bench" ] ~docv:"PATH"
+          ~doc:
+            "Write the run as a bench-schema-v6 record (the BENCH_5.json \
+             behind the $(b,serveload) docs block).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N" ~doc:"Daemon worker domains.")
+  in
+  let cache_max_mb_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cache-max-mb" ] ~docv:"MB" ~doc:"Daemon cache size cap.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"PATH"
+          ~doc:"Daemon metrics snapshot file (written on daemon exit).")
+  in
+  let run socket cache_dir clients requests duration_s seed kills p_garbage
+      p_disconnect budget_s deadline_s workloads_csv modes_csv mix_plan bench
+      workers cache_max_mb metrics_out =
+    let cache_dir =
+      match cache_dir with
+      | Some d -> d
+      | None ->
+          let d =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "repro-serveload-%d" (Unix.getpid ()))
+          in
+          (try Unix.mkdir d 0o755
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          d
+    in
+    let socket =
+      if socket <> "" then socket
+      else
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "repro-serveload-%d.sock" (Unix.getpid ()))
+    in
+    let split csv =
+      String.split_on_char ',' csv
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    let mix =
+      let plain =
+        List.concat_map
+          (fun w ->
+            List.map
+              (fun m ->
+                Serve.Protocol.request ~seed ~workload:w ~mode:m ~size:"quick"
+                  ())
+              (split modes_csv))
+          (split workloads_csv)
+      in
+      match mix_plan with
+      | None -> plain
+      | Some p ->
+          plain
+          @ List.map (fun (r : Serve.Protocol.request) -> { r with plan = p })
+              plain
+    in
+    let journal = Filename.concat cache_dir "serve.journal" in
+    let spawn () =
+      let args =
+        [
+          Sys.executable_name; "serve"; "--socket"; socket; "--cache-dir";
+          cache_dir; "--journal"; journal; "--workers"; string_of_int workers;
+        ]
+        @ (match cache_max_mb with
+          | Some mb -> [ "--cache-max-mb"; string_of_int mb ]
+          | None -> [])
+        @
+        match metrics_out with
+        | Some p -> [ "--metrics-out"; p ]
+        | None -> []
+      in
+      Unix.create_process Sys.executable_name (Array.of_list args) Unix.stdin
+        Unix.stdout Unix.stderr
+    in
+    let cfg =
+      {
+        Serve.Load.socket;
+        spawn;
+        concurrency = clients;
+        requests;
+        duration_s;
+        seed;
+        chaos = { Serve.Load.p_garbage; p_disconnect };
+        kills;
+        request_budget_s = budget_s;
+        deadline_s;
+        mix;
+        log = (fun s -> Printf.eprintf "serveload: %s\n%!" s);
+      }
+    in
+    let r = Serve.Load.run cfg in
+    let p50 = Serve.Load.percentile r.Serve.Load.warm_us 50. in
+    let p99 = Serve.Load.percentile r.Serve.Load.warm_us 99. in
+    Printf.printf
+      "serveload: %d slots in %.2fs (%.1f req/s resolved)\n\
+      \  warm %d (p50 %dus, p99 %dus)  cold %d  overloaded %d  deadline \
+       %d\n\
+      \  chaos %d  bad %d  failed %d  hung %d  divergent %d\n\
+      \  daemon: %d restart(s), exit %d\n"
+      r.Serve.Load.total r.Serve.Load.wall_s
+      (Serve.Load.throughput_rps r)
+      r.Serve.Load.ok_warm p50 p99 r.Serve.Load.ok_cold
+      r.Serve.Load.overloaded r.Serve.Load.deadline r.Serve.Load.chaos
+      r.Serve.Load.bad r.Serve.Load.failed r.Serve.Load.unresolved
+      r.Serve.Load.divergent r.Serve.Load.restarts r.Serve.Load.daemon_exit;
+    Option.iter
+      (fun path ->
+        Harness.Serveload.write ~path
+          {
+            Harness.Serveload.duration_s = r.Serve.Load.wall_s;
+            concurrency = clients;
+            restarts = r.Serve.Load.restarts;
+            total = r.Serve.Load.total;
+            ok_warm = r.Serve.Load.ok_warm;
+            ok_cold = r.Serve.Load.ok_cold;
+            overloaded = r.Serve.Load.overloaded;
+            deadline = r.Serve.Load.deadline;
+            bad = r.Serve.Load.bad;
+            failed = r.Serve.Load.failed;
+            chaos = r.Serve.Load.chaos;
+            unresolved = r.Serve.Load.unresolved;
+            throughput_rps = Serve.Load.throughput_rps r;
+            warm_p50_us = p50;
+            warm_p99_us = p99;
+          };
+        Printf.eprintf "serveload: wrote %s\n%!" path)
+      bench;
+    if
+      r.Serve.Load.unresolved > 0
+      || r.Serve.Load.divergent > 0
+      || r.Serve.Load.daemon_exit <> 0
+    then begin
+      Printf.eprintf
+        "serveload: FAILED (%d hung, %d divergent, daemon exit %d)\n"
+        r.Serve.Load.unresolved r.Serve.Load.divergent
+        r.Serve.Load.daemon_exit;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "serveload"
+       ~doc:"Deterministic multi-client chaos load harness for repro serve"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Spawns a $(b,repro serve) daemon, then drives it with a \
+              seeded fleet of concurrent clients mixing honest cell \
+              requests with garbage frames, mid-frame disconnects and \
+              scheduled kill -9/restart cycles.  The acceptance bar is \
+              zero hung clients: every slot must resolve (cell, \
+              Overloaded, deadline, or intentional chaos) within its \
+              budget, cells served twice must be byte-identical, and \
+              the daemon must drain cleanly at the end.  $(b,--bench) \
+              records throughput and warm-hit latency percentiles in \
+              the bench-v6 schema.";
+         ])
+    Term.(
+      const run $ socket_arg ~default:"" $ cache_dir_arg $ clients_arg
+      $ requests_arg $ duration_arg $ seed_arg $ kill_arg $ p_garbage_arg
+      $ p_disconnect_arg $ budget_arg $ deadline_arg $ workloads_mix_arg
+      $ modes_mix_arg $ mix_plan_arg $ bench_arg $ workers_arg
+      $ cache_max_mb_arg $ metrics_out_arg)
+
 let main =
   Cmd.group
     (Cmd.info "repro" ~version:"1.0"
@@ -1397,6 +1830,7 @@ let main =
     [
       exp_cmd; run_cmd; trace_cmd; list_cmd; creg_cmd; check_cmd; faults_cmd;
       docs_cmd; record_cmd; replay_cmd; gen_cmd; results_cmd; perf_cmd;
+      serve_cmd; serveload_cmd;
     ]
 
 let () = exit (Cmd.eval main)

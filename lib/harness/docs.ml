@@ -22,6 +22,9 @@ let blocks : (string * (Matrix.t -> string)) list =
     ("claims", Claims.md);
     ("gentraces", Gentraces.md);
     ("timeline", Timelines.md);
+    (* Like perftrend: rendered from the committed BENCH_5.json only,
+       never from a live daemon, so --check stays deterministic. *)
+    ("serveload", Serveload.md);
     ( "perftrend",
       fun _ ->
         (* The trend table depends only on the committed BENCH_N.json

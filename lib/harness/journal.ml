@@ -71,6 +71,92 @@ let append oc e =
      which the checksum then rejects on resume. *)
   Unix.fsync (Unix.descr_of_out_channel oc)
 
+(* ---- keyed entries (daemon journal) ------------------------------- *)
+
+(* The batch journal above keys a line on (workload, mode) alone —
+   enough for a single matrix run where each pair appears once.  A
+   daemon serves arbitrary (workload, mode, size, seed, plan) requests,
+   so its journal lines must carry the whole request key to be
+   replayable into the cache on restart.  Size and plan are free-form
+   strings (plans contain ':' and '='; sizes could grow spaces), so
+   both travel hex-encoded like the payload. *)
+
+type keyed = {
+  k_workload : string;
+  k_mode : string;
+  k_size : string;
+  k_seed : int;
+  k_plan : string;
+  k_result : Workloads.Results.t;
+}
+
+let line_of_keyed k =
+  let payload =
+    Results.Json.to_string ~indent:false (Results.Cell.encode_result k.k_result)
+  in
+  Printf.sprintf "cell3 %s %s %s %d %s %d %Lx %s" k.k_workload k.k_mode
+    (to_hex k.k_size) k.k_seed
+    (to_hex k.k_plan)
+    (String.length payload) (fnv1a payload) (to_hex payload)
+
+let keyed_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "cell3"; workload; mode; size_h; seed; plan_h; len; hash; hex ] -> (
+      match
+        ( of_hex size_h,
+          int_of_string_opt seed,
+          of_hex plan_h,
+          int_of_string_opt len,
+          Int64.of_string_opt ("0x" ^ hash),
+          of_hex hex )
+      with
+      | Some size, Some seed, Some plan, Some len, Some hash, Some payload
+        when String.length payload = len && Int64.equal (fnv1a payload) hash
+        -> (
+          match
+            Result.bind (Results.Json.of_string payload)
+              Results.Cell.decode_result
+          with
+          | Ok result ->
+              Some
+                {
+                  k_workload = workload;
+                  k_mode = mode;
+                  k_size = size;
+                  k_seed = seed;
+                  k_plan = plan;
+                  k_result = result;
+                }
+          | Error _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let append_keyed oc k =
+  output_string oc (line_of_keyed k);
+  output_char oc '\n';
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let load_keyed path =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let entries = ref [] and skipped = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match keyed_of_line line with
+               | Some e -> entries := e :: !entries
+               | None -> incr skipped
+           done
+         with End_of_file -> ());
+        (List.rev !entries, !skipped))
+  end
+
 let load path =
   if not (Sys.file_exists path) then ([], 0)
   else begin

@@ -42,3 +42,33 @@ val entry_of_line : string -> entry option
 
 val line_of_entry : entry -> string
 (** The exact line [append] writes, without the trailing newline. *)
+
+(** {1 Keyed entries}
+
+    The daemon's journal ("cell3" lines).  A batch journal keys a cell
+    on (workload, mode) because a matrix run visits each pair once; a
+    daemon serves arbitrary request tuples, so its lines carry the
+    whole (workload, mode, size, seed, plan) key and replay into the
+    content-addressed cache on restart.  Same torn-line discipline:
+    length + FNV checksum per line, damage skipped never trusted, and
+    "cell3" lines are unknown-version damage to {!load} (and vice
+    versa), so the two journal kinds cannot contaminate each other. *)
+
+type keyed = {
+  k_workload : string;
+  k_mode : string;
+  k_size : string;
+  k_seed : int;
+  k_plan : string;
+  k_result : Workloads.Results.t;
+}
+
+val append_keyed : out_channel -> keyed -> unit
+(** Durable (flushed and fsync'd) when it returns, like {!append}. *)
+
+val load_keyed : string -> keyed list * int
+(** Valid keyed entries in file order, plus damaged lines skipped.
+    Missing file = empty journal. *)
+
+val keyed_of_line : string -> keyed option
+val line_of_keyed : keyed -> string

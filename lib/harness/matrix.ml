@@ -209,11 +209,81 @@ let trace_has_consumers (spec : Workloads.Workload.spec) mode variant =
          && Trace.Record.variant_of_mode m = variant)
        (Workloads.Workload.modes_for spec)
 
+(* ---- attempt guards ----------------------------------------------- *)
+
+(* OCaml domains cannot be killed, so a watchdogged attempt that hangs
+   is *abandoned*: the domain keeps running into the void while the
+   supervisor retries.  Anything the abandoned body had open — the
+   replay path holds a streaming trace reader's fd for the whole cell —
+   would leak once per timeout, and a daemon retrying cells for days
+   would bleed fds until accept(2) starts failing.  A guard transfers
+   ownership of such resources to the supervisor on abandonment: the
+   body registers a closer when it opens, releases it when it closes,
+   and whichever side wins the release race (exactly one does, under
+   the guard's lock) runs the closer.
+
+   Guarded resources must tolerate being closed under the abandoned
+   body's feet — a read-only fd is fine (the body's next read raises
+   into the void domain's discarded result); a writer would not be. *)
+module Guard = struct
+  type token = int
+
+  type t = {
+    glock : Mutex.t;
+    mutable abandoned : bool;
+    mutable closers : (token * (unit -> unit)) list;
+    mutable next : token;
+  }
+
+  let create () =
+    { glock = Mutex.create (); abandoned = false; closers = []; next = 0 }
+
+  exception Abandoned
+
+  let register g close =
+    Mutex.lock g.glock;
+    if g.abandoned then begin
+      Mutex.unlock g.glock;
+      (* The supervisor already moved on: close now, and abort whatever
+         the void domain was about to do with the resource. *)
+      (try close () with _ -> ());
+      raise Abandoned
+    end
+    else begin
+      let tok = g.next in
+      g.next <- tok + 1;
+      g.closers <- (tok, close) :: g.closers;
+      Mutex.unlock g.glock;
+      tok
+    end
+
+  let release g tok =
+    Mutex.lock g.glock;
+    let owned = List.mem_assoc tok g.closers in
+    g.closers <- List.remove_assoc tok g.closers;
+    Mutex.unlock g.glock;
+    owned
+
+  let abandon g =
+    Mutex.lock g.glock;
+    g.abandoned <- true;
+    let orphans = g.closers in
+    g.closers <- [];
+    Mutex.unlock g.glock;
+    List.iter (fun (_, close) -> try close () with _ -> ()) orphans
+
+  (* Open/close discipline in one place: close exactly once, on
+     whichever side owns the token when the dust settles. *)
+  let protect g close f =
+    let tok = register g close in
+    Fun.protect ~finally:(fun () -> if release g tok then close ()) f
+end
+
 (* Replay-mode cell: the recording mode's cell is the recording run
    itself (a genuine full execution, cached under the plain address);
    every other column replays the variant's trace, cached under the
    [replay] plan. *)
-let run_replay_cell t spec mode ~workload ~mode_name =
+let run_replay_cell ?guard t spec mode ~workload ~mode_name =
   let variant = Trace.Record.variant_of_mode mode in
   if is_recording_mode mode then
     match cached_cell t ~workload ~mode_name ~plan:(plan_string t) with
@@ -251,10 +321,12 @@ let run_replay_cell t spec mode ~workload ~mode_name =
               Fmt.failwith "unreadable trace for %s/%s: %s" workload variant
                 msg
         in
+        let close_reader () = Trace.Format.close reader in
+        let body () = Trace.Replay.run reader mode in
         let r =
-          Fun.protect
-            ~finally:(fun () -> Trace.Format.close reader)
-            (fun () -> Trace.Replay.run reader mode)
+          match guard with
+          | None -> Fun.protect ~finally:close_reader body
+          | Some g -> Guard.protect g close_reader body
         in
         cell_store t ~plan:replay_plan r;
         r
@@ -265,10 +337,10 @@ let run_replay_cell t spec mode ~workload ~mode_name =
    always executed (the artefact family must be produced), never
    served from the disk cache; its result is still stored, because
    traced and untraced measurements are identical by construction. *)
-let run_cell_collect t spec mode =
+let run_cell_collect ?guard t spec mode =
   let workload = spec.Workloads.Workload.name
   and mode_name = Workloads.Api.mode_name mode in
-  if t.replay then run_replay_cell t spec mode ~workload ~mode_name
+  if t.replay then run_replay_cell ?guard t spec mode ~workload ~mode_name
   else
     match t.disk with
     | None -> execute_cell t spec mode
@@ -536,16 +608,19 @@ let transient = function
    killed, so on expiry the runner domain is abandoned (it keeps
    simulating into the void; the leak is bounded by process lifetime
    and only ever exists on the timeout path) and [Cell_timeout] is
-   raised to the supervisor. *)
-let run_attempt ~timeout_s f =
+   raised to the supervisor — after the attempt's {!Guard} closers run,
+   so fds the abandoned body held (the replay trace reader) are
+   reclaimed instead of leaking once per timeout. *)
+let run_attempt ?timeout_s f =
   match timeout_s with
-  | None -> f ()
+  | None -> f (Guard.create ())
   | Some limit ->
+      let guard = Guard.create () in
       let slot = Atomic.make None in
       let d =
         Domain.spawn (fun () ->
             let r =
-              match f () with
+              match f guard with
               | v -> Ok v
               | exception e -> Error (e, Printexc.get_raw_backtrace ())
             in
@@ -563,6 +638,7 @@ let run_attempt ~timeout_s f =
         | None ->
             if Unix.gettimeofday () > deadline then begin
               Obs.Metrics.inc m_watchdog;
+              Guard.abandon guard;
               raise (Cell_timeout limit)
             end
             else begin
@@ -654,8 +730,8 @@ let run_all_supervised ?domains ?on_cell sup t =
           Obs.Metrics.inc m_cells;
           let t0 = Unix.gettimeofday () in
           match
-            run_attempt ~timeout_s:sup.timeout_s (fun () ->
-                run_cell_collect t spec mode)
+            run_attempt ?timeout_s:sup.timeout_s (fun guard ->
+                run_cell_collect ~guard t spec mode)
           with
           | r ->
               let wall = Unix.gettimeofday () -. t0 in

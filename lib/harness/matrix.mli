@@ -116,6 +116,61 @@ exception Cell_timeout of float
 (** Raised (to the supervisor, never the user) when a cell exceeds its
     watchdog.  Counted as transient: a retry gets a fresh attempt. *)
 
+(** Ownership tokens for resources opened inside a watchdogged
+    attempt.  A timed-out attempt's domain cannot be killed, only
+    abandoned — so any fd it holds (the replay path keeps a streaming
+    trace reader open for the whole cell) would leak once per timeout.
+    The body registers a closer when it opens, and closes through
+    {!Guard.protect}: on abandonment the supervisor runs every closer
+    still registered, exactly once per resource (the token release is
+    the race arbiter).  Guarded resources must tolerate a close under
+    the abandoned body's feet — read-only fds qualify; their next read
+    fails into the void domain's discarded result. *)
+module Guard : sig
+  type t
+  type token
+
+  val create : unit -> t
+
+  exception Abandoned
+  (** Raised by {!register} after abandonment (closing the resource
+      first): the void domain stops opening things nobody will reap. *)
+
+  val register : t -> (unit -> unit) -> token
+  val release : t -> token -> bool
+  (** True exactly once: the caller owns the close. *)
+
+  val abandon : t -> unit
+  (** Runs (and forgets) every registered closer; subsequent
+      {!register}s close-and-raise. *)
+
+  val protect : t -> (unit -> unit) -> (unit -> 'a) -> 'a
+  (** [protect g close f] = register, run [f], close on whichever side
+      owns the token afterwards. *)
+end
+
+val run_attempt : ?timeout_s:float -> (Guard.t -> 'a) -> 'a
+(** One watchdogged attempt: run the body on a fresh domain, poll for
+    its result, and on expiry abandon the domain, run the guard's
+    closers and raise {!Cell_timeout}.  Without [timeout_s] the body
+    runs in this domain (the guard never fires).  This is the building
+    block behind {!run_all_supervised}'s attempts, exposed for the
+    serve daemon's per-request deadlines. *)
+
+val transient : exn -> bool
+(** The supervisor's retry classifier: watchdog expiries and OS-level
+    trouble are transient (a retry may cure them); simulator faults
+    and assertion failures are deterministic and are not. *)
+
+val run_cell_collect :
+  ?guard:Guard.t -> t -> Workloads.Workload.spec -> Workloads.Api.mode ->
+  Workloads.Results.t
+(** Compute (or serve from the disk cache) one cell, without touching
+    the memo table — the per-request entry point for callers that do
+    their own scheduling (the serve daemon).  [guard] adopts fds the
+    cell opens (see {!Guard}); pass the attempt's guard when running
+    under {!run_attempt}. *)
+
 type cell_failure = {
   workload : string;
   mode : string;

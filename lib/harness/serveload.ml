@@ -1,0 +1,136 @@
+module J = Results.Json
+
+type record = {
+  duration_s : float;
+  concurrency : int;
+  restarts : int;
+  total : int;
+  ok_warm : int;
+  ok_cold : int;
+  overloaded : int;
+  deadline : int;
+  bad : int;
+  failed : int;
+  chaos : int;
+  unresolved : int;
+  throughput_rps : float;
+  warm_p50_us : int;
+  warm_p99_us : int;
+}
+
+let serve_json r =
+  J.Obj
+    [
+      ("duration_s", J.Float r.duration_s);
+      ("concurrency", J.Int r.concurrency);
+      ("restarts", J.Int r.restarts);
+      ("total", J.Int r.total);
+      ("ok_warm", J.Int r.ok_warm);
+      ("ok_cold", J.Int r.ok_cold);
+      ("overloaded", J.Int r.overloaded);
+      ("deadline", J.Int r.deadline);
+      ("bad", J.Int r.bad);
+      ("failed", J.Int r.failed);
+      ("chaos", J.Int r.chaos);
+      ("unresolved", J.Int r.unresolved);
+      ("throughput_rps", J.Float r.throughput_rps);
+      ("warm_p50_us", J.Int r.warm_p50_us);
+      ("warm_p99_us", J.Int r.warm_p99_us);
+    ]
+
+let bench_json r =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  J.Obj
+    [
+      ("schema", J.String "regions-repro/bench/v6");
+      ( "generated_utc",
+        J.String
+          (Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ"
+             (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+             tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec) );
+      ( "host",
+        J.Obj
+          [
+            ("hostname", J.String (Unix.gethostname ()));
+            ("os_type", J.String Sys.os_type);
+            ("ocaml_version", J.String Sys.ocaml_version);
+            ("word_size", J.Int Sys.word_size);
+            ("recommended_domains", J.Int (Domain.recommended_domain_count ()));
+          ] );
+      ("serve", serve_json r);
+    ]
+
+let write ~path r =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (J.to_string ~indent:true (bench_json r)));
+  Sys.rename tmp path
+
+(* ---- the generated docs block ------------------------------------- *)
+
+let bench_file = "BENCH_5.json"
+
+let md (_ : Matrix.t) =
+  let placeholder =
+    "_No serveload record committed yet (run `repro serveload --bench "
+    ^ bench_file ^ "`)._"
+  in
+  if not (Sys.file_exists bench_file) then placeholder
+  else
+    match
+      let ic = open_in_bin bench_file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error _ -> placeholder
+    | text -> (
+        match
+          Result.bind (J.of_string text) (fun j ->
+              match J.member "serve" j with
+              | Some s -> Ok s
+              | None -> Error "no serve object")
+        with
+        | Error _ -> placeholder
+        | Ok s ->
+            let int k =
+              match Option.bind (J.member k s) J.to_int with
+              | Some v -> string_of_int v
+              | None -> "—"
+            in
+            let num k =
+              match Option.bind (J.member k s) J.to_float with
+              | Some v -> Printf.sprintf "%.1f" v
+              | None -> "—"
+            in
+            let b = Buffer.create 1024 in
+            Buffer.add_string b
+              (Printf.sprintf
+                 "Chaos load against `repro serve` (committed %s: %s \
+                  clients for %s s, %s daemon kill&nbsp;-9/restart \
+                  cycles mid-run):\n\n"
+                 bench_file (int "concurrency") (num "duration_s")
+                 (int "restarts"));
+            Buffer.add_string b
+              "| requests | warm | cold | overloaded | deadline | chaos \
+               | failed | hung | throughput (req/s) † | warm p50 (µs) † \
+               | warm p99 (µs) † |\n";
+            Buffer.add_string b
+              "|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+            Buffer.add_string b
+              (Printf.sprintf
+                 "| %s | %s | %s | %s | %s | %s | %s | %s | %s | %s | %s \
+                  |\n"
+                 (int "total") (int "ok_warm") (int "ok_cold")
+                 (int "overloaded") (int "deadline") (int "chaos")
+                 (int "failed") (int "unresolved") (num "throughput_rps")
+                 (int "warm_p50_us") (int "warm_p99_us"));
+            Buffer.add_string b
+              "\nEvery client slot resolved (result, `Overloaded`, \
+               deadline, or intentional chaos) — the hung-client column \
+               is the robustness gate and must be 0.  † host-dependent \
+               rates/latencies; trend across records from one machine \
+               only.";
+            Buffer.contents b)

@@ -1,0 +1,46 @@
+(** Serve-daemon load records: the BENCH_5.json (bench schema v6)
+    [serve] object and the [serveload] generated block of
+    EXPERIMENTS.md.
+
+    This module is deliberately independent of [lib/serve] (which
+    depends on this library): [repro serveload] converts the chaos
+    harness's report into a {!record} here, and the docs block renders
+    from the {e committed} BENCH_5.json only — like the perftrend
+    block, so [repro docs --check] stays deterministic with no daemon
+    in sight. *)
+
+type record = {
+  duration_s : float;
+  concurrency : int;
+  restarts : int;  (** kill -9 + restart cycles survived mid-run *)
+  total : int;
+  ok_warm : int;
+  ok_cold : int;
+  overloaded : int;
+  deadline : int;
+  bad : int;
+  failed : int;
+  chaos : int;
+  unresolved : int;  (** hung clients — 0 in any record worth committing *)
+  throughput_rps : float;
+  warm_p50_us : int;
+  warm_p99_us : int;
+}
+
+val serve_json : record -> Results.Json.t
+(** The [serve] object alone. *)
+
+val bench_json : record -> Results.Json.t
+(** A complete bench document: schema [regions-repro/bench/v6],
+    [generated_utc], [host], and the [serve] object. *)
+
+val write : path:string -> record -> unit
+(** Atomic write of {!bench_json} (temp + rename). *)
+
+val md : Matrix.t -> string
+(** The [serveload] block body, rendered from [BENCH_5.json] in the
+    current directory (the repo root, where [repro docs] runs).  The
+    matrix argument is unused — the signature matches the
+    {!Docs.blocks} registry.  A missing or serve-less file renders a
+    placeholder line rather than failing, so docs regeneration works
+    before the first load run is committed. *)

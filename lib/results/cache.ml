@@ -53,6 +53,8 @@ let m_hit_bytes =
   Obs.Metrics.counter Obs.Metrics.default "results_cache_hit_bytes_total"
 let m_stored_bytes =
   Obs.Metrics.counter Obs.Metrics.default "results_cache_stored_bytes_total"
+let m_evictions =
+  Obs.Metrics.counter Obs.Metrics.default "results_cache_evictions_total"
 
 type t = { dir : string; build_id : string }
 
@@ -129,6 +131,10 @@ let find t ~workload ~mode ~size ~seed ~plan =
             then begin
               Obs.Metrics.inc m_hits;
               Obs.Metrics.add m_hit_bytes (String.length s);
+              (* LRU clock for {!sweep}: a hit refreshes the entry's
+                 mtime, so hot cells survive a size-capped eviction
+                 pass even when they were written long ago. *)
+              (try Unix.utimes p 0. 0. with Unix.Unix_error _ -> ());
               Some c
             end
             else miss None)
@@ -154,3 +160,64 @@ let store t (c : Cell.t) =
          Sys.rename tmp final;
          Obs.Metrics.add m_stored_bytes (String.length s)
        with Sys_error _ -> ())
+
+(* ---- size-capped LRU eviction ------------------------------------- *)
+
+(* An entry eligible for eviction: cells and traces, but never lock
+   files or another writer's in-flight temp file (whose rename must
+   stay atomic). *)
+let evictable name =
+  (Filename.check_suffix name ".json" || Filename.check_suffix name ".trace")
+  && not
+       (String.length (Filename.extension name) > 0
+       && String.length name > 4
+       && (let rec has_tmp i =
+             i + 4 <= String.length name
+             && (String.sub name i 4 = ".tmp" || has_tmp (i + 1))
+           in
+           has_tmp 0))
+
+let sweep t ~max_bytes =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      let entries =
+        Array.to_list names
+        |> List.filter_map (fun name ->
+               if not (evictable name) then None
+               else
+                 let p = Filename.concat t.dir name in
+                 match Unix.stat p with
+                 | exception Unix.Unix_error _ -> None
+                 | st when st.Unix.st_kind = Unix.S_REG ->
+                     Some (p, st.Unix.st_mtime, st.Unix.st_size)
+                 | _ -> None)
+      in
+      let total =
+        List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries
+      in
+      if total <= max_bytes then 0
+      else begin
+        (* Oldest mtime first; the path tie-breaks so a sweep is
+           deterministic when a filesystem's clock is coarse. *)
+        let by_age =
+          List.sort
+            (fun (pa, ma, _) (pb, mb, _) -> compare (ma, pa) (mb, pb))
+            entries
+        in
+        let rec evict remaining evicted = function
+          | [] -> evicted
+          | _ when remaining <= max_bytes -> evicted
+          | (p, _, sz) :: rest -> (
+              (* [Sys.remove] of one whole entry file is atomic: a
+                 concurrent reader either opened the entry before the
+                 unlink (and keeps reading a consistent snapshot) or
+                 misses and recomputes. *)
+              match Sys.remove p with
+              | () ->
+                  Obs.Metrics.inc m_evictions;
+                  evict (remaining - sz) (evicted + 1) rest
+              | exception Sys_error _ -> evict remaining evicted rest)
+        in
+        evict total 0 by_age
+      end

@@ -61,4 +61,16 @@ val store : t -> Cell.t -> unit
 (** Atomic; creates the cache directory on first use; IO failure is
     swallowed (the cell is still in memory, only the cache misses). *)
 
+val sweep : t -> max_bytes:int -> int
+(** Size-capped LRU eviction: if the cache's entry files ([*.json]
+    cells and [*.trace] traces) total more than [max_bytes], remove
+    oldest-mtime-first until under the cap, returning the number of
+    entries evicted (0 when already under).  {!find} refreshes a hit's
+    mtime, so recency means "last served", not "first written" — hot
+    cells survive a sweep.  Removals are single atomic unlinks
+    (concurrent readers either already hold the open file or miss and
+    recompute); in-flight [*.tmp.*] writer files and lock files are
+    never touched.  Evictions count into the
+    [results_cache_evictions_total] metric. *)
+
 val fnv1a64 : string -> string

@@ -91,6 +91,12 @@ let parse ~file text =
             (put "gen_replay.max_sim_os_bytes")
             (max_of [ "sim_os_bytes" ])
       | None -> ());
+      (match Json.member "serve" j with
+      | Some s ->
+          Option.iter (put "serve.throughput_rps") (fnum [ "throughput_rps" ] s);
+          Option.iter (put "serve.warm_p50_us") (fnum [ "warm_p50_us" ] s);
+          Option.iter (put "serve.warm_p99_us") (fnum [ "warm_p99_us" ] s)
+      | None -> ());
       (match list "micro" j with
       | Some ms ->
           List.iter

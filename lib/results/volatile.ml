@@ -14,6 +14,8 @@ let keys =
        timings from a bench diff. *)
     "replay_wall_s"; "speedup"; "geomean_speedup"; "ns_per_run"; "cache";
     "generated_utc"; "records_per_s"; "rss_kb";
+    (* serve-daemon load numbers: pure host throughput/latency *)
+    "throughput_rps"; "warm_p50_us"; "warm_p99_us"; "duration_s";
   ]
 
 let is_volatile k = List.mem k keys

@@ -1,0 +1,313 @@
+type chaos = { p_garbage : float; p_disconnect : float }
+
+type config = {
+  socket : string;
+  spawn : unit -> int;
+  concurrency : int;
+  requests : int;
+  duration_s : float;
+  seed : int;
+  chaos : chaos;
+  kills : float list;
+  request_budget_s : float;
+  deadline_s : float option;
+  mix : Protocol.request list;
+  log : string -> unit;
+}
+
+type report = {
+  total : int;
+  ok_warm : int;
+  ok_cold : int;
+  overloaded : int;
+  deadline : int;
+  bad : int;
+  failed : int;
+  chaos : int;
+  unresolved : int;
+  divergent : int;
+  restarts : int;
+  daemon_exit : int;
+  wall_s : float;
+  warm_us : int array;
+  cells : (string * string) list;
+}
+
+let throughput_rps r =
+  if r.wall_s <= 0. then 0.
+  else float_of_int (r.total - r.unresolved) /. r.wall_s
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(* ---- one client slot ---------------------------------------------- *)
+
+type outcome =
+  | O_warm of int  (* latency us *)
+  | O_cold
+  | O_overloaded
+  | O_deadline
+  | O_bad
+  | O_failed
+  | O_chaos
+  | O_unresolved
+
+let connect_sock path timeout =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+    Ok fd
+  with Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error e
+
+(* An unframeable or truncated exchange, by design.  The only wrong
+   answers are a hung read (the rcv timeout catches it) or a daemon
+   death (the next slots' connects would fail their budgets). *)
+let chaos_slot cfg rng =
+  match connect_sock cfg.socket 1.0 with
+  | Error _ -> ()
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          try
+            (match Random.State.int rng 3 with
+            | 0 ->
+                (* declared length far beyond max_frame *)
+                ignore
+                  (Unix.write_substring fd "\xff\xff\xff\xffjunk" 0 8);
+                ignore (Protocol.read_frame fd)
+            | 1 ->
+                (* zero-length frame *)
+                ignore (Unix.write_substring fd "\x00\x00\x00\x00" 0 4);
+                ignore (Protocol.read_frame fd)
+            | _ ->
+                (* honest prefix, then hang up mid-payload *)
+                ignore
+                  (Unix.write_substring fd "\x00\x00\x01\x00trunc" 0 9))
+          with Unix.Unix_error _ -> ())
+
+let request_slot cfg slot rng =
+  let template = List.nth cfg.mix (Random.State.int rng (List.length cfg.mix)) in
+  let req =
+    {
+      template with
+      Protocol.id = slot;
+      deadline_s =
+        (match cfg.deadline_s with
+        | Some _ as d -> d
+        | None -> template.Protocol.deadline_s);
+    }
+  in
+  let payload = Protocol.encode_request req in
+  let budget = Unix.gettimeofday () +. cfg.request_budget_s in
+  let rec try_once backoff =
+    let remaining = budget -. Unix.gettimeofday () in
+    if remaining <= 0. then (O_unresolved, None)
+    else
+      match connect_sock cfg.socket (Float.min remaining 5.) with
+      | Error _ ->
+          (* daemon restarting (or socket not up yet): ride through *)
+          Unix.sleepf (Float.min backoff remaining);
+          try_once (Float.min (backoff *. 2.) 0.5)
+      | Ok fd -> (
+          let reply =
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                let t0 = Unix.gettimeofday () in
+                match Protocol.write_frame fd payload with
+                | exception Unix.Unix_error _ -> Error `Retry
+                | () -> (
+                    match Protocol.read_frame fd with
+                    | Error _ -> Error `Retry  (* eof/timeout: killed? *)
+                    | Ok resp ->
+                        Ok (resp, Unix.gettimeofday () -. t0)))
+          in
+          match reply with
+          | Error `Retry ->
+              Unix.sleepf (Float.min backoff 0.2);
+              try_once (Float.min (backoff *. 2.) 0.5)
+          | Ok (resp, dt) -> (
+              match Protocol.decode_response resp with
+              | Error _ -> (O_bad, None)
+              | Ok (Protocol.Cell { warm; cell; _ }) ->
+                  let bytes =
+                    Results.Json.to_string ~indent:false cell
+                  in
+                  let key = Protocol.key_of_request req in
+                  if warm then
+                    (O_warm (int_of_float (dt *. 1e6)), Some (key, bytes))
+                  else (O_cold, Some (key, bytes))
+              | Ok (Protocol.Overloaded _) -> (O_overloaded, None)
+              | Ok (Protocol.Deadline _) -> (O_deadline, None)
+              | Ok (Protocol.Bad_request _) -> (O_bad, None)
+              | Ok (Protocol.Failed _) -> (O_failed, None)))
+  in
+  try_once 0.05
+
+(* ---- the fleet ---------------------------------------------------- *)
+
+let run cfg =
+  if cfg.mix = [] then invalid_arg "Load.run: empty request mix";
+  let pid_mu = Mutex.create () in
+  let pid = ref (cfg.spawn ()) in
+  let restarts = ref 0 in
+  let t_start = Unix.gettimeofday () in
+  let stop = Atomic.make false in
+  let next_slot = Atomic.make 0 in
+  (* shared tallies *)
+  let tally_mu = Mutex.create () in
+  let total = ref 0
+  and ok_warm = ref 0
+  and ok_cold = ref 0
+  and overloaded = ref 0
+  and deadline = ref 0
+  and bad = ref 0
+  and failed = ref 0
+  and chaos_n = ref 0
+  and unresolved = ref 0
+  and divergent = ref 0 in
+  let warm_lat = ref [] in
+  let cells : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let record outcome cell =
+    Mutex.lock tally_mu;
+    incr total;
+    (match outcome with
+    | O_warm us ->
+        incr ok_warm;
+        warm_lat := us :: !warm_lat
+    | O_cold -> incr ok_cold
+    | O_overloaded -> incr overloaded
+    | O_deadline -> incr deadline
+    | O_bad -> incr bad
+    | O_failed -> incr failed
+    | O_chaos -> incr chaos_n
+    | O_unresolved -> incr unresolved);
+    (match cell with
+    | None -> ()
+    | Some (key, bytes) -> (
+        match Hashtbl.find_opt cells key with
+        | None -> Hashtbl.replace cells key bytes
+        | Some prev -> if prev <> bytes then incr divergent));
+    Mutex.unlock tally_mu
+  in
+  let slots_exhausted slot =
+    if cfg.duration_s > 0. then
+      Unix.gettimeofday () -. t_start >= cfg.duration_s
+    else slot >= cfg.requests
+  in
+  let client_thread () =
+    let rec loop () =
+      if not (Atomic.get stop) then begin
+        let slot = Atomic.fetch_and_add next_slot 1 in
+        if slots_exhausted slot then ()
+        else begin
+          let rng = Random.State.make [| cfg.seed; slot |] in
+          let draw = Random.State.float rng 1.0 in
+          if draw < cfg.chaos.p_garbage then begin
+            chaos_slot cfg rng;
+            record O_chaos None
+          end
+          else if draw < cfg.chaos.p_garbage +. cfg.chaos.p_disconnect then begin
+            (match connect_sock cfg.socket 1.0 with
+            | Error _ -> ()
+            | Ok fd ->
+                (* half a legitimate request frame, then vanish *)
+                let payload =
+                  Protocol.encode_frame
+                    (Protocol.encode_request (List.hd cfg.mix))
+                in
+                let half = String.length payload / 2 in
+                (try ignore (Unix.write_substring fd payload 0 half)
+                 with Unix.Unix_error _ -> ());
+                (try Unix.close fd with Unix.Unix_error _ -> ()));
+            record O_chaos None
+          end
+          else begin
+            let outcome, cell = request_slot cfg slot rng in
+            record outcome cell
+          end;
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  (* kill-and-restart controller *)
+  let killer =
+    Thread.create
+      (fun () ->
+        List.iter
+          (fun at ->
+            let rec wait () =
+              if not (Atomic.get stop) then
+                let elapsed = Unix.gettimeofday () -. t_start in
+                if elapsed < at then begin
+                  Unix.sleepf (Float.min 0.05 (at -. elapsed));
+                  wait ()
+                end
+            in
+            wait ();
+            if not (Atomic.get stop) then begin
+              Mutex.lock pid_mu;
+              let p = !pid in
+              cfg.log (Printf.sprintf "chaos: kill -9 daemon pid %d" p);
+              (try Unix.kill p Sys.sigkill with Unix.Unix_error _ -> ());
+              (try ignore (Unix.waitpid [] p) with Unix.Unix_error _ -> ());
+              pid := cfg.spawn ();
+              incr restarts;
+              Mutex.unlock pid_mu
+            end)
+          (List.sort compare cfg.kills))
+      ()
+  in
+  let threads =
+    Array.init (max 1 cfg.concurrency) (fun _ -> Thread.create client_thread ())
+  in
+  Array.iter Thread.join threads;
+  Atomic.set stop true;
+  Thread.join killer;
+  let wall_s = Unix.gettimeofday () -. t_start in
+  (* graceful shutdown: SIGTERM, then reap.  The daemon's own drain
+     timeout bounds this wait. *)
+  let daemon_exit =
+    Mutex.lock pid_mu;
+    let p = !pid in
+    Mutex.unlock pid_mu;
+    (try Unix.kill p Sys.sigterm with Unix.Unix_error _ -> ());
+    match Unix.waitpid [] p with
+    | _, Unix.WEXITED n -> n
+    | _, Unix.WSIGNALED s -> 128 + s
+    | _, Unix.WSTOPPED s -> 128 + s
+    | exception Unix.Unix_error _ -> -1
+  in
+  let warm_us = Array.of_list !warm_lat in
+  Array.sort compare warm_us;
+  {
+    total = !total;
+    ok_warm = !ok_warm;
+    ok_cold = !ok_cold;
+    overloaded = !overloaded;
+    deadline = !deadline;
+    bad = !bad;
+    failed = !failed;
+    chaos = !chaos_n;
+    unresolved = !unresolved;
+    divergent = !divergent;
+    restarts = !restarts;
+    daemon_exit;
+    wall_s;
+    warm_us;
+    cells =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) cells []
+      |> List.sort compare;
+  }

@@ -1,0 +1,78 @@
+(** Deterministic multi-client chaos harness for the cell daemon.
+
+    Drives a daemon process with a seeded fleet of synthetic clients:
+    [concurrency] OS threads each work through request slots drawn
+    from a deterministic per-slot RNG ([Random.State.make [|seed;
+    slot|]]), so the request mix, the garbage frames, the mid-send
+    disconnects and the kill schedule are all reproducible from
+    [seed] alone.  Chaos comes in three flavours:
+
+    - {b garbage}: a slot sends an unframeable byte salad and expects
+      the daemon to answer with an error frame or a close — never to
+      die;
+    - {b disconnect}: a slot hangs up mid-frame, exercising the
+      daemon's partial-read path;
+    - {b kill}: at scheduled elapsed times the daemon is [kill -9]'d
+      and restarted via [spawn], exercising crash recovery while
+      clients ride through with connect retries.
+
+    The harness's acceptance contract is {e zero hung clients}: every
+    slot resolves — to a cell, an [Overloaded], a deadline error, an
+    intentional chaos outcome, or (only past its [request_budget_s])
+    an [Unresolved] count that the caller treats as failure.
+
+    Cells observed by any client are recorded per request key and
+    cross-checked: two different byte-level answers for one key is
+    a consistency violation ([divergent] > 0). *)
+
+type chaos = {
+  p_garbage : float;  (** probability a slot sends an unframeable frame *)
+  p_disconnect : float;  (** probability a slot hangs up mid-frame *)
+}
+
+type config = {
+  socket : string;
+  spawn : unit -> int;  (** start the daemon, return its pid *)
+  concurrency : int;  (** client threads *)
+  requests : int;  (** total slots; ignored when [duration_s > 0.] *)
+  duration_s : float;  (** run for this long instead (soak mode) *)
+  seed : int;
+  chaos : chaos;
+  kills : float list;  (** elapsed seconds at which to kill -9 + restart *)
+  request_budget_s : float;  (** per-slot resolve budget (hang detector) *)
+  deadline_s : float option;  (** deadline_s field sent with requests *)
+  mix : Protocol.request list;
+      (** request templates; slot [i] draws one per its RNG (ids and
+          deadlines are overridden per slot) *)
+  log : string -> unit;
+}
+
+type report = {
+  total : int;  (** slots executed *)
+  ok_warm : int;
+  ok_cold : int;
+  overloaded : int;
+  deadline : int;
+  bad : int;  (** bad-request responses (expected for garbage) *)
+  failed : int;  (** cell-failure responses (fault-plan OOMs etc.) *)
+  chaos : int;  (** intentional garbage/disconnect slots *)
+  unresolved : int;  (** slots that blew their budget: hung clients *)
+  divergent : int;  (** request keys served two different cell bytes *)
+  restarts : int;  (** daemon kill -9 + restart cycles performed *)
+  daemon_exit : int;  (** daemon's exit code after the final SIGTERM *)
+  wall_s : float;
+  warm_us : int array;  (** sorted warm-hit latencies, microseconds *)
+  cells : (string * string) list;
+      (** request key -> compact cell JSON bytes, sorted by key — the
+          served-cell set the kill/restart property compares *)
+}
+
+val throughput_rps : report -> float
+(** Resolved slots (everything but unresolved) per wall second. *)
+
+val percentile : int array -> float -> int
+(** Nearest-rank percentile of a sorted array; 0 on empty. *)
+
+val run : config -> report
+(** Spawns the daemon via [config.spawn], runs the fleet (and the kill
+    schedule), then SIGTERMs the daemon and reaps its exit status. *)

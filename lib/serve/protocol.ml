@@ -1,0 +1,201 @@
+let max_frame = 1 lsl 20
+
+let encode_frame payload =
+  let n = String.length payload in
+  if n = 0 || n > max_frame then
+    invalid_arg (Printf.sprintf "Protocol.encode_frame: %d bytes" n);
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+(* The pending buffer is a string compacted on every pop: frames are
+   small (≤ 1 MiB, usually ~1 KiB) and connections are request/
+   response, so the slicing cost is noise next to the syscalls. *)
+type decoder = { mutable pending : string }
+
+let decoder () = { pending = "" }
+let feed d s = if s <> "" then d.pending <- d.pending ^ s
+let buffered d = String.length d.pending
+
+let declared_len s =
+  (Char.code s.[0] lsl 24)
+  lor (Char.code s.[1] lsl 16)
+  lor (Char.code s.[2] lsl 8)
+  lor Char.code s.[3]
+
+let next d =
+  let have = String.length d.pending in
+  if have < 4 then Ok None
+  else
+    let n = declared_len d.pending in
+    if n = 0 || n > max_frame then
+      Error (Printf.sprintf "malformed frame: declared length %d" n)
+    else if have < 4 + n then Ok None
+    else begin
+      let payload = String.sub d.pending 4 n in
+      d.pending <- String.sub d.pending (4 + n) (have - 4 - n);
+      Ok (Some payload)
+    end
+
+(* ---- requests and responses --------------------------------------- *)
+
+type request = {
+  id : int;
+  workload : string;
+  mode : string;
+  size : string;
+  seed : int;
+  plan : string;
+  deadline_s : float option;
+}
+
+let request ?(id = 0) ?(seed = 0) ?(plan = "none") ?deadline_s ~workload
+    ~mode ~size () =
+  { id; workload; mode; size; seed; plan; deadline_s }
+
+let key_of_request r =
+  Printf.sprintf "%s|%s|%s|%d|%s" r.workload r.mode r.size r.seed r.plan
+
+module J = Results.Json
+
+let encode_request r =
+  J.to_string ~indent:false
+    (J.Obj
+       ([
+          ("id", J.Int r.id);
+          ("workload", J.String r.workload);
+          ("mode", J.String r.mode);
+          ("size", J.String r.size);
+          ("seed", J.Int r.seed);
+          ("plan", J.String r.plan);
+        ]
+       @
+       match r.deadline_s with
+       | None -> []
+       | Some d -> [ ("deadline_s", J.Float d) ]))
+
+let field name conv j =
+  match Option.bind (J.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "request: missing or bad %S" name)
+
+let ( let* ) = Result.bind
+
+let decode_request s =
+  match J.of_string s with
+  | Error e -> Error ("request: " ^ e)
+  | Ok j ->
+      let* id = field "id" J.to_int j in
+      let* workload = field "workload" J.to_str j in
+      let* mode = field "mode" J.to_str j in
+      let* size = field "size" J.to_str j in
+      let* seed = field "seed" J.to_int j in
+      let* plan = field "plan" J.to_str j in
+      let deadline_s = Option.bind (J.member "deadline_s" j) J.to_float in
+      Ok { id; workload; mode; size; seed; plan; deadline_s }
+
+type response =
+  | Cell of { id : int; warm : bool; cell : J.t }
+  | Overloaded of { id : int }
+  | Bad_request of { id : int; reason : string }
+  | Failed of { id : int; reason : string }
+  | Deadline of { id : int }
+
+let response_id = function
+  | Cell { id; _ }
+  | Overloaded { id }
+  | Bad_request { id; _ }
+  | Failed { id; _ }
+  | Deadline { id } ->
+      id
+
+let encode_response r =
+  let obj fields = J.to_string ~indent:false (J.Obj fields) in
+  match r with
+  | Cell { id; warm; cell } ->
+      obj
+        [
+          ("id", J.Int id);
+          ("status", J.String "ok");
+          ("warm", J.Bool warm);
+          ("cell", cell);
+        ]
+  | Overloaded { id } ->
+      obj [ ("id", J.Int id); ("status", J.String "overloaded") ]
+  | Bad_request { id; reason } ->
+      obj
+        [
+          ("id", J.Int id);
+          ("status", J.String "bad-request");
+          ("reason", J.String reason);
+        ]
+  | Failed { id; reason } ->
+      obj
+        [
+          ("id", J.Int id);
+          ("status", J.String "failed");
+          ("reason", J.String reason);
+        ]
+  | Deadline { id } ->
+      obj [ ("id", J.Int id); ("status", J.String "deadline") ]
+
+let decode_response s =
+  match J.of_string s with
+  | Error e -> Error ("response: " ^ e)
+  | Ok j -> (
+      let* id = field "id" J.to_int j in
+      let* status = field "status" J.to_str j in
+      let reason () =
+        match Option.bind (J.member "reason" j) J.to_str with
+        | Some r -> r
+        | None -> "unspecified"
+      in
+      match status with
+      | "ok" -> (
+          match (J.member "warm" j, J.member "cell" j) with
+          | Some (J.Bool warm), Some cell -> Ok (Cell { id; warm; cell })
+          | _ -> Error "response: ok without warm/cell")
+      | "overloaded" -> Ok (Overloaded { id })
+      | "bad-request" -> Ok (Bad_request { id; reason = reason () })
+      | "failed" -> Ok (Failed { id; reason = reason () })
+      | "deadline" -> Ok (Deadline { id })
+      | s -> Error (Printf.sprintf "response: unknown status %S" s))
+
+(* ---- blocking client IO ------------------------------------------- *)
+
+let write_frame fd payload =
+  let s = encode_frame payload in
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off >= n then Ok (Bytes.to_string b)
+    else
+      match Unix.read fd b off (n - off) with
+      | 0 -> Error "eof"
+      | r -> go (off + r)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Error "timeout"
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go 0
+
+let read_frame fd =
+  match read_exact fd 4 with
+  | Error _ as e -> e
+  | Ok hdr ->
+      let n = declared_len hdr in
+      if n = 0 || n > max_frame then
+        Error (Printf.sprintf "malformed frame: declared length %d" n)
+      else read_exact fd n

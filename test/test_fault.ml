@@ -345,6 +345,108 @@ let test_journal_missing_file_empty () =
   check_int "no entries" 0 (List.length entries);
   check_int "no damage" 0 skipped
 
+(* {1 Keyed (daemon) journal} *)
+
+let sample_keyed () =
+  {
+    Harness.Journal.k_workload = "cfrac";
+    k_mode = "sun";
+    k_size = "quick";
+    k_seed = 3;
+    k_plan = "budget=64,ramp=0:0.01";
+    k_result =
+      Workloads.Workload.run_collect cfrac (Workloads.Api.Direct Sun) quick;
+  }
+
+let test_keyed_line_roundtrip () =
+  let k = sample_keyed () in
+  match Harness.Journal.keyed_of_line (Harness.Journal.line_of_keyed k) with
+  | None -> Alcotest.fail "keyed line should parse"
+  | Some k' ->
+      check_str "workload" k.Harness.Journal.k_workload
+        k'.Harness.Journal.k_workload;
+      check_str "mode" k.Harness.Journal.k_mode k'.Harness.Journal.k_mode;
+      check_str "size" k.Harness.Journal.k_size k'.Harness.Journal.k_size;
+      check_int "seed" k.Harness.Journal.k_seed k'.Harness.Journal.k_seed;
+      check_str "plan survives hex transport" k.Harness.Journal.k_plan
+        k'.Harness.Journal.k_plan;
+      check_str "result"
+        (Fmt.str "%a" Workloads.Results.pp k.Harness.Journal.k_result)
+        (Fmt.str "%a" Workloads.Results.pp k'.Harness.Journal.k_result)
+
+let test_keyed_torn_rejected () =
+  let line = Harness.Journal.line_of_keyed (sample_keyed ()) in
+  let n = String.length line in
+  List.iter
+    (fun k ->
+      match Harness.Journal.keyed_of_line (String.sub line 0 k) with
+      | None -> ()
+      | Some _ -> Alcotest.fail (Fmt.str "torn prefix of %d bytes accepted" k))
+    [ 4; 12; n / 2; n - 8; n - 1 ];
+  let damaged = Bytes.of_string line in
+  Bytes.set damaged (n - 1)
+    (if Bytes.get damaged (n - 1) = '0' then '1' else '0');
+  match Harness.Journal.keyed_of_line (Bytes.to_string damaged) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "corrupted keyed payload accepted"
+
+(* The two journal kinds must not contaminate each other: a "cell2"
+   batch line is unknown-version damage to the keyed loader and vice
+   versa, so pointing the daemon at a batch journal (or the reverse)
+   degrades to "re-run those cells", never to a mis-keyed resume. *)
+let test_keyed_and_batch_lines_disjoint () =
+  let path = Filename.temp_file "fault_keyed" ".j" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let k = sample_keyed () in
+  let e = sample_entry () in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  Harness.Journal.append oc e;
+  Harness.Journal.append_keyed oc k;
+  Harness.Journal.append_keyed oc { k with k_seed = 4 };
+  close_out oc;
+  let keyed, k_skipped = Harness.Journal.load_keyed path in
+  check_int "two keyed entries" 2 (List.length keyed);
+  check_int "the batch line is damage to the keyed loader" 1 k_skipped;
+  let entries, e_skipped = Harness.Journal.load path in
+  check_int "one batch entry" 1 (List.length entries);
+  check_int "keyed lines are damage to the batch loader" 2 e_skipped
+
+(* {1 Watchdog fd hygiene}
+
+   A timed-out replay cell used to leak its trace-reader fd: the
+   watchdog raised in the supervisor while the abandoned attempt
+   domain still held the open file.  The Guard protocol closes
+   guard-registered resources from whichever side loses the race, so
+   50 forced timeouts must leave the process fd table where it
+   started. *)
+
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_timeout_fd_leak () =
+  let trials = 50 in
+  let before = count_fds () in
+  for _ = 1 to trials do
+    match
+      Harness.Matrix.run_attempt ~timeout_s:0.01 (fun guard ->
+          let fd = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+          let closed = ref false in
+          ignore
+            (Harness.Matrix.Guard.register guard (fun () ->
+                 closed := true;
+                 Unix.close fd));
+          (* outlive the watchdog: the supervisor must close [fd] *)
+          Unix.sleepf 0.08)
+    with
+    | () -> Alcotest.fail "watchdog did not fire"
+    | exception Harness.Matrix.Cell_timeout _ -> ()
+  done;
+  (* let the abandoned attempt domains finish their sleeps *)
+  Unix.sleepf 0.3;
+  let after = count_fds () in
+  if after > before then
+    Alcotest.failf "fd leak: %d open fds before, %d after %d timeouts" before
+      after trials
+
 (* {1 Supervised matrix: resume and triage} *)
 
 let render m =
@@ -532,6 +634,17 @@ let () =
           Alcotest.test_case "append/load" `Quick test_journal_append_load;
           Alcotest.test_case "missing file is empty" `Quick
             test_journal_missing_file_empty;
+          Alcotest.test_case "keyed line round-trip" `Quick
+            test_keyed_line_roundtrip;
+          Alcotest.test_case "keyed torn lines rejected" `Quick
+            test_keyed_torn_rejected;
+          Alcotest.test_case "keyed/batch kinds disjoint" `Quick
+            test_keyed_and_batch_lines_disjoint;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "timeout path closes guarded fds" `Slow
+            test_timeout_fd_leak;
         ] );
       ( "supervised",
         [

@@ -235,6 +235,101 @@ let test_cache_hit_and_invalidation () =
   close_out oc;
   check_bool "torn entry is a miss" true (find_sample cache () = None)
 
+(* Size-capped eviction: oldest-served entries go first, a hot entry
+   survives because `find` bumps its mtime, and in-flight temp files
+   are never touched. *)
+let test_cache_sweep_lru () =
+  let dir = fresh_dir () in
+  let cache = Results.Cache.create ~dir ~build_id:"build-A" () in
+  let entry_path seed =
+    Filename.concat dir
+      (Results.Cache.key cache ~workload:"cfrac" ~mode:"sun" ~size:"quick"
+         ~seed ~plan:"none"
+      ^ ".json")
+  in
+  for seed = 0 to 9 do
+    Results.Cache.store cache (sample_cell ~seed ~build_id:"build-A" ());
+    (* distinct, strictly increasing ages without sleeping: backdate
+       seed i to i+1 seconds past the epoch *)
+    let t = float_of_int (seed + 1) in
+    Unix.utimes (entry_path seed) t t
+  done;
+  (* Serving seed 0 bumps it to "now", making it the hottest entry. *)
+  (match find_sample cache ~seed:0 () with
+  | Some _ -> ()
+  | None -> Alcotest.fail "warm entry not found");
+  let entry_bytes = (Unix.stat (entry_path 0)).Unix.st_size in
+  (* leave an in-flight temp file lying around: sweeps must skip it *)
+  let tmp = Filename.concat dir "entry.json.tmp.999" in
+  let oc = open_out tmp in
+  output_string oc (String.make 4096 'x');
+  close_out oc;
+  (* Cap at ~3 entries: 7 of the 10 must be evicted, oldest first. *)
+  let evicted = Results.Cache.sweep cache ~max_bytes:(3 * entry_bytes) in
+  check_int "evicted down to the cap" 7 evicted;
+  check_bool "hot entry survived the sweep" true
+    (find_sample cache ~seed:0 () <> None);
+  check_bool "in-flight temp file untouched" true (Sys.file_exists tmp);
+  check_int "already under cap: sweep is a no-op" 0
+    (Results.Cache.sweep cache ~max_bytes:(3 * entry_bytes));
+  (* survivors are exactly the youngest mtimes: seeds 8, 9 and the
+     bumped seed 0 *)
+  List.iter
+    (fun seed ->
+      check_bool
+        (Printf.sprintf "seed %d present after sweep" seed)
+        true
+        (find_sample cache ~seed () <> None))
+    [ 0; 8; 9 ];
+  check_bool "coldest entry evicted" true (find_sample cache ~seed:1 () = None)
+
+(* Advisory store lock: a second process gets a readable diagnostic,
+   the same process can re-acquire after release, and a dead holder
+   (kill -9) releases implicitly because lockf locks die with the
+   process. *)
+let test_lockfile_contention () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "LOCK" in
+  let l =
+    match Results.Lockfile.acquire ~owner:"repro-test" path with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "first acquire failed: %s" e
+  in
+  (* lockf locks are per-process, so contention needs a child *)
+  (match Unix.fork () with
+  | 0 ->
+      let code =
+        match Results.Lockfile.acquire ~owner:"child" path with
+        | Error msg
+          when String.length msg > 0
+               && (let contains hay needle =
+                     let n = String.length hay
+                     and m = String.length needle in
+                     let rec go i =
+                       i + m <= n
+                       && (String.sub hay i m = needle || go (i + 1))
+                     in
+                     go 0
+                   in
+                   contains msg "repro-test" && contains msg path) ->
+            0
+        | Error _ -> 3 (* locked, but the diagnostic lost the holder *)
+        | Ok _ -> 4 (* double acquisition: the lock is not a lock *)
+      in
+      Unix._exit code
+  | pid -> (
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED 3 ->
+          Alcotest.fail "contention diagnostic does not name the holder"
+      | _, Unix.WEXITED 4 -> Alcotest.fail "second process acquired the lock"
+      | _ -> Alcotest.fail "child crashed"));
+  Results.Lockfile.release l;
+  (* released: the next acquire (same process, fresh fd) succeeds *)
+  match Results.Lockfile.acquire ~owner:"again" path with
+  | Ok l2 -> Results.Lockfile.release l2
+  | Error e -> Alcotest.failf "acquire after release failed: %s" e
+
 let test_cache_key_is_stable () =
   let cache = Results.Cache.create ~dir:(fresh_dir ()) ~build_id:"b" () in
   let k () =
@@ -393,16 +488,30 @@ let test_trend_parses_committed_history () =
               check_bool "sorted by index" true (p.index > !prev);
               prev := p.index;
               check_bool
-                (p.file ^ " carries the v1 report metric")
+                (p.file ^ " carries at least one metric")
                 true
-                (Results.Trend.metric p "report.total_wall_s" <> None))
+                (p.metrics <> []))
             points;
           (* the schema additions show up where they were introduced *)
           let nth n = List.nth points (n - 1) in
+          (* B1–B4 are bench-harness records: all carry the v1 report
+             metric.  B5 is a serveload (v6) record: serve metrics
+             only — the carrier-aware gate must read report metrics
+             from the newest *bench* record, not choke on B5. *)
+          List.iter
+            (fun n ->
+              check_bool
+                (Printf.sprintf "B%d carries the v1 report metric" n)
+                true
+                (Results.Trend.metric (nth n) "report.total_wall_s" <> None))
+            [ 1; 2; 3; 4 ];
           check_bool "v1 has no replay section" true
             (Results.Trend.metric (nth 1) "replay.geomean_speedup" = None);
           check_bool "v4+ has the replay geomean" true
             (Results.Trend.metric (nth 3) "replay.geomean_speedup" <> None);
+          check_bool "the serveload record carries throughput" true
+            (List.length points < 5
+            || Results.Trend.metric (nth 5) "serve.throughput_rps" <> None);
           let contains hay needle =
             let n = String.length hay and m = String.length needle in
             let rec go i =
@@ -488,6 +597,8 @@ let () =
         [
           quick "hit, invalidation, damage" test_cache_hit_and_invalidation;
           quick "key stability" test_cache_key_is_stable;
+          quick "size-capped LRU sweep" test_cache_sweep_lru;
+          quick "advisory store lock" test_lockfile_contention;
         ] );
       ( "matrix",
         [ quick "warm cache is byte-identical, 0 runs" test_warm_cache_byte_identical ] );
