@@ -1495,7 +1495,10 @@ let serve_cmd =
     Arg.(
       value & opt float 30.
       & info [ "drain-timeout-s" ] ~docv:"S"
-          ~doc:"Hard bound on the SIGTERM graceful drain.")
+          ~doc:
+            "Hard bound on the SIGTERM graceful drain: cell attempts \
+             still in flight at the deadline are abandoned (their \
+             waiters get Failed) rather than awaited.")
   in
   let metrics_out_arg =
     Arg.(

@@ -77,11 +77,19 @@ let append oc e =
    enough for a single matrix run where each pair appears once.  A
    daemon serves arbitrary (workload, mode, size, seed, plan) requests,
    so its journal lines must carry the whole request key to be
-   replayable into the cache on restart.  Size and plan are free-form
-   strings (plans contain ':' and '='; sizes could grow spaces), so
-   both travel hex-encoded like the payload. *)
+   replayable into the cache on restart — including the build id of
+   the binary that measured the cell, because the content-addressed
+   cache's invariant is that a rebuild invalidates every entry: a
+   recovery that re-stored an old build's measurements under the new
+   build would serve stale numbers as warm hits.  Size, plan and
+   build id are free-form strings (plans contain ':' and '='; a build
+   id is usually an MD5 hex digest but the cache accepts anything), so
+   all three travel hex-encoded like the payload.  "cell3" was the
+   buildless tag; those lines now parse as unknown-version damage and
+   degrade to "re-run that cell". *)
 
 type keyed = {
+  k_build : string;
   k_workload : string;
   k_mode : string;
   k_size : string;
@@ -94,23 +102,32 @@ let line_of_keyed k =
   let payload =
     Results.Json.to_string ~indent:false (Results.Cell.encode_result k.k_result)
   in
-  Printf.sprintf "cell3 %s %s %s %d %s %d %Lx %s" k.k_workload k.k_mode
+  Printf.sprintf "cell4 %s %s %s %s %d %s %d %Lx %s" (to_hex k.k_build)
+    k.k_workload k.k_mode
     (to_hex k.k_size) k.k_seed
     (to_hex k.k_plan)
     (String.length payload) (fnv1a payload) (to_hex payload)
 
 let keyed_of_line line =
   match String.split_on_char ' ' (String.trim line) with
-  | [ "cell3"; workload; mode; size_h; seed; plan_h; len; hash; hex ] -> (
+  | [ "cell4"; build_h; workload; mode; size_h; seed; plan_h; len; hash; hex ]
+    -> (
       match
-        ( of_hex size_h,
+        ( of_hex build_h,
+          of_hex size_h,
           int_of_string_opt seed,
           of_hex plan_h,
           int_of_string_opt len,
           Int64.of_string_opt ("0x" ^ hash),
           of_hex hex )
       with
-      | Some size, Some seed, Some plan, Some len, Some hash, Some payload
+      | ( Some build,
+          Some size,
+          Some seed,
+          Some plan,
+          Some len,
+          Some hash,
+          Some payload )
         when String.length payload = len && Int64.equal (fnv1a payload) hash
         -> (
           match
@@ -120,6 +137,7 @@ let keyed_of_line line =
           | Ok result ->
               Some
                 {
+                  k_build = build;
                   k_workload = workload;
                   k_mode = mode;
                   k_size = size;

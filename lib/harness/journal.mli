@@ -45,16 +45,22 @@ val line_of_entry : entry -> string
 
 (** {1 Keyed entries}
 
-    The daemon's journal ("cell3" lines).  A batch journal keys a cell
+    The daemon's journal ("cell4" lines).  A batch journal keys a cell
     on (workload, mode) because a matrix run visits each pair once; a
     daemon serves arbitrary request tuples, so its lines carry the
-    whole (workload, mode, size, seed, plan) key and replay into the
-    content-addressed cache on restart.  Same torn-line discipline:
-    length + FNV checksum per line, damage skipped never trusted, and
-    "cell3" lines are unknown-version damage to {!load} (and vice
-    versa), so the two journal kinds cannot contaminate each other. *)
+    whole (workload, mode, size, seed, plan) key {e plus the build id
+    of the binary that measured the cell} and replay into the
+    content-addressed cache on restart — recovery must skip entries
+    from other builds, or a rebuild's cache-invalidation invariant
+    would be silently defeated by replaying stale measurements.  Same
+    torn-line discipline: length + FNV checksum per line, damage
+    skipped never trusted, and "cell4" lines are unknown-version
+    damage to {!load} (and vice versa), so the two journal kinds
+    cannot contaminate each other.  Buildless "cell3" lines from older
+    builds count as unknown-version damage too and are re-run. *)
 
 type keyed = {
+  k_build : string;  (** build id of the binary that measured the cell *)
   k_workload : string;
   k_mode : string;
   k_size : string;

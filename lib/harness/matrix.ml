@@ -564,10 +564,12 @@ let run_all ?domains ?on_cell t =
    mid-run (crash-consistent journal, resumed with [--resume]). *)
 
 exception Cell_timeout of float
+exception Attempt_cancelled
 
 let () =
   Printexc.register_printer (function
     | Cell_timeout s -> Some (Fmt.str "cell exceeded its %.1fs watchdog" s)
+    | Attempt_cancelled -> Some "attempt abandoned by its supervisor"
     | _ -> None)
 
 type cell_failure = {
@@ -611,10 +613,13 @@ let transient = function
    raised to the supervisor — after the attempt's {!Guard} closers run,
    so fds the abandoned body held (the replay trace reader) are
    reclaimed instead of leaking once per timeout. *)
-let run_attempt ?timeout_s f =
-  match timeout_s with
-  | None -> f (Guard.create ())
-  | Some limit ->
+let run_attempt ?timeout_s ?cancelled f =
+  match (timeout_s, cancelled) with
+  | None, None -> f (Guard.create ())
+  | _ ->
+      let cancelled =
+        match cancelled with Some c -> c | None -> fun () -> false
+      in
       let guard = Guard.create () in
       let slot = Atomic.make None in
       let d =
@@ -626,7 +631,11 @@ let run_attempt ?timeout_s f =
             in
             Atomic.set slot (Some r))
       in
-      let deadline = Unix.gettimeofday () +. limit in
+      let deadline =
+        match timeout_s with
+        | Some limit -> Unix.gettimeofday () +. limit
+        | None -> infinity
+      in
       let rec wait () =
         match Atomic.get slot with
         | Some (Ok v) ->
@@ -636,10 +645,19 @@ let run_attempt ?timeout_s f =
             Domain.join d;
             Printexc.raise_with_backtrace e bt
         | None ->
-            if Unix.gettimeofday () > deadline then begin
+            (* Cancellation is not a watchdog expiry: it is counted by
+               the caller, not in [m_watchdog], and is deliberately not
+               {!transient} — a cancelled attempt must not be retried. *)
+            if cancelled () then begin
+              Guard.abandon guard;
+              raise Attempt_cancelled
+            end
+            else if Unix.gettimeofday () > deadline then begin
               Obs.Metrics.inc m_watchdog;
               Guard.abandon guard;
-              raise (Cell_timeout limit)
+              raise
+                (Cell_timeout
+                   (match timeout_s with Some l -> l | None -> infinity))
             end
             else begin
               Unix.sleepf 0.02;

@@ -116,6 +116,14 @@ exception Cell_timeout of float
 (** Raised (to the supervisor, never the user) when a cell exceeds its
     watchdog.  Counted as transient: a retry gets a fresh attempt. *)
 
+exception Attempt_cancelled
+(** Raised by {!run_attempt} when its [cancelled] hook fires: the
+    attempt's domain is abandoned and the guard's closers run, exactly
+    as on a watchdog expiry — but cancellation is deliberately {e not}
+    {!transient}, so a supervisor never retries work it just asked to
+    stop (the serve daemon cancels in-flight attempts at its drain
+    deadline). *)
+
 (** Ownership tokens for resources opened inside a watchdogged
     attempt.  A timed-out attempt's domain cannot be killed, only
     abandoned — so any fd it holds (the replay path keeps a streaming
@@ -149,13 +157,17 @@ module Guard : sig
       owns the token afterwards. *)
 end
 
-val run_attempt : ?timeout_s:float -> (Guard.t -> 'a) -> 'a
+val run_attempt :
+  ?timeout_s:float -> ?cancelled:(unit -> bool) -> (Guard.t -> 'a) -> 'a
 (** One watchdogged attempt: run the body on a fresh domain, poll for
     its result, and on expiry abandon the domain, run the guard's
-    closers and raise {!Cell_timeout}.  Without [timeout_s] the body
-    runs in this domain (the guard never fires).  This is the building
+    closers and raise {!Cell_timeout}.  [cancelled] is polled on the
+    same ~20ms cadence; when it turns true the attempt is abandoned
+    the same way but raises {!Attempt_cancelled} (not transient, never
+    retried).  With neither [timeout_s] nor [cancelled] the body runs
+    in this domain (the guard never fires).  This is the building
     block behind {!run_all_supervised}'s attempts, exposed for the
-    serve daemon's per-request deadlines. *)
+    serve daemon's per-request deadlines and drain-deadline abandons. *)
 
 val transient : exn -> bool
 (** The supervisor's retry classifier: watchdog expiries and OS-level

@@ -49,6 +49,7 @@ let m_malformed = Obs.Metrics.counter reg "serve_malformed_total"
 let m_deadline = Obs.Metrics.counter reg "serve_deadline_expired_total"
 let m_slow = Obs.Metrics.counter reg "serve_slow_clients_total"
 let m_recovered = Obs.Metrics.counter reg "serve_recovered_cells_total"
+let m_stale = Obs.Metrics.counter reg "serve_stale_journal_entries_total"
 let m_wait_ms = Obs.Metrics.histogram reg "serve_wait_ms"
 let m_warm_us = Obs.Metrics.histogram reg "serve_warm_us"
 
@@ -87,6 +88,9 @@ type state = {
   disk : Results.Cache.t;
   build_id : string;
   stop : bool Atomic.t;
+  (* absolute drain deadline (infinity until SIGTERM): past it, cold
+     attempts are abandoned instead of awaited *)
+  kill_after : float Atomic.t;
   mu : Mutex.t;
   cv : Condition.t;
   queue : job Queue.t;
@@ -144,17 +148,29 @@ let validate (r : Protocol.request) =
 let run_job st (job : job) =
   let deadline =
     Mutex.lock st.mu;
+    (* A waiter with {e no} deadline dominates: capping the job by some
+       other waiter's deadline would let the watchdog kill the attempt
+       while the unbounded waiter still wants its result.  Only when
+       every waiter carries a deadline is the job bounded — by the
+       latest of them. *)
     let d =
-      List.fold_left
-        (fun acc (_, _, dl) ->
-          match (acc, dl) with
-          | None, d | d, None -> d
-          | Some a, Some b -> Some (Float.max a b))
-        None job.j_waiters
+      match job.j_waiters with
+      | [] -> None
+      | (_, _, d0) :: rest ->
+          List.fold_left
+            (fun acc (_, _, dl) ->
+              match (acc, dl) with
+              | None, _ | _, None -> None
+              | Some a, Some b -> Some (Float.max a b))
+            d0 rest
     in
     Mutex.unlock st.mu;
     d
   in
+  (* Past the drain deadline the daemon stops waiting: the attempt is
+     abandoned through the watchdog path instead of holding shutdown's
+     [Domain.join] hostage for up to a full cell timeout. *)
+  let cancelled () = Unix.gettimeofday () > Atomic.get st.kill_after in
   let timeout_s =
     let budget =
       Option.map (fun d -> Float.max 0.05 (d -. Unix.gettimeofday ())) deadline
@@ -170,11 +186,14 @@ let run_job st (job : job) =
   in
   let rec attempt k =
     match
-      Harness.Matrix.run_attempt ?timeout_s (fun guard ->
+      Harness.Matrix.run_attempt ?timeout_s ~cancelled (fun guard ->
           Harness.Matrix.run_cell_collect ~guard m job.j_spec job.j_mode)
     with
     | r -> Ok r
-    | exception e when k < st.cfg.retries && Harness.Matrix.transient e ->
+    | exception e
+      when k < st.cfg.retries
+           && Harness.Matrix.transient e
+           && not (cancelled ()) ->
         if st.cfg.backoff_s > 0. then
           Unix.sleepf (st.cfg.backoff_s *. (2. ** float_of_int k));
         attempt (k + 1)
@@ -195,7 +214,8 @@ let run_job st (job : job) =
         (fun () ->
           Harness.Journal.append_keyed st.journal_oc
             {
-              Harness.Journal.k_workload = job.j_spec.Workloads.Workload.name;
+              Harness.Journal.k_build = st.build_id;
+              k_workload = job.j_spec.Workloads.Workload.name;
               k_mode = Workloads.Api.mode_name job.j_mode;
               k_size = job.j_size_str;
               k_seed = job.j_seed;
@@ -220,10 +240,18 @@ let worker st () =
       let job = Queue.pop st.queue in
       Mutex.unlock st.mu;
       let outcome =
-        try run_job st job
-        with e ->
+        (* Queued-but-unstarted work past the drain deadline fails
+           cheaply here; only attempts already in flight pay the
+           watchdog-abandon path. *)
+        if Unix.gettimeofday () > Atomic.get st.kill_after then begin
           Obs.Metrics.inc m_failures;
-          Fail (Printexc.to_string e)
+          Fail "daemon draining: job abandoned at the drain deadline"
+        end
+        else
+          try run_job st job
+          with e ->
+            Obs.Metrics.inc m_failures;
+            Fail (Printexc.to_string e)
       in
       Mutex.lock st.mu;
       st.completions <- (job, outcome) :: st.completions;
@@ -256,13 +284,27 @@ let run cfg =
         Results.Lockfile.release cache_lock;
         Error e
   in
+  let release_locks () =
+    Results.Lockfile.release cache_lock;
+    Results.Lockfile.release journal_lock
+  in
   let disk = Results.Cache.create ~dir:cfg.cache_dir () in
   let build_id = Results.Cache.build_id disk in
   (* Crash recovery: every journaled cell whose cache entry is missing
      (killed between rename and fsync, or a swept entry) is re-stored,
-     so the cache and journal agree before the first client connects. *)
-  let recovered, torn =
+     so the cache and journal agree before the first client connects.
+     Only lines written by {e this} binary replay — re-storing another
+     build's measurements would defeat the cache invariant that a
+     rebuild invalidates every entry, serving stale numbers as warm
+     hits.  Stale-build and damaged lines are purged (atomic rewrite)
+     so they are not re-parsed on every restart. *)
+  let recovered, stale, torn =
     let entries, torn = Harness.Journal.load_keyed cfg.journal in
+    let live, stale_entries =
+      List.partition
+        (fun (e : Harness.Journal.keyed) -> e.k_build = build_id)
+        entries
+    in
     let n = ref 0 in
     List.iter
       (fun (e : Harness.Journal.keyed) ->
@@ -277,13 +319,34 @@ let run cfg =
                  ~plan:e.k_plan e.k_result);
             incr n;
             Obs.Metrics.inc m_recovered)
-      entries;
-    (!n, torn)
+      live;
+    List.iter (fun _ -> Obs.Metrics.inc m_stale) stale_entries;
+    if (stale_entries <> [] || torn > 0) && Sys.file_exists cfg.journal then begin
+      (* tmp + fsync + rename: a crash mid-purge leaves either journal
+         whole, and the appender below opens the renamed file *)
+      let tmp = Printf.sprintf "%s.tmp.%d" cfg.journal (Unix.getpid ()) in
+      match open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 tmp with
+      | exception Sys_error _ -> ()  (* unpurgeable journal is a soft failure *)
+      | oc ->
+          List.iter
+            (fun e ->
+              output_string oc (Harness.Journal.line_of_keyed e);
+              output_char oc '\n')
+            live;
+          flush oc;
+          (try Unix.fsync (Unix.descr_of_out_channel oc)
+           with Unix.Unix_error _ -> ());
+          close_out_noerr oc;
+          (try Sys.rename tmp cfg.journal with Sys_error _ -> ())
+    end;
+    (!n, List.length stale_entries, torn)
   in
-  if recovered > 0 || torn > 0 then
+  if recovered > 0 || stale > 0 || torn > 0 then
     cfg.log
-      (Printf.sprintf "journal recovery: %d cells re-stored, %d torn lines"
-         recovered torn);
+      (Printf.sprintf
+         "journal recovery: %d cells re-stored, %d stale-build entries \
+          purged, %d torn lines"
+         recovered stale torn);
   let sweep () =
     match cfg.cache_max_mb with
     | None -> ()
@@ -292,9 +355,48 @@ let run cfg =
         if n > 0 then cfg.log (Printf.sprintf "cache sweep: evicted %d" n)
   in
   sweep ();
+  (* A stale socket file survives kill -9 and must be unlinked before
+     bind — but a {e live} one must not be: the lockfiles only cover
+     the cache dir and journal, so a second daemon on a different
+     --cache-dir but the same socket path would otherwise silently
+     steal a running daemon's traffic.  Liveness is connectability:
+     an answering socket means refuse to start; connection refused
+     means a stale file, safe to remove. *)
+  let* () =
+    if not (Sys.file_exists cfg.socket) then Ok ()
+    else
+      let alive =
+        match Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+        | exception Unix.Unix_error _ -> true  (* cannot probe: never steal *)
+        | probe ->
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close probe with Unix.Unix_error _ -> ())
+              (fun () ->
+                Unix.set_nonblock probe;
+                match Unix.connect probe (Unix.ADDR_UNIX cfg.socket) with
+                | () -> true
+                | exception
+                    Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+                  -> false
+                | exception Unix.Unix_error _ ->
+                    (* EAGAIN (backlog full), EACCES, ...: someone may
+                       well be listening — refuse rather than steal. *)
+                    true)
+      in
+      if alive then begin
+        release_locks ();
+        Error
+          (Printf.sprintf "another daemon is listening on %s; refusing to \
+                           replace its socket"
+             cfg.socket)
+      end
+      else begin
+        (try Sys.remove cfg.socket with Sys_error _ -> ());
+        Ok ()
+      end
+  in
   let* lfd =
-    (try if Sys.file_exists cfg.socket then Sys.remove cfg.socket
-     with Sys_error _ -> ());
     match Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 with
     | fd -> (
         match
@@ -305,19 +407,30 @@ let run cfg =
         | () -> Ok fd
         | exception Unix.Unix_error (e, _, _) ->
             Unix.close fd;
-            Results.Lockfile.release cache_lock;
-            Results.Lockfile.release journal_lock;
+            release_locks ();
             Error
               (Printf.sprintf "cannot bind %s: %s" cfg.socket
                  (Unix.error_message e)))
     | exception Unix.Unix_error (e, _, _) ->
-        Results.Lockfile.release cache_lock;
-        Results.Lockfile.release journal_lock;
+        release_locks ();
         Error (Printf.sprintf "cannot create socket: %s" (Unix.error_message e))
   in
-  Harness.Tracefiles.mkdir_p (Filename.dirname cfg.journal);
-  let journal_oc =
-    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 cfg.journal
+  (* The journal open rides the same cleanup contract as the socket:
+     a failure here must release the locks and unlink the socket, not
+     escape [run] as an exception with the listener fd leaked. *)
+  let* journal_oc =
+    match
+      Harness.Tracefiles.mkdir_p (Filename.dirname cfg.journal);
+      open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 cfg.journal
+    with
+    | oc -> Ok oc
+    | exception ((Sys_error _ | Unix.Unix_error _) as e) ->
+        (try Unix.close lfd with Unix.Unix_error _ -> ());
+        (try Sys.remove cfg.socket with Sys_error _ -> ());
+        release_locks ();
+        Error
+          (Printf.sprintf "cannot open journal %s: %s" cfg.journal
+             (Printexc.to_string e))
   in
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
@@ -328,6 +441,7 @@ let run cfg =
       disk;
       build_id;
       stop = Atomic.make false;
+      kill_after = Atomic.make infinity;
       mu = Mutex.create ();
       cv = Condition.create ();
       queue = Queue.create ();
@@ -604,6 +718,10 @@ let run cfg =
     if Atomic.get st.stop && not !draining then begin
       draining := true;
       drain_deadline := now +. cfg.drain_timeout_s;
+      (* Workers abandon whatever is still in flight once this passes,
+         so the drain really is bounded by [drain_timeout_s] (plus the
+         watchdog's ~20ms poll), not by a full cell timeout. *)
+      Atomic.set st.kill_after !drain_deadline;
       cfg.log "drain: stopping accepts, finishing in-flight cells";
       Mutex.lock st.mu;
       Condition.broadcast st.cv;
@@ -704,7 +822,6 @@ let run cfg =
   Sys.set_signal Sys.sigterm prev_term;
   Sys.set_signal Sys.sigint prev_int;
   Sys.set_signal Sys.sigpipe prev_pipe;
-  Results.Lockfile.release cache_lock;
-  Results.Lockfile.release journal_lock;
+  release_locks ();
   cfg.log "drained; bye";
   Ok ()

@@ -27,7 +27,14 @@
       offending connection an error frame and a close — never the
       daemon.
     - {b Drain}: SIGTERM/SIGINT stop accepting, let running cells
-      finish and flush every queued response, then exit 0.
+      finish and flush every queued response, then exit 0.  The drain
+      is genuinely bounded by [drain_timeout_s]: any attempt still in
+      flight at the deadline is abandoned through the watchdog/guard
+      path (its waiters get [Failed]) rather than awaited.
+    - {b Recovery}: on startup, journal lines written by this binary
+      whose cache entry is missing are re-stored; lines from {e other}
+      builds are purged, never replayed, preserving the cache
+      invariant that a rebuild invalidates every entry.
     - {b Exclusion}: the cache directory and journal are taken with
       advisory {!Results.Lockfile}s; a second daemon (or a concurrent
       [repro experiment] on the same cache) fails fast with a
@@ -52,7 +59,9 @@ type config = {
   backoff_s : float;
   write_timeout_s : float;  (** slow-client eviction threshold *)
   cache_max_mb : int option;  (** size cap enforced by periodic sweeps *)
-  drain_timeout_s : float;  (** hard bound on the SIGTERM drain *)
+  drain_timeout_s : float;
+      (** hard bound on the SIGTERM drain; in-flight attempts still
+          running at the deadline are abandoned, not awaited *)
   metrics_out : string option;
       (** write the final metrics snapshot (JSON) here on exit *)
   log : string -> unit;

@@ -349,7 +349,8 @@ let test_journal_missing_file_empty () =
 
 let sample_keyed () =
   {
-    Harness.Journal.k_workload = "cfrac";
+    Harness.Journal.k_build = "4db1d8cfbc6ba71e3dfc3d2f8c8a9c21";
+    k_workload = "cfrac";
     k_mode = "sun";
     k_size = "quick";
     k_seed = 3;
@@ -363,6 +364,8 @@ let test_keyed_line_roundtrip () =
   match Harness.Journal.keyed_of_line (Harness.Journal.line_of_keyed k) with
   | None -> Alcotest.fail "keyed line should parse"
   | Some k' ->
+      check_str "build id" k.Harness.Journal.k_build
+        k'.Harness.Journal.k_build;
       check_str "workload" k.Harness.Journal.k_workload
         k'.Harness.Journal.k_workload;
       check_str "mode" k.Harness.Journal.k_mode k'.Harness.Journal.k_mode;
@@ -373,6 +376,17 @@ let test_keyed_line_roundtrip () =
       check_str "result"
         (Fmt.str "%a" Workloads.Results.pp k.Harness.Journal.k_result)
         (Fmt.str "%a" Workloads.Results.pp k'.Harness.Journal.k_result)
+
+(* The buildless "cell3" generation is unknown-version damage to the
+   loader, not a parse: a pre-build-id journal degrades to "re-run
+   those cells", it can never smuggle stale measurements past the
+   build check. *)
+let test_keyed_old_version_rejected () =
+  let line = Harness.Journal.line_of_keyed (sample_keyed ()) in
+  let downgraded = "cell3" ^ String.sub line 5 (String.length line - 5) in
+  match Harness.Journal.keyed_of_line downgraded with
+  | None -> ()
+  | Some _ -> Alcotest.fail "cell3-tagged line accepted by the cell4 loader"
 
 let test_keyed_torn_rejected () =
   let line = Harness.Journal.line_of_keyed (sample_keyed ()) in
@@ -636,6 +650,8 @@ let () =
             test_journal_missing_file_empty;
           Alcotest.test_case "keyed line round-trip" `Quick
             test_keyed_line_roundtrip;
+          Alcotest.test_case "keyed buildless generation rejected" `Quick
+            test_keyed_old_version_rejected;
           Alcotest.test_case "keyed torn lines rejected" `Quick
             test_keyed_torn_rejected;
           Alcotest.test_case "keyed/batch kinds disjoint" `Quick

@@ -363,6 +363,90 @@ let test_journal_recovery () =
                 (Results.Json.to_string ~indent:false cell)
           | _ -> Alcotest.fail "no cell after restart"))
 
+(* A journal written by a different build must not be replayed into
+   the cache: the content-addressed cache's invariant is that a
+   rebuild invalidates every entry, and recovery stamping old
+   measurements with the new build id would serve stale numbers warm.
+   Simulate the rebuild by rewriting the journal's build ids. *)
+let test_stale_build_journal_not_replayed () =
+  let dir = fresh_dir () in
+  let socket = Filename.concat dir "s.sock" in
+  let journal = Filename.concat dir "serve.journal" in
+  let pid = spawn_daemon ~socket ~dir () in
+  wait_ready socket;
+  (match connect socket with
+  | Error e -> Alcotest.failf "connect: %s" (Unix.error_message e)
+  | Ok fd ->
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      (match rpc fd (cfrac_req ~id:1 ()) with
+      | P.Cell { warm; _ } -> check_bool "cold first" false warm
+      | _ -> Alcotest.fail "no cell before the kill"));
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid);
+  (* wipe the cache, as after a rebuild with a fresh cache dir … *)
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".json" then
+        Sys.remove (Filename.concat dir name))
+    (Sys.readdir dir);
+  (* … and re-stamp every journal line as another build's *)
+  let entries, torn = Harness.Journal.load_keyed journal in
+  check_bool "the kill left journaled cells" true (entries <> []);
+  check_int "no torn lines in this controlled kill" 0 torn;
+  let oc =
+    open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644
+      journal
+  in
+  List.iter
+    (fun (e : Harness.Journal.keyed) ->
+      Harness.Journal.append_keyed oc
+        { e with Harness.Journal.k_build = "stale-build" })
+    entries;
+  close_out oc;
+  let pid2 = spawn_daemon ~socket ~dir () in
+  wait_ready socket;
+  Fun.protect
+    ~finally:(fun () -> ignore (stop_daemon pid2))
+    (fun () ->
+      (match connect socket with
+      | Error e -> Alcotest.failf "reconnect: %s" (Unix.error_message e)
+      | Ok fd ->
+          Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+          (match rpc fd (cfrac_req ~id:2 ()) with
+          | P.Cell { warm; _ } ->
+              check_bool "stale-build journal must not serve warm" false warm
+          | _ -> Alcotest.fail "no cell after restart"));
+      (* recovery purged the stale lines instead of re-parsing them
+         forever: everything left in the journal is this build's *)
+      let entries, _ = Harness.Journal.load_keyed journal in
+      check_bool "stale lines purged" true
+        (List.for_all
+           (fun (e : Harness.Journal.keyed) ->
+             e.Harness.Journal.k_build <> "stale-build")
+           entries))
+
+(* The lockfiles only guard the store; the socket itself must not be
+   stolen by a daemon configured with a different --cache-dir.  The
+   second daemon probes the socket, finds it answering, and refuses. *)
+let test_live_socket_not_stolen () =
+  with_daemon (fun ~socket ~dir:_ ->
+      let dir2 = fresh_dir () in
+      let pid2 = spawn_daemon ~socket ~dir:dir2 () in
+      (match Unix.waitpid [] pid2 with
+      | _, Unix.WEXITED code ->
+          check_int "second daemon refuses to start" 2 code
+      | _ -> Alcotest.fail "second daemon did not exit normally");
+      (* the first daemon's socket is intact and still serving *)
+      match connect socket with
+      | Error e ->
+          Alcotest.failf "original daemon lost its socket: %s"
+            (Unix.error_message e)
+      | Ok fd ->
+          Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+          (match rpc fd (cfrac_req ~id:9 ()) with
+          | P.Cell _ -> ()
+          | _ -> Alcotest.fail "original daemon unusable after the probe"))
+
 (* ------------------------------------------------------------------ *)
 (* Chaos property: kill at a random instant, byte-identical cells *)
 
@@ -495,6 +579,10 @@ let () =
             test_admission_control;
           tc "queued request deadline expires" `Slow test_deadline_expiry;
           tc "journal recovery after kill -9" `Slow test_journal_recovery;
+          tc "stale-build journal never replayed" `Slow
+            test_stale_build_journal_not_replayed;
+          tc "live socket not stolen by a second daemon" `Slow
+            test_live_socket_not_stolen;
         ] );
       ( "chaos",
         [
