@@ -1824,6 +1824,168 @@ let serveload_cmd =
       $ modes_mix_arg $ mix_plan_arg $ bench_arg $ workers_arg
       $ cache_max_mb_arg $ metrics_out_arg)
 
+let server_cmd =
+  let mutators_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "mutators" ] ~docv:"N"
+          ~doc:
+            "Concurrent mutators time-sliced over the one simulated \
+             machine by the deterministic quantum scheduler.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "requests" ] ~docv:"N"
+          ~doc:
+            "Total requests across all mutators (default: the \
+             server-N matrix cell's scaled count).")
+  in
+  let quantum_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "quantum" ] ~docv:"STEPS"
+          ~doc:
+            "Scheduler base steps per turn; each turn's actual length \
+             adds seeded jitter so handoffs don't phase-lock with \
+             request boundaries.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Determinism root: request shapes and the interleaving are \
+             a pure function of (seed, quantum, mutators).")
+  in
+  let no_bump_arg =
+    Arg.(
+      value & flag
+      & info [ "no-bump" ]
+          ~doc:
+            "Allocate through the legacy region path instead of the \
+             per-mutator bump-pointer fast path (addresses are \
+             identical either way; only charged instructions differ).")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt mode_conv (Workloads.Api.Region { safe = true })
+      & info [ "mode" ]
+          ~doc:"Memory manager: sun, bsd, lea, gc, emu-*, region, unsafe.")
+  in
+  let bench_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "bench" ] ~docv:"PATH"
+          ~doc:
+            "Bench mode: run the scenario twice (bump off, then on), \
+             check address identity, time both legs, and write a \
+             bench-schema-v7 record (the BENCH_6.json behind the \
+             $(b,bumppath) docs block).  Other flags except \
+             $(b,--mutators) and $(b,--requests) are ignored.")
+  in
+  let run mutators requests quantum seed no_bump mode full metrics bench =
+    let dump_metrics = with_metrics metrics in
+    match bench with
+    | Some path ->
+        let r = Harness.Bumppath.bench ~mutators ?requests () in
+        Harness.Bumppath.write ~path r;
+        Printf.printf
+          "bumppath bench: %d mutators, %d requests, %d allocs\n\
+          \  sim: %.1f -> %.1f alloc instrs/alloc (%.2fx), hit rate \
+           %.1f%%, %d refills (%d contended)\n\
+          \  host: %.1f -> %.1f ns/alloc, %.2fM allocs/s\n\
+           wrote %s\n"
+          r.Harness.Bumppath.mutators r.Harness.Bumppath.requests
+          r.Harness.Bumppath.allocs
+          r.Harness.Bumppath.sim_instrs_per_alloc_legacy
+          r.Harness.Bumppath.sim_instrs_per_alloc_bump
+          r.Harness.Bumppath.sim_speedup
+          (100.0 *. r.Harness.Bumppath.hit_rate)
+          r.Harness.Bumppath.refills r.Harness.Bumppath.contended_refills
+          r.Harness.Bumppath.ns_per_alloc_legacy
+          r.Harness.Bumppath.ns_per_alloc_bump
+          (r.Harness.Bumppath.allocs_per_s /. 1e6)
+          path;
+        dump_metrics ()
+    | None ->
+        let base =
+          Workloads.Workload.server_params mutators (size_of_full full)
+        in
+        let params =
+          {
+            base with
+            Workloads.Server.requests =
+              Option.value ~default:base.Workloads.Server.requests requests;
+            quantum = Option.value ~default:base.Workloads.Server.quantum quantum;
+            seed = Option.value ~default:base.Workloads.Server.seed seed;
+            bump = not no_bump;
+          }
+        in
+        let api = Workloads.Api.create ~with_cache:true mode in
+        let o =
+          Workloads.Server.run
+            ?metrics:(if metrics then Some Obs.Metrics.default else None)
+            api params
+        in
+        let r =
+          Workloads.Results.collect api
+            ~workload:(Printf.sprintf "server-%d" mutators)
+            ~summary:
+              (Printf.sprintf "served=%d checksum=%x" o.Workloads.Server.served
+                 o.Workloads.Server.checksum)
+        in
+        Printf.printf
+          "server: %d mutators, quantum %d, seed %d, %s%s\n\
+           served %d  allocs %d (%d KB)  checksum %x\n\
+           handoffs %d  interleave %08x\n\
+           bump: %d hits, %d opens, %d closes, %d refills (%d contended)\n"
+          params.Workloads.Server.mutators params.Workloads.Server.quantum
+          params.Workloads.Server.seed
+          (Workloads.Api.mode_name mode)
+          (if no_bump then " (bump off)" else "")
+          o.Workloads.Server.served o.Workloads.Server.allocs
+          (o.Workloads.Server.bytes / 1024)
+          o.Workloads.Server.checksum o.Workloads.Server.handoffs
+          (o.Workloads.Server.interleave_hash land 0xffffffff)
+          o.Workloads.Server.bump_stats.Regions.Region.bs_hits
+          o.Workloads.Server.bump_stats.Regions.Region.bs_opens
+          o.Workloads.Server.bump_stats.Regions.Region.bs_closes
+          o.Workloads.Server.bump_stats.Regions.Region.bs_refills
+          o.Workloads.Server.bump_stats.Regions.Region.bs_contended_refills;
+        Printf.printf "per-mutator: served/allocs/steps/quanta/peak-live-KB\n";
+        Array.iteri
+          (fun i ms ->
+            Printf.printf "  m%d: %d / %d / %d / %d / %d\n" i
+              ms.Workloads.Server.ms_served ms.Workloads.Server.ms_allocs
+              ms.Workloads.Server.ms_steps ms.Workloads.Server.ms_quanta
+              (ms.Workloads.Server.ms_peak_live_bytes / 1024))
+          o.Workloads.Server.per_mutator;
+        Fmt.pr "%a@." Workloads.Results.pp r;
+        dump_metrics ()
+  in
+  Cmd.v
+    (Cmd.info "server"
+       ~doc:"Run the multi-mutator server scenario (or its bump-path bench)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "N mutators interleave over the simulated machine under a \
+              deterministic weighted round-robin quantum schedule, each \
+              serving a request stream with a per-request region \
+              lifecycle.  Region modes allocate through the per-mutator \
+              bump-pointer fast path unless $(b,--no-bump); allocation \
+              addresses are identical either way, so the flag isolates \
+              the charged-instruction saving.  $(b,--bench) times both \
+              paths on the host and writes the record behind the \
+              $(b,bumppath) docs block.";
+         ])
+    Term.(
+      const run $ mutators_arg $ requests_arg $ quantum_arg $ seed_arg
+      $ no_bump_arg $ mode_arg $ full_arg $ metrics_arg $ bench_arg)
+
 let main =
   Cmd.group
     (Cmd.info "repro" ~version:"1.0"
@@ -1833,7 +1995,7 @@ let main =
     [
       exp_cmd; run_cmd; trace_cmd; list_cmd; creg_cmd; check_cmd; faults_cmd;
       docs_cmd; record_cmd; replay_cmd; gen_cmd; results_cmd; perf_cmd;
-      serve_cmd; serveload_cmd;
+      serve_cmd; serveload_cmd; server_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -13,6 +13,7 @@ type t = {
   mutable pop_hook : frame -> unit;
   globals_base : int;
   globals_words : int;
+  mutable current_id : int;  (* scheduled mutator identity; 0 until set *)
 }
 
 let create ?(globals_words = 1024) mem =
@@ -28,9 +29,21 @@ let create ?(globals_words = 1024) mem =
     pop_hook = ignore;
     globals_base;
     globals_words;
+    current_id = 0;
   }
 
 let memory t = t.mem
+
+(* The scheduled mutator identity: which of the N interleaved mutators
+   the machine is currently running.  Pure bookkeeping (a thread-local
+   register), charging nothing; the frame stack is shared — frames
+   belong to whichever mutator pushed them. *)
+let current_id t = t.current_id
+
+let set_current_id t mid =
+  if mid < 0 then invalid_arg "Mutator.set_current_id: negative id";
+  t.current_id <- mid
+
 let globals_base t = t.globals_base
 let globals_words t = t.globals_words
 
@@ -96,7 +109,35 @@ let top_frame t =
 
 let get_local fr i = fr.slots.(i)
 
+let index_of t fr =
+  let rec go i =
+    if i < 0 then -1 else if t.frames.(i) == fr then i else go (i - 1)
+  in
+  go (t.depth - 1)
+
+(* Writing a slot of a scanned frame (below the high-water mark)
+   invalidates its scan — and those of every frame between it and the
+   mark.  Under the paper's single-stack discipline only the executing
+   top frame is written, so this never fires; an N-mutator schedule
+   writes whichever mutator's frame is current, which behaves exactly
+   as if control had returned into it: the mark descends to the frame,
+   running the unscan function for each frame it passes. *)
+let unscan_to t target =
+  while t.hwm > target do
+    t.unscan_hook t.frames.(t.hwm - 1);
+    t.hwm <- t.hwm - 1
+  done
+
 let set_local t fr i v =
+  Sim.Cost.instr (Sim.Memory.cost t.mem) 1;
+  (if t.hwm > 0 then
+     let idx = index_of t fr in
+     if idx >= 0 && idx < t.hwm then unscan_to t idx);
+  fr.slots.(i) <- v
+
+(* Slot write without the scanned-frame write-back: region deletion
+   clears the deleted handle mid-scan and manages the mark itself. *)
+let set_local_raw t fr i v =
   Sim.Cost.instr (Sim.Memory.cost t.mem) 1;
   fr.slots.(i) <- v
 

@@ -26,6 +26,19 @@ val create : ?globals_words:int -> Sim.Memory.t -> t
 
 val memory : t -> Sim.Memory.t
 
+(** {1 Scheduled identity}
+
+    Which of the N interleaved mutators the machine is currently
+    running (see {!Sched}).  Pure bookkeeping — a thread-local
+    register, charging nothing.  The frame stack is shared: frames
+    belong to whichever mutator pushed them. *)
+
+val current_id : t -> int
+(** 0 until {!set_current_id} is called. *)
+
+val set_current_id : t -> int -> unit
+(** @raise Invalid_argument on a negative id. *)
+
 (** {1 Globals} *)
 
 val globals_base : t -> int
@@ -62,9 +75,18 @@ val top_frame : t -> frame
 (** @raise Invalid_argument when the stack is empty. *)
 
 val get_local : frame -> int -> int
+
 val set_local : t -> frame -> int -> int -> unit
 (** Charges one instruction; never reference-counted (that is the
-    point of the high-water-mark scheme). *)
+    point of the high-water-mark scheme).  Writing a frame below the
+    high-water mark — which only an N-mutator schedule does — lowers
+    the mark to that frame, running the unscan hook for every frame it
+    descends past, as if control had returned there. *)
+
+val set_local_raw : t -> frame -> int -> int -> unit
+(** {!set_local} without the scanned-frame mark descent: for region
+    deletion, which clears the deleted handle mid-scan and manages the
+    mark itself. *)
 
 val nslots : frame -> int
 val is_ptr_slot : frame -> int -> bool

@@ -22,6 +22,45 @@ let off_scan = 20
 let page_bytes = 4096
 let round4 n = (n + 3) land lnot 3
 
+(* Per-mutator allocation region, after SBCL's gencgc
+   [alloc_region]: a mutator-local cache of one region's normal
+   allocator (current page + free offset) held outside simulated
+   memory, so the inline allocation fast path is a bounds check and a
+   bump — no loads or stores of the region structure per object.  The
+   structure's [off_npage] chain in simulated memory is kept accurate
+   at every refill (page links are shared state: the region scan and
+   the page map read them), while [off_nfrom] and the end-of-objects
+   marker are written back only when the alloc region closes. *)
+type alloc_region = {
+  mutable ar_region : int;  (* region this cache is open against; 0 = closed *)
+  mutable ar_page : int;  (* cached head page of the normal allocator *)
+  mutable ar_free : int;  (* free offset within [ar_page] *)
+}
+
+type bump_stats = {
+  bs_hits : int;
+  bs_opens : int;
+  bs_closes : int;
+  bs_refills : int;
+  bs_contended_refills : int;
+}
+
+(* The whole multi-mutator bump state.  Allocated lazily by
+   {!enable_bump}: a library instance that never enables it takes the
+   legacy allocation path byte-for-byte. *)
+type bump = {
+  mutable cur : int;  (* current mutator id *)
+  mutable ars : alloc_region array;  (* mutator id -> its alloc region *)
+  mutable open_count : int;  (* alloc regions currently open *)
+  mutable hits : int;
+  mutable opens : int;
+  mutable closes : int;
+  mutable refills : int;
+  mutable contended_refills : int;
+      (* refills taken while another mutator also holds an open alloc
+         region — both are racing the same page pool *)
+}
+
 type t = {
   mem : Sim.Memory.t;
   mutator : Mutator.t;
@@ -40,6 +79,8 @@ type t = {
   mutable regions_created : int;
   large : (int, (int * int) list ref) Hashtbl.t;  (* region -> (addr, pages) *)
   objects : (int, int list ref) Hashtbl.t;  (* region -> live user addrs *)
+  mutable bump : bump option;  (* multi-mutator fast path; None = legacy *)
+  mutable mutator_id : int;  (* current mutator identity (0 until set) *)
 }
 
 let memory t = t.mem
@@ -206,6 +247,8 @@ let create ?(safe = true) ?(offset_regions = true) ?(eager_locals = false)
       regions_created = 0;
       large = Hashtbl.create 16;
       objects = Hashtbl.create 64;
+      bump = None;
+      mutator_id = 0;
     }
   in
   t
@@ -272,6 +315,153 @@ let install_hooks t =
             done))
 
 (* ------------------------------------------------------------------ *)
+(* Multi-mutator bump fast path (SBCL gencgc alloc_region) *)
+
+let fresh_ar () = { ar_region = 0; ar_page = 0; ar_free = 0 }
+
+let enable_bump t =
+  match t.bump with
+  | Some _ -> ()
+  | None ->
+      t.bump <-
+        Some
+          {
+            cur = t.mutator_id;
+            ars = Array.init 4 (fun _ -> fresh_ar ());
+            open_count = 0;
+            hits = 0;
+            opens = 0;
+            closes = 0;
+            refills = 0;
+            contended_refills = 0;
+          }
+
+let bump_active t = t.bump <> None
+
+(* Switching mutators is a thread-local-pointer swap on real hardware:
+   host-side only, no simulated charge.  Each mutator's alloc region
+   stays open across the switch — that is the point of the design. *)
+let set_mutator t mid =
+  if mid < 0 then invalid_arg "Region.set_mutator: negative mutator id";
+  t.mutator_id <- mid;
+  match t.bump with
+  | None -> ()
+  | Some b ->
+      if mid >= Array.length b.ars then begin
+        let bigger =
+          Array.init
+            (max (2 * Array.length b.ars) (mid + 1))
+            (fun i ->
+              if i < Array.length b.ars then b.ars.(i) else fresh_ar ())
+        in
+        b.ars <- bigger
+      end;
+      b.cur <- mid
+
+let current_mutator t = t.mutator_id
+
+let bump_stats t =
+  match t.bump with
+  | None ->
+      {
+        bs_hits = 0;
+        bs_opens = 0;
+        bs_closes = 0;
+        bs_refills = 0;
+        bs_contended_refills = 0;
+      }
+  | Some b ->
+      {
+        bs_hits = b.hits;
+        bs_opens = b.opens;
+        bs_closes = b.closes;
+        bs_refills = b.refills;
+        bs_contended_refills = b.contended_refills;
+      }
+
+(* Close: write the deferred state ([off_nfrom] and the end-of-objects
+   marker) back to the region structure.  Must run before anything
+   reads the structure for real — the region scan at deletion, or a
+   handoff of the region to another mutator's alloc region. *)
+let ar_close t b ar =
+  if ar.ar_region <> 0 then begin
+    Sim.Cost.instr (cost t) 2;
+    Sim.Memory.store t.mem (ar.ar_region + off_nfrom) ar.ar_free;
+    if ar.ar_free + 4 <= page_bytes then
+      Sim.Memory.store t.mem (ar.ar_page + ar.ar_free) 0;
+    ar.ar_region <- 0;
+    b.closes <- b.closes + 1;
+    b.open_count <- b.open_count - 1
+  end
+
+(* Open: load the region's normal-allocator head into the cache. *)
+let ar_open t b ar r =
+  Sim.Cost.instr (cost t) 2;
+  ar.ar_region <- r;
+  ar.ar_page <- Sim.Memory.load t.mem (r + off_npage);
+  ar.ar_free <- Sim.Memory.load t.mem (r + off_nfrom);
+  b.opens <- b.opens + 1;
+  b.open_count <- b.open_count + 1
+
+(* Refill: the genuine slow path.  Ask the shared page pool for a page
+   (this may raise a fault — nothing is mutated before the request
+   succeeds) and link it into the region's page chain, which stays
+   accurate in simulated memory at all times. *)
+let ar_refill t b ar r =
+  let p = new_page t in
+  b.refills <- b.refills + 1;
+  if b.open_count > 1 then b.contended_refills <- b.contended_refills + 1;
+  (* The outgoing page's end-of-objects marker was deferred on the
+     fast path; it retires here, where the legacy path's final
+     allocation on that page would have stored it. *)
+  if ar.ar_free + 4 <= page_bytes then
+    Sim.Memory.store t.mem (ar.ar_page + ar.ar_free) 0;
+  Sim.Memory.store t.mem p ar.ar_page (* link to the previous page *);
+  Sim.Memory.store t.mem (r + off_npage) p;
+  set_page_region t p r;
+  ar.ar_page <- p;
+  ar.ar_free <- 4
+
+(* Charged close of every alloc region open against [r]; called before
+   region deletion reads or releases the structure.  Any mutator may
+   have bumped into [r], so all of them are checked. *)
+let close_ars_on t r =
+  match t.bump with
+  | None -> ()
+  | Some b ->
+      if b.open_count > 0 then
+        Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+            Array.iter
+              (fun ar -> if ar.ar_region = r then ar_close t b ar)
+              b.ars)
+
+let flush_alloc_regions t =
+  match t.bump with
+  | None -> ()
+  | Some b ->
+      if b.open_count > 0 then
+        Sim.Cost.with_context (cost t) Sim.Cost.Alloc (fun () ->
+            Array.iter (fun ar -> ar_close t b ar) b.ars)
+
+(* Cost-free write-back for the introspection helpers: peeking code
+   (invariant checks, object walks) must see a consistent structure
+   without perturbing any simulated count.  The charged close later
+   stores the same values, so contents never diverge. *)
+let sync_ars_peek t =
+  match t.bump with
+  | None -> ()
+  | Some b ->
+      if b.open_count > 0 then
+        Array.iter
+          (fun ar ->
+            if ar.ar_region <> 0 then begin
+              Sim.Memory.poke t.mem (ar.ar_region + off_nfrom) ar.ar_free;
+              if ar.ar_free + 4 <= page_bytes then
+                Sim.Memory.poke t.mem (ar.ar_page + ar.ar_free) 0
+            end)
+          b.ars
+
+(* ------------------------------------------------------------------ *)
 (* Allocation *)
 
 let newregion t =
@@ -312,8 +502,10 @@ let record_alloc t r user size =
   | None -> ()
 
 (* Bump-allocate [total] bytes from the normal allocator of [r],
-   starting a fresh page when the head page is full. *)
-let normal_alloc t r total =
+   starting a fresh page when the head page is full.  This is the
+   legacy path: every allocation loads and stores the region structure
+   and re-marks the end of the filled part. *)
+let normal_alloc_slow t r total =
   let from = Sim.Memory.load t.mem (r + off_nfrom) in
   let page = Sim.Memory.load t.mem (r + off_npage) in
   let page, from =
@@ -332,6 +524,40 @@ let normal_alloc t r total =
   (* Mark the end of the filled part (pooled pages hold stale data). *)
   if from' + 4 <= page_bytes then Sim.Memory.store t.mem (page + from') 0;
   addr
+
+(* With bump enabled, the current mutator's alloc region serves the
+   allocation inline: a bounds check and a pointer bump (2 charged
+   instructions — the free_pointer/end_addr compare-and-add of SBCL's
+   inline path).  The addresses produced are identical to the legacy
+   path's; only the deferred structure write-back and the skipped
+   per-allocation end marker differ, and both are restored at close. *)
+let normal_alloc t r total =
+  match t.bump with
+  | None -> normal_alloc_slow t r total
+  | Some b ->
+      let ar = Array.unsafe_get b.ars b.cur in
+      if ar.ar_region = r && ar.ar_free + total <= page_bytes then begin
+        b.hits <- b.hits + 1;
+        Sim.Cost.instr (cost t) 2;
+        let addr = ar.ar_page + ar.ar_free in
+        ar.ar_free <- ar.ar_free + total;
+        addr
+      end
+      else begin
+        if ar.ar_region <> r then begin
+          (* Region switch: hand the cache over.  If another mutator's
+             alloc region is open on [r], its deferred state must land
+             first, or this open would read a stale offset. *)
+          ar_close t b ar;
+          Array.iter (fun o -> if o.ar_region = r then ar_close t b o) b.ars;
+          ar_open t b ar r
+        end;
+        if ar.ar_free + total > page_bytes then ar_refill t b ar r;
+        Sim.Cost.instr (cost t) 2;
+        let addr = ar.ar_page + ar.ar_free in
+        ar.ar_free <- ar.ar_free + total;
+        addr
+      end
 
 let max_normal_data = page_bytes - 4 (* link *) - 8 (* header + marker *)
 
@@ -572,12 +798,16 @@ let read_rptr t = function
   | In_memory addr -> Sim.Memory.load t.mem addr
 
 let clear_rptr t = function
-  | In_frame (fr, i) -> Mutator.set_local t.mutator fr i 0
+  | In_frame (fr, i) -> Mutator.set_local_raw t.mutator fr i 0
   | In_memory addr -> Sim.Memory.store t.mem addr 0
 
 let deleteregion t ptr =
   let r = read_rptr t ptr in
   check_region t r;
+  (* Any alloc region open against [r] must write its deferred state
+     back before the region scan walks the pages (it needs the end
+     marker and the final offset) or the pages return to the pool. *)
+  close_ars_on t r;
   if not t.safe then begin
     (* Unsafe regions: all reference-count support disabled; deletion
        always succeeds and runs no cleanups. *)
@@ -628,6 +858,7 @@ let object_extent_peek t id pos =
   | Cleanup.Custom { size_bytes; _ } -> (pos, round4 size_bytes)
 
 let iter_objects_peek t r f =
+  sync_ars_peek t;
   let pages = collect_pages_peek t (Sim.Memory.peek t.mem (r + off_npage)) in
   let scan_off = Sim.Memory.peek t.mem (r + off_scan) in
   List.iter
@@ -648,6 +879,7 @@ let iter_objects_peek t r f =
     pages
 
 let check_invariants t =
+  sync_ars_peek t;
   let fail fmt = Fmt.kstr failwith fmt in
   let check_page_mapped r p what =
     if regionof0 t p <> r then

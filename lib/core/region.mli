@@ -116,6 +116,59 @@ val deleteregion : t -> rptr -> bool
     releases all pages, nulls the handle and returns [true].  In
     unsafe mode: always deletes, without cleanups. *)
 
+(** {1 Multi-mutator bump fast path}
+
+    The inline allocation fast path of SBCL's gencgc
+    ([gencgc-alloc-region.h]), adapted to regions: each mutator owns an
+    {e alloc region} — a host-side cache of one region's normal
+    allocator ([free_pointer]/[end_addr] in SBCL terms: current page
+    and free offset here) — so the common allocation is a bounds check
+    and a bump charged at 2 instructions, with no region-structure
+    loads or stores.  The slow path (opening the cache against a
+    region, closing it, refilling a full page from the shared page
+    pool) does the legacy work.  The page chain in simulated memory
+    stays accurate at every refill; the allocation offset and the
+    end-of-objects marker are written back when the cache closes,
+    which happens automatically before the region is scanned, deleted,
+    or handed to another mutator's cache.
+
+    The machinery is {e off} by default: an instance that never calls
+    {!enable_bump} takes the legacy path byte-for-byte, and the
+    addresses produced with it on are identical to the addresses with
+    it off — only the charged instruction stream shrinks. *)
+
+val enable_bump : t -> unit
+(** Switch the instance to per-mutator bump allocation (idempotent). *)
+
+val bump_active : t -> bool
+
+val set_mutator : t -> int -> unit
+(** [set_mutator t mid] makes [mid] (>= 0) the current mutator.  A
+    thread-local-pointer swap: host-side only, charges nothing.  Each
+    mutator's alloc region stays open across switches.  Valid with the
+    bump machinery off, where it only records the identity. *)
+
+val current_mutator : t -> int
+
+type bump_stats = {
+  bs_hits : int;  (** fast-path allocations *)
+  bs_opens : int;  (** alloc-region opens (region switches) *)
+  bs_closes : int;  (** deferred-state write-backs *)
+  bs_refills : int;  (** page refills from the shared pool *)
+  bs_contended_refills : int;
+      (** refills taken while another mutator also held an open alloc
+          region — the page-pool contention signal *)
+}
+
+val bump_stats : t -> bump_stats
+(** All zero while the machinery is off. *)
+
+val flush_alloc_regions : t -> unit
+(** Charged close of every open alloc region (deferred offsets and end
+    markers written back).  Deletion does this automatically for the
+    region being deleted; call it before reading region structures
+    externally at a measurement point. *)
+
 (** {1 Compiler-generated operations} *)
 
 val write_ptr : t -> ?same_region_hint:bool -> addr:int -> int -> unit

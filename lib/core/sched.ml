@@ -1,0 +1,89 @@
+(* Deterministic N-mutator quantum scheduler.
+
+   The simulated machine is single-threaded, as in the paper; what
+   production adds is interleaving.  This scheduler time-slices N
+   mutator tasks over the one machine in a seeded weighted round-robin:
+   each turn runs the next live task for [weight * quantum] steps
+   (plus a small seeded jitter, so distinct seeds produce distinct
+   interleavings), then hands off.  Everything is a pure function of
+   (seed, quantum, task set): the interleaving, the handoff count and
+   the FNV-folded interleave hash are identical on every run and at
+   any host parallelism — which is what makes multi-mutator cells
+   cacheable and golden-checkable like any other cell.
+
+   The scheduler itself is host-side only: it charges nothing to the
+   simulated machine.  Whatever the tasks' [step] functions charge is
+   the cells' cost, so an N=1 schedule is byte-identical to calling
+   the single task's steps in a plain loop. *)
+
+type task = {
+  name : string;
+  weight : int;  (* relative share of the quantum, >= 1 *)
+  step : unit -> bool;  (* run one unit of work; false = task finished *)
+}
+
+type stats = {
+  steps : int array;  (* per-task units of work executed *)
+  quanta : int array;  (* per-task scheduling turns received *)
+  handoffs : int;  (* mutator-to-mutator switches *)
+  interleave_hash : int;  (* fold of the (task, run-length) sequence *)
+}
+
+(* FNV-1a over the (task index, run length) pairs of the schedule: two
+   runs interleaved differently cannot collide by accident. *)
+let fnv_fold h v =
+  let h = (h lxor v) * 0x100000001b3 in
+  h land max_int
+
+let run ?(seed = 0) ?(quantum = 64) ?on_switch tasks =
+  let n = Array.length tasks in
+  if n = 0 then invalid_arg "Sched.run: no tasks";
+  Array.iter
+    (fun t -> if t.weight < 1 then invalid_arg "Sched.run: weight < 1")
+    tasks;
+  let rng = Sim.Rng.create (seed lxor 0x5eed) in
+  let alive = Array.make n true in
+  let live = ref n in
+  let steps = Array.make n 0 in
+  let quanta = Array.make n 0 in
+  let handoffs = ref 0 in
+  let hash = ref 0x3f29ce484222325 in
+  let switch i =
+    (match on_switch with Some f -> f i | None -> ());
+    quanta.(i) <- quanta.(i) + 1
+  in
+  (* Seeded start offset: which mutator boots first depends on the
+     seed, like thread wake-up order would. *)
+  let cur = ref (Sim.Rng.int rng n) in
+  let rec next_live i = if alive.(i) then i else next_live ((i + 1) mod n) in
+  let prev = ref (-1) in
+  while !live > 0 do
+    let i = next_live !cur in
+    if !prev <> i then begin
+      if !prev >= 0 then incr handoffs;
+      switch i;
+      prev := i
+    end
+    else quanta.(i) <- quanta.(i) + 1;
+    (* Weighted quantum with a seeded jitter of up to a quarter slice:
+       real schedulers never hand out exact slices, and the jitter
+       decorrelates the phase of mutators with identical request
+       streams. *)
+    let slice =
+      (tasks.(i).weight * quantum) + Sim.Rng.int rng (max 1 (quantum / 4))
+    in
+    let ran = ref 0 in
+    let continue = ref true in
+    while !continue && !ran < slice do
+      incr ran;
+      if not (tasks.(i).step ()) then begin
+        continue := false;
+        alive.(i) <- false;
+        decr live
+      end
+    done;
+    steps.(i) <- steps.(i) + !ran;
+    hash := fnv_fold (fnv_fold !hash i) !ran;
+    cur := (i + 1) mod n
+  done;
+  { steps; quanta; handoffs = !handoffs; interleave_hash = !hash }

@@ -1,0 +1,31 @@
+(** Deterministic N-mutator quantum scheduler.
+
+    Time-slices N tasks over the single simulated machine in a seeded
+    weighted round-robin.  The interleaving is a pure function of
+    (seed, quantum, task set) — identical on every run and at any host
+    parallelism — and the scheduler charges nothing to the simulated
+    machine, so an N=1 schedule is byte-identical to running the task's
+    steps in a plain loop. *)
+
+type task = {
+  name : string;
+  weight : int;  (** relative share of the quantum, >= 1 *)
+  step : unit -> bool;  (** run one unit of work; [false] = finished *)
+}
+
+type stats = {
+  steps : int array;  (** per-task units of work executed *)
+  quanta : int array;  (** per-task scheduling turns received *)
+  handoffs : int;  (** mutator-to-mutator switches *)
+  interleave_hash : int;
+      (** FNV fold of the (task, run-length) schedule: equal hashes ⇒
+          equal interleavings, for the determinism gates *)
+}
+
+val run : ?seed:int -> ?quantum:int -> ?on_switch:(int -> unit) -> task array -> stats
+(** [run tasks] drives every task to completion.  [on_switch i] fires
+    whenever the machine switches to task [i] (mutator handoff) —
+    before the task's first step of that turn.  [quantum] (default 64)
+    is the base steps per turn, scaled by each task's [weight] plus a
+    seeded jitter of up to a quarter slice.
+    @raise Invalid_argument on an empty task set or a weight < 1. *)

@@ -25,6 +25,10 @@ let blocks : (string * (Matrix.t -> string)) list =
     (* Like perftrend: rendered from the committed BENCH_5.json only,
        never from a live daemon, so --check stays deterministic. *)
     ("serveload", Serveload.md);
+    ("mutators", Mutators.md);
+    (* Sim columns recomputed live; host columns from the committed
+       BENCH_6.json only. *)
+    ("bumppath", Bumppath.md);
     ( "perftrend",
       fun _ ->
         (* The trend table depends only on the committed BENCH_N.json

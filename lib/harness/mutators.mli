@@ -1,0 +1,8 @@
+(** The [mutators] generated block of EXPERIMENTS.md: the server-N
+    scaling table (scheduler handoffs, interleave hash, fairness
+    spread, bump/contention counters alongside the measured matrix
+    cells) and the per-mutator fairness table with live-bytes
+    sparklines.  Fully simulated and deterministic, so it sits behind
+    [repro docs --check]. *)
+
+val md : Matrix.t -> string

@@ -97,6 +97,16 @@ let parse ~file text =
           Option.iter (put "serve.warm_p50_us") (fnum [ "warm_p50_us" ] s);
           Option.iter (put "serve.warm_p99_us") (fnum [ "warm_p99_us" ] s)
       | None -> ());
+      (match Json.member "bumppath" j with
+      | Some s ->
+          List.iter
+            (fun k -> Option.iter (put ("bumppath." ^ k)) (fnum [ k ] s))
+            [
+              "sim_instrs_per_alloc_legacy"; "sim_instrs_per_alloc_bump";
+              "sim_speedup"; "hit_rate"; "ns_per_alloc_legacy";
+              "ns_per_alloc_bump"; "allocs_per_s";
+            ]
+      | None -> ());
       (match list "micro" j with
       | Some ms ->
           List.iter
@@ -158,6 +168,7 @@ let tracked =
     ("report.total_wall_s", Lower_better);
     ("replay.geomean_speedup", Higher_better);
     ("gen_replay.max_rss_kb", Lower_better);
+    ("bumppath.sim_speedup", Higher_better);
   ]
 
 type regression = {

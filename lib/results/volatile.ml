@@ -16,6 +16,8 @@ let keys =
     "generated_utc"; "records_per_s"; "rss_kb";
     (* serve-daemon load numbers: pure host throughput/latency *)
     "throughput_rps"; "warm_p50_us"; "warm_p99_us"; "duration_s";
+    (* bump-path bench host timings *)
+    "ns_per_alloc_legacy"; "ns_per_alloc_bump"; "allocs_per_s";
   ]
 
 let is_volatile k = List.mem k keys

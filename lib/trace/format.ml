@@ -36,6 +36,7 @@ type record =
   | Set_local_ptr of { frame : int; slot : int; v : value }
   | Gc_roots of int array
   | Mark of { name : string; kind : mark }
+  | Set_mutator of { mid : int; bump : bool }
   | End
 
 let magic = "RGTR"
@@ -44,8 +45,13 @@ let end_magic = "RGEN"
 (* v2: [Deleteregion] carries the region id, and the trailer carries
    the replay table sizes ([oslots]/[rslots]) plus a flags varint
    whose bit 0 marks the id-recycling discipline of generated
-   traces. *)
-let version = 2
+   traces.
+   v3: [Set_mutator] records mutator handoffs (and whether the region
+   bump fast path was active, so replays take the same allocation
+   path).  The writer emits v3; the reader accepts v2 traces too —
+   they simply contain no handoff records. *)
+let version = 3
+let min_version = 2
 
 (* Record tags.  0 is the trailer. *)
 let t_malloc = 1
@@ -70,6 +76,7 @@ and t_set_local_ptr = 19
 and t_gc_roots = 20
 and t_mark = 21
 and t_strdef = 22
+and t_set_mutator = 23
 
 (* ------------------------------------------------------------------ *)
 (* Encoding *)
@@ -371,6 +378,11 @@ let emit w r =
         | Phase_end -> 1
         | Site_begin -> 2
         | Site_end -> 3)
+  | Set_mutator { mid; bump } ->
+      reserve w 21;
+      wbyte w t_set_mutator;
+      wuv w mid;
+      wuv w (if bump then 1 else 0)
   | End -> invalid_arg "Trace.Format.emit: End is written by commit");
   w.nrecords <- w.nrecords + 1
 
@@ -778,7 +790,7 @@ let validate_envelope ~len ~read_at =
   if len < 4 + 1 + 12 then corrupt "file too short";
   let head = read_at 0 5 in
   if String.sub head 0 4 <> magic then corrupt "bad magic";
-  if Char.code head.[4] <> version then
+  if Char.code head.[4] < min_version || Char.code head.[4] > version then
     corrupt "unsupported trace version %d" (Char.code head.[4]);
   let tail = read_at (len - 12) 12 in
   if String.sub tail 8 4 <> end_magic then
@@ -1061,6 +1073,10 @@ let rec next r =
       if id >= r.nstrs then corrupt "undefined string id %d" id;
       Mark { name = r.strs.(id); kind }
     end
+    else if tag = t_set_mutator then
+      let mid = uv r in
+      let bump = uv r <> 0 in
+      Set_mutator { mid; bump }
     else if tag = t_strdef then begin
       add_str r (str r);
       next r

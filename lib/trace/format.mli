@@ -67,6 +67,10 @@ type record =
   | Set_local_ptr of { frame : int; slot : int; v : value }
   | Gc_roots of int array
   | Mark of { name : string; kind : mark }
+  | Set_mutator of { mid : int; bump : bool }
+      (** Mutator handoff under an N-mutator schedule; [bump] is
+          whether the region bump fast path was active, so replays
+          take the identical allocation path (v3 traces only). *)
   | End
 
 (** {1 Writer} *)

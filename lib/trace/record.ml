@@ -216,6 +216,7 @@ let recorder_of st =
     rec_site =
       (fun name b ->
         emit (Mark { name; kind = (if b then Site_begin else Site_end) }));
+    rec_set_mutator = (fun ~mid ~bump -> emit (Set_mutator { mid; bump }));
   }
 
 let record ~out ?(seed = 0) ~variant (spec : Workloads.Workload.spec) size =

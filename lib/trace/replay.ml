@@ -242,6 +242,11 @@ let run ?(with_cache = false) ?timeline reader mode =
     | Format.Set_local_ptr { frame; slot; v } ->
         Api.set_local_ptr api (Regions.Mutator.frame mut frame) slot (resolve v)
     | Format.Gc_roots roots -> Queue.add roots rootq
+    | Format.Set_mutator { mid; bump } ->
+        (* Reproduce the recorded scheduling state exactly: same
+           mutator identity, same allocation path (bump vs legacy). *)
+        if bump then Api.enable_bump api;
+        Api.set_mutator api mid
     | Format.Mark _ -> ()
     | Format.Realloc _ | Format.Poke_obj _ ->
         diverge "ops record inside a workload trace"

@@ -57,6 +57,7 @@ type recorder = {
   rec_gc_roots : int array -> unit;
   rec_phase : string -> bool -> unit;
   rec_site : string -> bool -> unit;
+  rec_set_mutator : mid:int -> bump:bool -> unit;
 }
 
 type t = {
@@ -274,6 +275,35 @@ let set_local_ptr t fr i v =
   recd t (fun r -> r.rec_set_local_ptr ~frame:(frame_index t fr) ~slot:i v)
 
 let get_local = Regions.Mutator.get_local
+
+(* ------------------------------------------------------------------ *)
+(* Mutator identity *)
+
+(* Both calls are pure scheduling state — host-side, no simulated
+   charge outside the region library's own documented costs — and both
+   are recorded so a replay reproduces the allocation path (bump vs
+   legacy) exactly. *)
+
+let enable_bump t =
+  (match t.reg with
+  | Some lib -> Regions.Region.enable_bump lib
+  | None -> ());
+  recd t (fun r ->
+      r.rec_set_mutator ~mid:(Regions.Mutator.current_id t.mut) ~bump:true)
+
+let set_mutator t mid =
+  Regions.Mutator.set_current_id t.mut mid;
+  (match t.reg with
+  | Some lib -> Regions.Region.set_mutator lib mid
+  | None -> ());
+  recd t (fun r ->
+      r.rec_set_mutator ~mid
+        ~bump:
+          (match t.reg with
+          | Some lib -> Regions.Region.bump_active lib
+          | None -> false))
+
+let mutator_id t = Regions.Mutator.current_id t.mut
 
 (* ------------------------------------------------------------------ *)
 (* malloc / free *)

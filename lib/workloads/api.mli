@@ -63,6 +63,10 @@ type recorder = {
           taken at each collection (the only moment the collector asks). *)
   rec_phase : string -> bool -> unit;  (** name, [true] = begin *)
   rec_site : string -> bool -> unit;
+  rec_set_mutator : mid:int -> bump:bool -> unit;
+      (** Mutator handoff (or bump-path enablement), with the bump
+          machinery's state at that point so a replay reproduces the
+          allocation path exactly. *)
 }
 
 (** [create mode] builds a fresh simulated machine with the requested
@@ -142,6 +146,26 @@ val add_roots : t -> ((int -> unit) -> unit) -> unit
 val set_local : t -> Regions.Mutator.frame -> int -> int -> unit
 val set_local_ptr : t -> Regions.Mutator.frame -> int -> int -> unit
 val get_local : Regions.Mutator.frame -> int -> int
+
+(** {1 Mutator identity}
+
+    Multi-mutator scheduling support ({!Regions.Sched}): the scheduler
+    announces handoffs here so the region library can switch its
+    per-mutator alloc region and traces can carry the identity.  Both
+    calls are host-side scheduling state — they charge nothing beyond
+    the region library's documented bump-path costs — and both are
+    recorded, so replays reproduce the allocation path exactly. *)
+
+val set_mutator : t -> int -> unit
+(** Make [mid] (>= 0) the current mutator.  Under [Region] modes this
+    switches the region library's current alloc region; elsewhere it
+    only tracks the identity. *)
+
+val mutator_id : t -> int
+
+val enable_bump : t -> unit
+(** Switch [Region] modes to the per-mutator bump allocation fast path
+    ({!Regions.Region.enable_bump}); a no-op elsewhere.  Idempotent. *)
 
 (** {1 malloc/free (Direct modes)} *)
 

@@ -133,8 +133,43 @@ let game_with ~correlated =
 
 let game = game_with ~correlated:false
 let game_correlated = game_with ~correlated:true
+
+let server_params n size =
+  let base =
+    match size with Quick -> Server.default_params | Full -> Server.large_params
+  in
+  {
+    base with
+    Server.mutators = n;
+    requests = base.Server.requests * n / base.Server.mutators;
+    seed = base.Server.seed + n;
+  }
+
+let server_with n =
+  {
+    name = Fmt.str "server-%d" n;
+    description =
+      Fmt.str
+        "%d-mutator server: per-request region lifecycles under a \
+         deterministic quantum schedule"
+        n;
+    region_only = false;
+    run =
+      (fun api size ->
+        let o = Server.run api (server_params n size) in
+        Fmt.str "served=%d allocs=%d handoffs=%d interleave=%x checksum=%x"
+          o.Server.served o.Server.allocs o.Server.handoffs
+          o.Server.interleave_hash o.Server.checksum);
+  }
+
+let server1 = server_with 1
+let server2 = server_with 2
+let server4 = server_with 4
+let server8 = server_with 8
 let all = [ cfrac; grobner; mudlle; lcc; tile; moss ]
-let extras = [ moss_slow; game; game_correlated ]
+
+let extras =
+  [ moss_slow; game; game_correlated; server1; server2; server4; server8 ]
 
 let find name =
   match List.find_opt (fun s -> s.name = name) (extras @ all) with

@@ -49,3 +49,9 @@ val game_correlated : spec
 
 val extras : spec list
 (** Workloads outside the paper's benchmark matrix. *)
+
+val server_params : int -> size -> Server.params
+(** The parameters the [server-N] specs run with: [Server]'s defaults
+    scaled so every mutator serves the same per-mutator quota at any
+    N, with a per-N seed.  Exposed so the docs blocks and the bench
+    harness measure exactly the matrix cells' scenarios. *)
